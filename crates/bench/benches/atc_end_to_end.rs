@@ -1,0 +1,83 @@
+//! End-to-end ATC benchmarks: full compress + decompress through the
+//! directory container, in both modes.
+//!
+//! Backs the headline claims: lossless ratio (Table 1) and lossy ratio
+//! (Table 3 / Figure 8) at the container level, including all framing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_bench::workloads::filtered_trace;
+use atc_core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+use atc_trace::spec;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("atc-bench-e2e-{tag}-{}", std::process::id()))
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atc_end_to_end");
+    g.sample_size(10);
+    let n = 200_000usize;
+    let p = spec::profile("482.sphinx3").unwrap();
+    let trace = filtered_trace(p, n, 7);
+    g.throughput(Throughput::Elements(n as u64));
+
+    let modes: Vec<(&str, Mode)> = vec![
+        ("lossless", Mode::Lossless),
+        (
+            "lossy",
+            Mode::Lossy(LossyConfig {
+                interval_len: n / 100,
+                ..LossyConfig::default()
+            }),
+        ),
+    ];
+    for (name, mode) in &modes {
+        g.bench_with_input(BenchmarkId::new("compress", name), &trace, |b, t| {
+            b.iter(|| {
+                let dir = scratch(name);
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut w = AtcWriter::with_options(
+                    &dir,
+                    mode.clone(),
+                    AtcOptions {
+                        codec: "bzip".into(),
+                        buffer: n / 1000,
+                    },
+                )
+                .unwrap();
+                w.code_all(t.iter().copied()).unwrap();
+                let stats = w.finish().unwrap();
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(stats)
+            });
+        });
+
+        // Prepare a compressed directory once for decode benchmarking.
+        let dir = scratch(&format!("{name}-dec"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = AtcWriter::with_options(
+            &dir,
+            mode.clone(),
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: n / 1000,
+            },
+        )
+        .unwrap();
+        w.code_all(trace.iter().copied()).unwrap();
+        w.finish().unwrap();
+        g.bench_function(BenchmarkId::new("decompress", name), |b| {
+            b.iter(|| {
+                let mut r = AtcReader::open(&dir).unwrap();
+                black_box(r.decode_all().unwrap().len())
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

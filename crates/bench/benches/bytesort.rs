@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the bytesort transformation (forward and inverse).
+//!
+//! Backs Table 2: bytesort's non-codec decompression cost is the inverse
+//! transform, which the paper claims is linear in time and space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_core::bytesort::{bytesort_forward, bytesort_inverse, unshuffle, unshuffle_inverse};
+
+fn trace(n: usize) -> Vec<u64> {
+    // Two interleaved regions plus a stride: representative structure.
+    (0..n as u64)
+        .map(|i| match i % 3 {
+            0 => 0x0010_0000_0000 + (i / 3) * 64,
+            1 => 0x0001_0000_0000 + ((i * 2654435761) % 100_000) * 64,
+            _ => 0x0000_0040_0000 + (i % 4096) * 16,
+        })
+        .collect()
+}
+
+fn bench_bytesort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bytesort");
+    g.sample_size(20);
+    for n in [100_000usize, 1_000_000] {
+        let addrs = trace(n);
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &addrs, |b, a| {
+            b.iter(|| black_box(bytesort_forward(black_box(a))));
+        });
+        let cols = bytesort_forward(&addrs);
+        g.bench_with_input(BenchmarkId::new("inverse", n), &cols, |b, cols| {
+            b.iter(|| black_box(bytesort_inverse(black_box(cols)).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("unshuffle", n), &addrs, |b, a| {
+            b.iter(|| black_box(unshuffle(black_box(a))));
+        });
+        let ucols = unshuffle(&addrs);
+        g.bench_with_input(BenchmarkId::new("unshuffle_inverse", n), &ucols, |b, cols| {
+            b.iter(|| black_box(unshuffle_inverse(black_box(cols)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bytesort);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the cache substrate (filter + stack simulator).
+//!
+//! Backs Figures 3 and 4: the stack simulator runs 5 set counts x 2 traces
+//! per benchmark, so its per-access cost bounds the experiment wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_cache::{Cache, CacheConfig, CacheFilter, StackSim};
+use atc_trace::spec;
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_filter");
+    g.sample_size(10);
+    let n = 200_000usize;
+    let p = spec::profile("482.sphinx3").unwrap();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("filter_200k_accesses", |b| {
+        b.iter(|| {
+            let mut f = CacheFilter::paper();
+            let misses = f.filter(p.workload(7).take(n)).count();
+            black_box(misses)
+        });
+    });
+    g.finish();
+}
+
+fn bench_stack_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_sim");
+    g.sample_size(10);
+    let n = 500_000usize;
+    let trace: Vec<u64> = {
+        let mut f = CacheFilter::paper();
+        let p = spec::profile("429.mcf").unwrap();
+        f.filter(p.workload(7)).take(n).collect()
+    };
+    g.throughput(Throughput::Elements(n as u64));
+    for sets in [64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::new("assoc_1_to_32", sets), &trace, |b, t| {
+            b.iter(|| {
+                let mut sim = StackSim::new(sets, 32);
+                sim.run(t.iter().copied());
+                black_box(sim.miss_ratio(32))
+            });
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("explicit_lru_4way", 128), &trace, |b, t| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::paper_l1());
+            for &a in t {
+                cache.access_block(a);
+            }
+            black_box(cache.miss_ratio())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_stack_sim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks for the byte-level back ends (bzip2-class vs gzip-class
+//! vs store).
+//!
+//! Backs Tables 1 and 2: the codec dominates compression time and
+//! contributes 50–65% of decompression time in the paper's measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_codec::{Bzip, Codec, Lz, Store};
+
+/// Bytesorted-trace-like input: long runs with embedded counters.
+fn structured(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| match i * 8 / n {
+            0..=3 => 0u8,                    // high columns: zeros
+            4 => 0xF2,                       // region byte
+            5 => (i / 256) as u8,            // slow counter
+            _ => (i % 251) as u8,            // fast counter
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(10);
+    let n = 1 << 20;
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("bzip", Box::new(Bzip::default())),
+        ("lz", Box::new(Lz::default())),
+        ("store", Box::new(Store)),
+    ];
+    for (name, codec) in &codecs {
+        g.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
+            b.iter(|| black_box(codec.compress(black_box(d))));
+        });
+        let packed = codec.compress(&data);
+        g.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, p| {
+            b.iter(|| black_box(codec.decompress(black_box(p)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bwt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bwt");
+    g.sample_size(10);
+    let n = 1 << 19;
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+    g.bench_function("forward", |b| {
+        b.iter(|| black_box(atc_codec::bwt::bwt_forward(black_box(&data))));
+    });
+    let (last, primary) = atc_codec::bwt::bwt_forward(&data);
+    g.bench_function("inverse", |b| {
+        b.iter(|| black_box(atc_codec::bwt::bwt_inverse(black_box(&last), primary).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_bwt);
+criterion_main!(benches);

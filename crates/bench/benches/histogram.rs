@@ -1,0 +1,58 @@
+//! Micro-benchmarks for sorted byte-histograms and interval matching.
+//!
+//! Backs Table 3 / the lossy path: per interval the compressor computes 8
+//! histograms, sorts them, and compares against every chunk-table entry.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_core::hist::{ByteHistograms, Translation};
+
+fn addrs(n: usize, salt: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 12)
+        .collect()
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.sample_size(20);
+    let n = 1_000_000;
+    let a = addrs(n, 1);
+    let b = addrs(n, 2);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("from_addrs_1M", |bch| {
+        bch.iter(|| black_box(ByteHistograms::from_addrs(black_box(&a))));
+    });
+    let ha = ByteHistograms::from_addrs(&a);
+    let hb = ByteHistograms::from_addrs(&b);
+    g.bench_function("sort", |bch| {
+        bch.iter(|| black_box(black_box(&ha).sorted()));
+    });
+    let sa = ha.sorted();
+    let sb = hb.sorted();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("distance", |bch| {
+        bch.iter(|| black_box(black_box(&sa).distance(black_box(&sb))));
+    });
+    g.bench_function("translation_build", |bch| {
+        bch.iter(|| black_box(Translation::between(sa.permutation(0), sb.permutation(0))));
+    });
+    let t = Translation::between(sa.permutation(0), sb.permutation(0));
+    let mut translations: [Option<Translation>; 8] = Default::default();
+    translations[0] = Some(t);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("translate_1M", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for &x in &a {
+                acc ^= atc_core::hist::translate_addr(x, &translations);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histograms);
+criterion_main!(benches);

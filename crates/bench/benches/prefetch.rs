@@ -1,0 +1,32 @@
+//! Micro-benchmarks for the C/DC address predictor.
+//!
+//! Backs Figure 5: the predictor runs twice per benchmark (exact and lossy
+//! traces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atc_bench::workloads::filtered_trace;
+use atc_prefetch::{CdcConfig, CdcPredictor};
+use atc_trace::spec;
+
+fn bench_cdc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdc_predictor");
+    g.sample_size(10);
+    let n = 500_000usize;
+    for name in ["462.libquantum", "458.sjeng"] {
+        let p = spec::profile(name).unwrap();
+        let trace = filtered_trace(p, n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("run", name), &trace, |b, t| {
+            b.iter(|| {
+                let mut pred = CdcPredictor::new(CdcConfig::paper());
+                black_box(pred.run(t.iter().copied()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cdc);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmarks for the TCgen-class baseline compressor.
+//!
+//! Backs Tables 1 and 2 (the `tcg` column and the TCgen decompression row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use atc_bench::workloads::filtered_trace;
+use atc_tcgen::{Tcgen, TcgenConfig};
+use atc_trace::spec;
+
+fn bench_tcgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcgen");
+    g.sample_size(10);
+    let n = 200_000usize;
+    let codec = Arc::new(atc_codec::Bzip::default());
+    let tc = Tcgen::new(TcgenConfig { table_lines: 1 << 14 }, codec);
+
+    for name in ["462.libquantum", "429.mcf"] {
+        let p = spec::profile(name).unwrap();
+        let trace = filtered_trace(p, n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("compress", name), &trace, |b, t| {
+            b.iter(|| black_box(tc.compress(black_box(t))));
+        });
+        let packed = tc.compress(&trace);
+        g.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, p| {
+            b.iter(|| black_box(tc.decompress(black_box(p)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tcgen);
+criterion_main!(benches);

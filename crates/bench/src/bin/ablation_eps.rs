@@ -1,0 +1,70 @@
+//! Ablation: the similarity threshold ε.
+//!
+//! §5.2 of the paper: "If ε is too small, we obtain a low compression
+//! ratio. If it is too high, the compressed trace may not accurately
+//! reflect the original trace. We found experimentally that ε = 0.1
+//! provides high compression ratios while preserving the memory locality."
+//!
+//! This sweep quantifies both sides: lossy BPA (compression) and the worst
+//! miss-ratio deviation over a set of cache configurations (accuracy) as ε
+//! varies.
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin ablation_eps [-- --len 500000]
+//! ```
+
+use atc_bench::workloads::{bpa, filtered_trace, lossy_roundtrip, profile_or_die, Args, Scale};
+use atc_cache::StackSim;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 500_000);
+    let len = scale.trace_len;
+    let interval = (len / 100).max(1);
+    let buffer = (interval / 10).max(1);
+    let profiles = args
+        .list("profiles")
+        .unwrap_or_else(|| vec!["458".into(), "470".into(), "403".into()]);
+
+    println!("# Ablation — similarity threshold eps (paper default: 0.1)");
+    println!("# trace length = {len}; L = {interval}");
+    println!();
+    println!(
+        "{:<16} {:>6} {:>9} {:>7} {:>7} {:>10}",
+        "trace", "eps", "bpa", "chunks", "imit.", "worst-dmr"
+    );
+
+    for name in &profiles {
+        let p = profile_or_die(name);
+        let exact = filtered_trace(p, len, scale.seed);
+        let mut sims_exact = Vec::new();
+        for sets in [256usize, 1024, 4096] {
+            let mut s = StackSim::new(sets, 16);
+            s.run(exact.iter().copied());
+            sims_exact.push(s);
+        }
+        for eps in [0.01, 0.03, 0.1, 0.3, 1.0] {
+            let (approx, stats) = lossy_roundtrip(&exact, interval, buffer, eps, true);
+            let mut worst = 0.0f64;
+            for (i, sets) in [256usize, 1024, 4096].iter().enumerate() {
+                let mut s = StackSim::new(*sets, 16);
+                s.run(approx.iter().copied());
+                for ways in [1usize, 2, 4, 8, 16] {
+                    worst = worst
+                        .max((sims_exact[i].miss_ratio(ways) - s.miss_ratio(ways)).abs());
+                }
+            }
+            println!(
+                "{:<16} {:>6} {:>9.3} {:>7} {:>7} {:>10.4}",
+                p.name(),
+                eps,
+                bpa(stats.compressed_bytes as usize, exact.len()),
+                stats.chunks,
+                stats.imitations,
+                worst
+            );
+        }
+        println!();
+    }
+    println!("# expected shape: bpa falls as eps grows; worst-dmr rises as eps grows");
+}

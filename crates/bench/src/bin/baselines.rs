@@ -1,0 +1,105 @@
+//! Related-work baseline sweep (§3 of the paper).
+//!
+//! Positions bytesort against the broader lossless landscape the paper
+//! cites: general-purpose compression alone (gzip/bzip2 classes), the
+//! Mache/PDATS delta-coding family, byte-unshuffling, the TCgen/VPC
+//! predictor family, and bytesort — all over the same traces.
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin baselines [-- --len 1000000]
+//! ```
+
+use std::sync::Arc;
+
+use atc_bench::workloads::{
+    bpa, compress_transformed, filtered_trace, tcgen_lines_for, Args, Scale, Transform,
+};
+use atc_codec::{Bzip, Codec, Lz};
+use atc_tcgen::{Tcgen, TcgenConfig};
+use atc_trace::spec::profiles;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 1_000_000);
+    let len = scale.trace_len;
+    let buffer = (len / 10).max(1);
+    let bzip: Arc<dyn Codec> = Arc::new(Bzip::default());
+    let lz: Arc<dyn Codec> = Arc::new(Lz::default());
+    let tc = Tcgen::new(
+        TcgenConfig {
+            table_lines: tcgen_lines_for(len),
+        },
+        Arc::clone(&bzip),
+    );
+    let selected = args.list("profiles");
+
+    println!("# Related-work baselines — bits per address");
+    println!("# trace length = {len}; transform buffer = {buffer}");
+    println!("# lzraw = gzip-class alone; bzraw = bzip2-class alone;");
+    println!("# delta = Mache/PDATS-style zigzag deltas + bzip2-class;");
+    println!("# us/bs = unshuffle/bytesort + bzip2-class; tcg = TCgen-class");
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "trace", "lzraw", "bzraw", "delta", "us", "tcg", "bs"
+    );
+
+    let mut totals = [0.0f64; 6];
+    let mut count = 0usize;
+    for p in profiles() {
+        if let Some(sel) = &selected {
+            if !sel.iter().any(|s| s == p.name() || s == p.number()) {
+                continue;
+            }
+        }
+        let trace = filtered_trace(p, len, scale.seed);
+        let row = [
+            bpa(
+                compress_transformed(&trace, Transform::Raw, len, lz.as_ref()).len(),
+                trace.len(),
+            ),
+            bpa(
+                compress_transformed(&trace, Transform::Raw, len, bzip.as_ref()).len(),
+                trace.len(),
+            ),
+            bpa(
+                compress_transformed(&trace, Transform::Delta, buffer, bzip.as_ref()).len(),
+                trace.len(),
+            ),
+            bpa(
+                compress_transformed(&trace, Transform::Unshuffle, buffer, bzip.as_ref()).len(),
+                trace.len(),
+            ),
+            bpa(tc.compress(&trace).len(), trace.len()),
+            bpa(
+                compress_transformed(&trace, Transform::Bytesort, buffer, bzip.as_ref()).len(),
+                trace.len(),
+            ),
+        ];
+        for (t, r) in totals.iter_mut().zip(row) {
+            *t += r;
+        }
+        count += 1;
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            p.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5]
+        );
+    }
+    let n = count.max(1) as f64;
+    println!(
+        "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+        "arith. mean",
+        totals[0] / n,
+        totals[1] / n,
+        totals[2] / n,
+        totals[3] / n,
+        totals[4] / n,
+        totals[5] / n
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 3 — cache miss ratio vs associativity for exact and lossy traces.
+//!
+//! For each benchmark the paper plots, simulates set-associative LRU caches
+//! (associativity 1..=32, several set counts) on the exact trace and on the
+//! lossy-compressed ("approx") trace, and prints both curves. The paper's
+//! shape to reproduce: approx tracks exact closely, preserving the curve
+//! shape even where small distortions appear.
+//!
+//! Set counts are scaled down by default (the trace is ~50x shorter than
+//! the paper's 1 B addresses); pass `--paper-sets` for the original
+//! 2k..512k set counts.
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin fig3 [-- --len 1000000 --quick]
+//! ```
+
+use atc_bench::workloads::{filtered_trace, lossy_roundtrip, Args, Scale};
+use atc_cache::StackSim;
+
+/// The 15 benchmarks shown in the paper's Figure 3.
+const FIG3_TRACES: &[&str] = &[
+    "400", "401", "410", "429", "435", "450", "453", "456", "458", "462", "464", "470", "473",
+    "482", "483",
+];
+
+const MAX_ASSOC: usize = 32;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 2_000_000);
+    let len = scale.trace_len;
+    // The paper uses 100 intervals over 1 B addresses with L = 10 M, which
+    // covers every benchmark's working set several times per interval. At
+    // reduced trace lengths that *ratio* (L >> footprint) is what must be
+    // preserved, so the default here is 20 intervals per trace.
+    let interval = (len / args.get_or("intervals", 20)).max(1);
+    let buffer = (interval / 10).max(1);
+
+    let set_counts: Vec<usize> = if args.flag("paper-sets") {
+        vec![2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10]
+    } else {
+        vec![64, 256, 1024, 4096, 16384]
+    };
+
+    println!("# Figure 3 — miss ratio vs associativity (LRU), exact vs approx");
+    println!("# trace length = {len}; L = {interval}; eps = 0.1; sets = {set_counts:?}");
+    println!("# columns: trace sets assoc exact approx");
+    println!();
+
+    let selected = args.list("profiles");
+    let mut worst: Vec<(String, f64)> = Vec::new();
+
+    for name in FIG3_TRACES {
+        if let Some(sel) = &selected {
+            if !sel.iter().any(|s| s == name || s.starts_with(name)) {
+                continue;
+            }
+        }
+        let p = atc_bench::workloads::profile_or_die(name);
+        let exact = filtered_trace(p, len, scale.seed);
+        let (approx, _) = lossy_roundtrip(&exact, interval, buffer, 0.1, true);
+
+        let mut max_delta = 0.0f64;
+        for &sets in &set_counts {
+            let mut sim_exact = StackSim::new(sets, MAX_ASSOC);
+            sim_exact.run(exact.iter().copied());
+            let mut sim_approx = StackSim::new(sets, MAX_ASSOC);
+            sim_approx.run(approx.iter().copied());
+            for assoc in [1usize, 2, 4, 8, 16, 24, 32] {
+                let e = sim_exact.miss_ratio(assoc);
+                let a = sim_approx.miss_ratio(assoc);
+                max_delta = max_delta.max((e - a).abs());
+                println!(
+                    "{:<14} {:>7} {:>5} {:>8.4} {:>8.4}",
+                    p.name(),
+                    sets,
+                    assoc,
+                    e,
+                    a
+                );
+            }
+        }
+        worst.push((p.name().to_string(), max_delta));
+        println!();
+    }
+
+    println!("# max |exact - approx| miss-ratio deviation per trace:");
+    for (name, d) in &worst {
+        println!("#   {name:<16} {d:.4}");
+    }
+}

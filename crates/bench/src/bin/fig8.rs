@@ -1,0 +1,88 @@
+//! Figure 8 — lossy compression of a random 64-bit value stream.
+//!
+//! The paper pipes 100 M random 64-bit values (800 MB) through `bin2atc` in
+//! lossy mode: every interval of L = 10 M looks like the first one, so a
+//! single chunk is stored plus the byte-translation records in INFO, giving
+//! a compression ratio of 10. This binary replays that demonstration at
+//! configurable scale (default 10 M values, L = 1 M: same 10-intervals
+//! shape).
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin fig8 [-- --len 10000000]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use atc_bench::workloads::{Args, Scale};
+use atc_core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 10_000_000);
+    let len = scale.trace_len;
+    let interval = args.get_or("interval", (len / 10).max(1));
+    let buffer = (interval / 10).max(1);
+
+    println!("# Figure 8 — 'cat /dev/urandom | bin2atc foobar' at scale");
+    println!("# values = {len} (paper: 100 M); L = {interval} (paper: 10 M)");
+    println!();
+
+    let dir = std::env::temp_dir().join(format!("atc-fig8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = LossyConfig {
+        interval_len: interval,
+        ..LossyConfig::default()
+    };
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(cfg),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer,
+        },
+    )
+    .expect("create trace dir");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    for _ in 0..len {
+        w.code(rng.random::<u64>()).expect("compress");
+    }
+    let stats = w.finish().expect("finish");
+
+    // Mirror the paper's `du -b foobar/*` output.
+    println!("% du -b {}/*", dir.display());
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("dir entry"))
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        println!(
+            "{:>12} {}",
+            e.metadata().expect("metadata").len(),
+            e.path().display()
+        );
+    }
+
+    // Mirror `atc2bin foobar | wc -c`.
+    let mut r = AtcReader::open(&dir).expect("reopen");
+    let mut n = 0u64;
+    while let Some(_v) = r.decode().expect("decode") {
+        n += 1;
+    }
+    println!("% atc2bin | wc -c");
+    println!("{:>12}", n * 8);
+
+    println!();
+    println!(
+        "# chunks stored: {} of {} intervals ({} imitations)",
+        stats.chunks, stats.intervals, stats.imitations
+    );
+    println!(
+        "# compression ratio: {:.1}x (paper: ~10x with the same interval count)",
+        stats.ratio()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

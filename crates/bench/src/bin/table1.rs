@@ -1,0 +1,116 @@
+//! Table 1 — bits per address for five lossless pipelines over the 22
+//! SPEC-like traces.
+//!
+//! Columns (as in the paper): `bz2` = codec alone, `us` = byte-unshuffling
+//! + codec, `tcg` = TCgen-class predictor compressor (memory matched to the
+//! big bytesort), `bs1` = bytesort with B = trace/100 (the paper's 1 M over
+//! 100 M), `bs10` = bytesort with B = trace/10 (the paper's 10 M).
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin table1 [-- --len 2000000 --quick]
+//! ```
+
+use std::sync::Arc;
+
+use atc_bench::workloads::{
+    bpa, compress_transformed, default_codec, filtered_trace, tcgen_lines_for, Args, Scale,
+    Transform,
+};
+use atc_tcgen::{Tcgen, TcgenConfig};
+use atc_trace::spec::profiles;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 2_000_000);
+    let codec = default_codec();
+    let selected = args.list("profiles");
+
+    let len = scale.trace_len;
+    let b1 = (len / 100).max(1);
+    let b10 = (len / 10).max(1);
+    let lines = tcgen_lines_for(len);
+
+    println!("# Table 1 — bits per address (smaller is better)");
+    println!("# trace length = {len} filtered addresses per benchmark (paper: 100 M)");
+    println!("# bs1 buffer B = {b1} (paper: 1 M), bs10 buffer B = {b10} (paper: 10 M)");
+    println!("# tcgen tables = {lines} lines x (DFCM3[2], FCM3[3], FCM2[3], FCM1[3])");
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "trace", "bz2", "us", "tcg", "bs1", "bs10"
+    );
+
+    let mut totals = [0.0f64; 5];
+    let mut sizes = [0u64; 5]; // total compressed bytes per method
+    let mut count = 0usize;
+
+    for p in profiles() {
+        if let Some(sel) = &selected {
+            if !sel.iter().any(|s| s == p.name() || s == p.number()) {
+                continue;
+            }
+        }
+        let trace = filtered_trace(p, len, scale.seed);
+
+        let c_bz2 = compress_transformed(&trace, Transform::Raw, len.max(1), codec.as_ref());
+        let c_us = compress_transformed(&trace, Transform::Unshuffle, b10, codec.as_ref());
+        let tc = Tcgen::new(TcgenConfig { table_lines: lines }, Arc::clone(&codec));
+        let c_tcg = tc.compress(&trace);
+        let c_bs1 = compress_transformed(&trace, Transform::Bytesort, b1, codec.as_ref());
+        let c_bs10 = compress_transformed(&trace, Transform::Bytesort, b10, codec.as_ref());
+
+        let row = [
+            bpa(c_bz2.len(), trace.len()),
+            bpa(c_us.len(), trace.len()),
+            bpa(c_tcg.len(), trace.len()),
+            bpa(c_bs1.len(), trace.len()),
+            bpa(c_bs10.len(), trace.len()),
+        ];
+        for (t, r) in totals.iter_mut().zip(row) {
+            *t += r;
+        }
+        for (s, c) in sizes.iter_mut().zip([
+            c_bz2.len(),
+            c_us.len(),
+            c_tcg.len(),
+            c_bs1.len(),
+            c_bs10.len(),
+        ]) {
+            *s += c as u64;
+        }
+        count += 1;
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            p.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+    }
+
+    if count == 0 {
+        eprintln!("no profiles selected");
+        std::process::exit(2);
+    }
+    let n = count as f64;
+    println!(
+        "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+        "arith. mean",
+        totals[0] / n,
+        totals[1] / n,
+        totals[2] / n,
+        totals[3] / n,
+        totals[4] / n
+    );
+
+    // The paper's §4.2 savings claims, recomputed on total storage.
+    let save = |a: u64, b: u64| (1.0 - b as f64 / a as f64) * 100.0;
+    println!();
+    println!("# aggregate storage savings (paper's §4.2 claims in parentheses):");
+    println!("#   us   vs bz2 : {:5.1}%  (38%)", save(sizes[0], sizes[1]));
+    println!("#   tcg  vs us  : {:5.1}%  (33%)", save(sizes[1], sizes[2]));
+    println!("#   bs10 vs tcg : {:5.1}%  (25%)", save(sizes[2], sizes[4]));
+    println!("#   bs1  vs tcg : {:5.1}%  ( 8%)", save(sizes[2], sizes[3]));
+}

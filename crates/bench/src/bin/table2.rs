@@ -1,0 +1,168 @@
+//! Table 2 — decompression time of the 22 traces for TCgen vs bytesort.
+//!
+//! Reports total wall time, the byte-level codec's contribution, and the
+//! decode rate in addresses/second — the three rows of the paper's Table 2.
+//! The paper's shape to reproduce: bytesort decodes faster than TCgen, and
+//! the codec contributes ~50% of TCgen's time vs ~65% of bytesort's.
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin table2 [-- --len 2000000 --quick]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atc_bench::workloads::{
+    compress_transformed, decompress_transformed, default_codec, filtered_trace, tcgen_lines_for,
+    Args, Scale, Transform,
+};
+use atc_codec::{Codec, CodecError};
+use atc_tcgen::{Tcgen, TcgenConfig};
+use atc_trace::spec::profiles;
+
+/// Codec wrapper that accumulates time spent in `decompress`, so the
+/// byte-level contribution is measured *inside* the real decode pass
+/// (avoiding cold-cache bias from a separate pass).
+#[derive(Debug)]
+struct TimingCodec {
+    inner: Arc<dyn Codec>,
+    decompress_nanos: AtomicU64,
+}
+
+impl TimingCodec {
+    fn new(inner: Arc<dyn Codec>) -> Self {
+        Self {
+            inner,
+            decompress_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn take(&self) -> Duration {
+        Duration::from_nanos(self.decompress_nanos.swap(0, Ordering::Relaxed))
+    }
+}
+
+impl Codec for TimingCodec {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        self.inner.compress(data)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let t0 = Instant::now();
+        let out = self.inner.decompress(data);
+        self.decompress_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 2_000_000);
+    let codec = default_codec();
+
+    let len = scale.trace_len;
+    let b1 = (len / 100).max(1);
+    let b10 = (len / 10).max(1);
+    let lines = tcgen_lines_for(len);
+    let tc = Tcgen::new(TcgenConfig { table_lines: lines }, Arc::clone(&codec));
+
+    println!("# Table 2 — decompression of the 22 traces");
+    println!("# trace length = {len} filtered addresses per benchmark (paper: 100 M)");
+    println!();
+
+    // Compress all traces with the three methods under comparison.
+    let mut packed_tcg = Vec::new();
+    let mut packed_bs1 = Vec::new();
+    let mut packed_bs10 = Vec::new();
+    let mut total_addrs = 0u64;
+    for p in profiles() {
+        let trace = filtered_trace(p, len, scale.seed);
+        total_addrs += trace.len() as u64;
+        packed_tcg.push(tc.compress(&trace));
+        packed_bs1.push(compress_transformed(
+            &trace,
+            Transform::Bytesort,
+            b1,
+            codec.as_ref(),
+        ));
+        packed_bs10.push(compress_transformed(
+            &trace,
+            Transform::Bytesort,
+            b10,
+            codec.as_ref(),
+        ));
+    }
+
+    // Decompress each set, timing total and codec-only contributions.
+    let time_bytesort = |packed: &[Vec<u8>]| -> (Duration, Duration) {
+        let t0 = Instant::now();
+        let mut codec_time = Duration::ZERO;
+        let mut produced = 0u64;
+        for data in packed {
+            let (addrs, ct) = decompress_transformed(data, Transform::Bytesort, codec.as_ref());
+            produced += addrs.len() as u64;
+            codec_time += ct;
+        }
+        assert_eq!(produced, total_addrs);
+        (t0.elapsed(), codec_time)
+    };
+
+    // TCgen: measure the codec contribution inside the real decode pass via
+    // a timing-wrapper codec.
+    let timing = Arc::new(TimingCodec::new(Arc::clone(&codec)));
+    let tc_timed = Tcgen::new(
+        TcgenConfig { table_lines: lines },
+        Arc::clone(&timing) as Arc<dyn Codec>,
+    );
+    let (tcg_total, tcg_codec_time) = {
+        let t0 = Instant::now();
+        let mut produced = 0u64;
+        for data in &packed_tcg {
+            produced += tc_timed.decompress(data).unwrap().len() as u64;
+        }
+        assert_eq!(produced, total_addrs);
+        (t0.elapsed(), timing.take())
+    };
+
+    let (bs1_total, bs1_codec) = time_bytesort(&packed_bs1);
+    let (bs10_total, bs10_codec) = time_bytesort(&packed_bs10);
+
+    let rate = |d: Duration| total_addrs as f64 / d.as_secs_f64() / 1e6;
+    println!(
+        "{:<24} {:>12} {:>14} {:>14}",
+        "", "TCgen", "bytesort 1%", "bytesort 10%"
+    );
+    println!(
+        "{:<24} {:>12.2} {:>14.2} {:>14.2}",
+        "total time (sec)",
+        tcg_total.as_secs_f64(),
+        bs1_total.as_secs_f64(),
+        bs10_total.as_secs_f64()
+    );
+    println!(
+        "{:<24} {:>12.2} {:>14.2} {:>14.2}",
+        "codec contrib. (sec)",
+        tcg_codec_time.as_secs_f64(),
+        bs1_codec.as_secs_f64(),
+        bs10_codec.as_secs_f64()
+    );
+    println!(
+        "{:<24} {:>12.2} {:>14.2} {:>14.2}",
+        "addr/second (x10^6)",
+        rate(tcg_total),
+        rate(bs1_total),
+        rate(bs10_total)
+    );
+    println!();
+    println!(
+        "# speedup vs TCgen: bs1 {:4.0}%, bs10 {:4.0}%  (paper: 40% and 26%)",
+        (tcg_total.as_secs_f64() / bs1_total.as_secs_f64() - 1.0) * 100.0,
+        (tcg_total.as_secs_f64() / bs10_total.as_secs_f64() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,95 @@
+//! Table 3 — bits per address, lossless vs lossy compression.
+//!
+//! The paper compresses 1 B-address traces with (a) bytesort (buffer 1 M)
+//! and (b) the lossy scheme with interval length L = 10 M and ε = 0.1, i.e.
+//! 100 intervals per trace and B = L/10. This binary keeps those ratios at
+//! configurable scale: L = len/100, B = L/10.
+//!
+//! ```text
+//! cargo run -p atc-bench --release --bin table3 [-- --len 2000000 --quick]
+//! ```
+
+use atc_bench::workloads::{bpa, compress_transformed, default_codec, filtered_trace, Args, Scale, Transform};
+use atc_core::{AtcOptions, AtcWriter, LossyConfig, Mode};
+use atc_trace::spec::profiles;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args, 2_000_000);
+    let codec = default_codec();
+
+    let len = scale.trace_len;
+    let interval = (len / 100).max(1);
+    let buffer = (interval / 10).max(1);
+    let threshold = args.get_or("threshold", 0.1);
+
+    println!("# Table 3 — bits per address, lossless vs lossy");
+    println!("# trace length = {len} (paper: 1 B); L = {interval} (paper: 10 M); eps = {threshold}");
+    println!("# lossless = bytesort with B = {buffer} (paper: 1 M)");
+    println!();
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>7}",
+        "trace", "lossless", "lossy", "chunks", "imit."
+    );
+
+    let tmp = std::env::temp_dir().join(format!("atc-table3-{}", std::process::id()));
+    let mut sum_lossless = 0.0;
+    let mut sum_lossy = 0.0;
+    let mut count = 0usize;
+
+    for p in profiles() {
+        let trace = filtered_trace(p, len, scale.seed);
+
+        let c_lossless =
+            compress_transformed(&trace, Transform::Bytesort, buffer, codec.as_ref());
+        let bpa_lossless = bpa(c_lossless.len(), trace.len());
+
+        let dir = tmp.join(p.number());
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = LossyConfig {
+            interval_len: interval,
+            threshold,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer,
+            },
+        )
+        .expect("create trace dir");
+        w.code_all(trace.iter().copied()).expect("compress");
+        let stats = w.finish().expect("finish");
+        let bpa_lossy = stats.bits_per_address();
+
+        sum_lossless += bpa_lossless;
+        sum_lossy += bpa_lossy;
+        count += 1;
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>7} {:>7}",
+            p.name(),
+            bpa_lossless,
+            bpa_lossy,
+            stats.chunks,
+            stats.imitations
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let n = count as f64;
+    println!(
+        "{:<16} {:>9.3} {:>9.3}",
+        "arith. mean",
+        sum_lossless / n,
+        sum_lossy / n
+    );
+    println!();
+    println!("# paper's means: lossless 3.39, lossy 0.72 (ratio ~4.7x)");
+    println!(
+        "# measured ratio: {:.1}x",
+        (sum_lossless / n) / (sum_lossy / n).max(1e-9)
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

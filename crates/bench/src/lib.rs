@@ -1,0 +1,7 @@
+//! # atc-bench — experiment harness
+//!
+//! Binaries regenerating every table and figure of the paper's evaluation
+//! (see `src/bin/`) plus criterion micro-benchmarks (see `benches/`).
+//! Shared workload plumbing lives in this library.
+
+pub mod workloads;

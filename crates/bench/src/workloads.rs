@@ -1,0 +1,329 @@
+//! Shared experiment plumbing: trace production, transform+codec pipelines,
+//! and a tiny CLI-flag parser used by every experiment binary.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atc_cache::CacheFilter;
+use atc_codec::{varint, Bzip, Codec};
+use atc_core::bytesort;
+use atc_trace::spec::{profile, Profile};
+
+/// Produces the first `len` cache-filtered block addresses of a profile,
+/// using the paper's L1 filter (32 KB 4-way LRU I+D).
+pub fn filtered_trace(p: &Profile, len: usize, seed: u64) -> Vec<u64> {
+    let mut filter = CacheFilter::paper();
+    filter.filter(p.workload(seed)).take(len).collect()
+}
+
+/// Looks up a profile or panics with a helpful message.
+pub fn profile_or_die(name: &str) -> &'static Profile {
+    profile(name).unwrap_or_else(|| {
+        eprintln!("unknown profile {name:?}; known profiles:");
+        for p in atc_trace::spec::profiles() {
+            eprintln!("  {}", p.name());
+        }
+        std::process::exit(2);
+    })
+}
+
+/// Bits per address of a compressed representation.
+pub fn bpa(compressed_bytes: usize, addrs: usize) -> f64 {
+    if addrs == 0 {
+        0.0
+    } else {
+        compressed_bytes as f64 * 8.0 / addrs as f64
+    }
+}
+
+/// The default back-end codec used by all experiments (the bzip2 stand-in).
+pub fn default_codec() -> Arc<dyn Codec> {
+    Arc::new(Bzip::default())
+}
+
+/// Which reversible transform to apply before the byte-level codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// None: raw little-endian addresses (the paper's `bz2` column).
+    Raw,
+    /// Successive-delta coding (zigzag varints), the Mache/PDATS family of
+    /// §3's related work.
+    Delta,
+    /// Byte-unshuffling only (the `us` column).
+    Unshuffle,
+    /// Full bytesort (the `bs1`/`bs10` columns).
+    Bytesort,
+}
+
+/// Compresses a trace with `transform` applied per `buffer`-address frame,
+/// then the codec over the whole framed stream.
+///
+/// This isolates exactly what Table 1 measures: transformation + bzip2,
+/// without container overhead.
+pub fn compress_transformed(
+    trace: &[u64],
+    transform: Transform,
+    buffer: usize,
+    codec: &dyn Codec,
+) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(trace.len() * 8 + 16);
+    for chunk in trace.chunks(buffer.max(1)) {
+        varint::write_u64(&mut raw, chunk.len() as u64).expect("vec write");
+        match transform {
+            Transform::Raw => {
+                for &a in chunk {
+                    raw.extend_from_slice(&a.to_le_bytes());
+                }
+            }
+            Transform::Delta => {
+                let mut prev = 0u64;
+                for &a in chunk {
+                    varint::write_i64(&mut raw, a.wrapping_sub(prev) as i64).expect("vec write");
+                    prev = a;
+                }
+            }
+            Transform::Unshuffle => {
+                for col in bytesort::unshuffle(chunk) {
+                    raw.extend_from_slice(&col);
+                }
+            }
+            Transform::Bytesort => {
+                for col in bytesort::bytesort_forward(chunk) {
+                    raw.extend_from_slice(&col);
+                }
+            }
+        }
+    }
+    codec.compress(&raw)
+}
+
+/// Inverts [`compress_transformed`]; returns the trace and the time spent
+/// inside the byte-level codec alone (the paper's "bzip2 contribution" of
+/// Table 2).
+pub fn decompress_transformed(
+    data: &[u8],
+    transform: Transform,
+    codec: &dyn Codec,
+) -> (Vec<u64>, Duration) {
+    let t0 = Instant::now();
+    let raw = codec.decompress(data).expect("experiment data is valid");
+    let codec_time = t0.elapsed();
+    let mut out = Vec::new();
+    let mut cur = &raw[..];
+    while !cur.is_empty() {
+        let n = varint::read_u64(&mut cur).expect("frame header") as usize;
+        match transform {
+            Transform::Raw => {
+                for i in 0..n {
+                    out.push(u64::from_le_bytes(
+                        cur[i * 8..i * 8 + 8].try_into().expect("8 bytes"),
+                    ));
+                }
+                cur = &cur[n * 8..];
+            }
+            Transform::Delta => {
+                let mut prev = 0u64;
+                for _ in 0..n {
+                    let d = varint::read_i64(&mut cur).expect("delta varint");
+                    prev = prev.wrapping_add(d as u64);
+                    out.push(prev);
+                }
+            }
+            Transform::Unshuffle => {
+                let cols: Vec<Vec<u8>> =
+                    (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
+                out.extend(bytesort::unshuffle_inverse(&cols).expect("valid columns"));
+                cur = &cur[n * 8..];
+            }
+            Transform::Bytesort => {
+                let cols: Vec<Vec<u8>> =
+                    (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
+                out.extend(bytesort::bytesort_inverse(&cols).expect("valid columns"));
+                cur = &cur[n * 8..];
+            }
+        }
+    }
+    (out, codec_time)
+}
+
+/// TCgen predictor-table lines matched to the big-bytesort memory footprint
+/// at this trace length (the paper matches 2^20 lines to B = 10 M).
+pub fn tcgen_lines_for(trace_len: usize) -> usize {
+    // big bytesort memory ~ 2 buffers of (len/10) addresses * 8 B;
+    // tcgen memory ~ lines * 11 slots * 8 B  =>  lines ~ len / 69.
+    (trace_len / 64).next_power_of_two().max(1024)
+}
+
+/// Minimal flag parser: `--key value` pairs plus bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Self {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    pairs.push((key.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                flags.push(a.clone());
+                i += 1;
+            }
+        }
+        Self { pairs, flags }
+    }
+
+    /// Value of `--key`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    }
+
+    /// Value of `--key` or a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Comma-separated list value of `--key`.
+    pub fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.split(',').map(str::to_string).collect())
+    }
+}
+
+/// Standard experiment scale knobs shared by the binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Filtered addresses per trace.
+    pub trace_len: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads `--len` and `--seed`, with `--quick` shrinking the default.
+    pub fn from_args(args: &Args, default_len: usize) -> Self {
+        let quick = args.flag("quick");
+        let trace_len = args.get_or("len", if quick { default_len / 10 } else { default_len });
+        Self {
+            trace_len,
+            seed: args.get_or("seed", 42),
+        }
+    }
+}
+
+/// Formats a fraction as a fixed-width percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Lossy-compresses `trace` into a scratch directory, decompresses it back,
+/// and returns the *approximate* trace plus the compression statistics.
+///
+/// This is the exact/approx pair the paper uses for Figures 3–5: the
+/// approximate trace has the same length as the exact one but its intervals
+/// may be (byte-translated) imitations.
+pub fn lossy_roundtrip(
+    trace: &[u64],
+    interval_len: usize,
+    buffer: usize,
+    threshold: f64,
+    byte_translation: bool,
+) -> (Vec<u64>, atc_core::AtcStats) {
+    use atc_core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "atc-lossy-roundtrip-{}-{id}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = LossyConfig {
+        interval_len,
+        threshold,
+        byte_translation,
+        ..LossyConfig::default()
+    };
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(cfg),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer,
+        },
+    )
+    .expect("create scratch trace dir");
+    w.code_all(trace.iter().copied()).expect("compress");
+    let stats = w.finish().expect("finish");
+    let mut r = AtcReader::open(&dir).expect("reopen");
+    let approx = r.decode_all().expect("decompress");
+    assert_eq!(approx.len(), trace.len(), "lossy must preserve trace length");
+    let _ = std::fs::remove_dir_all(&dir);
+    (approx, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_codec::Store;
+
+    #[test]
+    fn transformed_roundtrip_all_variants() {
+        let trace: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let codec = Store;
+        for t in [
+            Transform::Raw,
+            Transform::Delta,
+            Transform::Unshuffle,
+            Transform::Bytesort,
+        ] {
+            for buffer in [7usize, 1000, 5000, 10_000] {
+                let packed = compress_transformed(&trace, t, buffer, &codec);
+                let (back, _) = decompress_transformed(&packed, t, &codec);
+                assert_eq!(back, trace, "{t:?} buffer={buffer}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_trace_has_requested_len() {
+        let p = profile_or_die("462.libquantum");
+        assert_eq!(filtered_trace(p, 1234, 1).len(), 1234);
+    }
+
+    #[test]
+    fn bpa_math() {
+        assert!((bpa(1000, 1000) - 8.0).abs() < 1e-12);
+        assert_eq!(bpa(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn tcgen_lines_reasonable() {
+        assert!(tcgen_lines_for(2_000_000) >= 1 << 14);
+        assert!(tcgen_lines_for(100).is_power_of_two());
+    }
+}

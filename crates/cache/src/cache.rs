@@ -1,0 +1,339 @@
+//! Set-associative cache with true-LRU replacement.
+
+/// Configuration of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use atc_cache::CacheConfig;
+///
+/// // The paper's L1: 32 KB, 4-way, 64-byte blocks.
+/// let cfg = CacheConfig::paper_l1();
+/// assert_eq!(cfg.capacity_bytes(), 32 * 1024);
+/// assert_eq!(cfg.sets, 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// log2 of the block size in bytes.
+    pub block_shift: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 32 KB, 4-way, LRU, 64-byte blocks.
+    pub fn paper_l1() -> Self {
+        Self {
+            sets: 128,
+            ways: 4,
+            block_shift: 6,
+        }
+    }
+
+    /// Creates a configuration from capacity and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived set count is not a positive power of two or if
+    /// `ways == 0`.
+    pub fn with_capacity(capacity_bytes: usize, ways: usize, block_shift: u32) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let block = 1usize << block_shift;
+        let sets = capacity_bytes / (ways * block);
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "capacity {capacity_bytes} with {ways} ways and {block}-byte blocks \
+             gives invalid set count {sets}"
+        );
+        Self {
+            sets,
+            ways,
+            block_shift,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * (1usize << self.block_shift)
+    }
+}
+
+/// Result of one cache access (see [`Cache::access`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// Block address of a dirty line evicted by this access, if any.
+    ///
+    /// This models the write-back traffic the paper's trace format can tag
+    /// in the spare top bits of a block address (§2).
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative LRU cache over block addresses.
+///
+/// Tracks presence and dirtiness (no data), which is all trace filtering
+/// and write-back modelling need.
+///
+/// # Examples
+///
+/// ```
+/// use atc_cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { sets: 2, ways: 1, block_shift: 6 });
+/// assert!(!c.access_addr(0));      // cold miss
+/// assert!(c.access_addr(0));       // hit
+/// assert!(!c.access_addr(128));    // same set, evicts block 0
+/// assert!(!c.access_addr(0));      // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets * ways` tag slots; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Last-use timestamp per slot (monotonic counter).
+    stamps: Vec<u64>,
+    /// Dirty bit per slot (written since fill).
+    dirty: Vec<bool>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+/// Tag value marking an empty way.
+const INVALID: u64 = u64::MAX;
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.sets` is not a positive power of two or
+    /// `cfg.ways == 0`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets > 0 && cfg.sets.is_power_of_two());
+        assert!(cfg.ways > 0);
+        Self {
+            cfg,
+            tags: vec![INVALID; cfg.sets * cfg.ways],
+            stamps: vec![0; cfg.sets * cfg.ways],
+            dirty: vec![false; cfg.sets * cfg.ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accesses a *byte* address as a read; returns `true` on hit. On a
+    /// miss the block is inserted, evicting the LRU way.
+    pub fn access_addr(&mut self, addr: u64) -> bool {
+        self.access(addr >> self.cfg.block_shift, false).hit
+    }
+
+    /// Accesses a *block* address as a read; returns `true` on hit.
+    pub fn access_block(&mut self, block: u64) -> bool {
+        self.access(block, false).hit
+    }
+
+    /// Accesses a *block* address, marking the line dirty on writes, and
+    /// reporting any dirty line the fill evicted.
+    pub fn access(&mut self, block: u64, is_write: bool) -> AccessResult {
+        debug_assert_ne!(block, INVALID, "block address collides with sentinel");
+        let set = (block as usize) & (self.cfg.sets - 1);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.tags[base..base + self.cfg.ways];
+        self.clock += 1;
+        if let Some(w) = ways.iter().position(|&t| t == block) {
+            self.stamps[base + w] = self.clock;
+            self.dirty[base + w] |= is_write;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        // Pick an invalid way, else the LRU way.
+        let victim = match ways.iter().position(|&t| t == INVALID) {
+            Some(w) => w,
+            None => {
+                let stamps = &self.stamps[base..base + self.cfg.ways];
+                let (w, _) = stamps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .expect("ways > 0");
+                w
+            }
+        };
+        let slot = base + victim;
+        let writeback = if self.tags[slot] != INVALID && self.dirty[slot] {
+            self.writebacks += 1;
+            Some(self.tags[slot])
+        } else {
+            None
+        };
+        self.tags[slot] = block;
+        self.stamps[slot] = self.clock;
+        self.dirty[slot] = is_write;
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions (write-backs) observed so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Miss ratio so far (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Empties the cache and resets statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(INVALID);
+        self.stamps.fill(0);
+        self.dirty.fill(false);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(sets: usize, ways: usize) -> Cache {
+        Cache::new(CacheConfig {
+            sets,
+            ways,
+            block_shift: 6,
+        })
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let cfg = CacheConfig::paper_l1();
+        assert_eq!(cfg.sets * cfg.ways * 64, 32 * 1024);
+        let cfg2 = CacheConfig::with_capacity(32 * 1024, 4, 6);
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn lru_order() {
+        let mut c = tiny(1, 2);
+        assert!(!c.access_block(1));
+        assert!(!c.access_block(2));
+        assert!(c.access_block(1)); // 1 is now MRU, 2 is LRU
+        assert!(!c.access_block(3)); // evicts 2
+        assert!(c.access_block(1));
+        assert!(!c.access_block(2));
+    }
+
+    #[test]
+    fn set_isolation() {
+        let mut c = tiny(2, 1);
+        assert!(!c.access_block(0)); // set 0
+        assert!(!c.access_block(1)); // set 1
+        assert!(c.access_block(0));
+        assert!(c.access_block(1));
+    }
+
+    #[test]
+    fn working_set_fits() {
+        // 4 sets x 2 ways = 8 blocks: any 8-block working set mapping evenly
+        // hits after the first pass.
+        let mut c = tiny(4, 2);
+        for pass in 0..3 {
+            for b in 0..8u64 {
+                let hit = c.access_block(b);
+                assert_eq!(hit, pass > 0, "pass {pass} block {b}");
+            }
+        }
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.hits(), 16);
+    }
+
+    #[test]
+    fn miss_ratio_statistics() {
+        let mut c = tiny(1, 1);
+        assert_eq!(c.miss_ratio(), 0.0);
+        c.access_block(1);
+        c.access_block(1);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+
+    #[test]
+    fn byte_addresses_map_to_blocks() {
+        let mut c = tiny(4, 4);
+        assert!(!c.access_addr(100)); // block 1
+        assert!(c.access_addr(64)); // same block
+        assert!(c.access_addr(127));
+        assert!(!c.access_addr(128)); // block 2
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction_only() {
+        let mut c = tiny(1, 1);
+        // Clean fill, clean eviction: no writeback.
+        let r = c.access(1, false);
+        assert_eq!(r, AccessResult { hit: false, writeback: None });
+        let r = c.access(2, false);
+        assert_eq!(r.writeback, None);
+        // Dirty fill, then eviction: writeback of the dirty block.
+        let r = c.access(3, true);
+        assert_eq!(r.writeback, None);
+        let r = c.access(4, false);
+        assert_eq!(r.writeback, Some(3));
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny(1, 1);
+        c.access(7, false); // clean fill
+        c.access(7, true); // write hit dirties the line
+        let r = c.access(8, false);
+        assert_eq!(r.writeback, Some(7));
+    }
+
+    #[test]
+    fn dirty_bit_cleared_on_refill() {
+        let mut c = tiny(1, 1);
+        c.access(1, true); // dirty
+        assert_eq!(c.access(2, false).writeback, Some(1));
+        // Line 2 was filled clean: evicting it is silent.
+        assert_eq!(c.access(3, false).writeback, None);
+    }
+}

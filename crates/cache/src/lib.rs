@@ -1,0 +1,35 @@
+//! Cache substrate for the ATC reproduction.
+//!
+//! Three pieces, each standing in for a tool from the paper's workflow:
+//!
+//! * [`Cache`] / [`CacheConfig`] — a set-associative true-LRU cache (the
+//!   paper's 32 KB 4-way L1 geometry is [`CacheConfig::paper_l1`]).
+//! * [`CacheFilter`] — produces *cache-filtered* traces: the interleaved
+//!   instruction/data block addresses that miss in L1, which are exactly
+//!   the traces ATC compresses (§2, §4.2 of the paper).
+//! * [`StackSim`] — a Mattson LRU stack-distance simulator giving the miss
+//!   ratio of every associativity in one pass per set count; this replaces
+//!   the Cheetah simulator used for Figure 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_cache::{filtered_trace, StackSim};
+//! use atc_trace::spec;
+//!
+//! let p = spec::profile("462.libquantum").unwrap();
+//! let trace = filtered_trace(p.workload(42), 10_000);
+//!
+//! let mut sim = StackSim::new(64, 8);
+//! sim.run(trace.iter().copied());
+//! let curve = sim.miss_curve();
+//! assert_eq!(curve.len(), 8);
+//! ```
+
+mod cache;
+mod filter;
+mod stack;
+
+pub use cache::{AccessResult, Cache, CacheConfig};
+pub use filter::{block_of, filtered_trace, is_writeback, CacheFilter, Filtered, WRITEBACK_BIT};
+pub use stack::StackSim;

@@ -1,0 +1,214 @@
+//! Bit-granular readers and writers over byte buffers.
+//!
+//! The entropy coders in this crate ([`crate::huffman`]) produce and consume
+//! streams of individual bits. `BitWriter` packs bits most-significant-bit
+//! first into a `Vec<u8>`; `BitReader` reads them back in the same order.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::bitio::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b101, 3);
+//! w.write_bits(0xFFFF, 16);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(3), Some(0b101));
+//! assert_eq!(r.read_bits(16), Some(0xFFFF));
+//! ```
+
+/// Accumulates bits (MSB-first) into a growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits buffered in `acc`, always < 8.
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with capacity for roughly `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            nbits: 0,
+            acc: 0,
+        }
+    }
+
+    /// Appends the `n` low-order bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = (8 - self.nbits).min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            // `take == 8` only when the accumulator is empty.
+            self.acc = if take == 8 {
+                chunk
+            } else {
+                (self.acc << take) | chunk
+            };
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Pads the final partial byte with zero bits and returns the buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.bytes.push(self.acc << (8 - self.nbits));
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits (MSB-first) from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position from the start of `bytes`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads `n` bits; returns `None` if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.remaining_bits() < n as usize {
+            return None;
+        }
+        let mut out: u64 = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b != 0)
+    }
+
+    /// Number of unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let w = BitWriter::new();
+        let bytes = w.into_bytes();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..17 {
+            w.write_bit(i % 3 == 0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..17 {
+            assert_eq!(r.read_bit(), Some(i % 3 == 0), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn wide_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 64);
+        w.write_bits(0xDEAD_BEEF, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bits(64), Some(0));
+        assert_eq!(r.read_bits(32), Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn unaligned_mix() {
+        let widths = [1u32, 3, 7, 8, 9, 13, 17, 31, 33, 5];
+        let mut w = BitWriter::new();
+        for (i, &n) in widths.iter().enumerate() {
+            let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << n) - 1);
+            w.write_bits(v, n);
+        }
+        let total: usize = widths.iter().map(|&n| n as usize).sum();
+        assert_eq!(w.bit_len(), total);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (i, &n) in widths.iter().enumerate() {
+            let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << n) - 1);
+            assert_eq!(r.read_bits(n), Some(v));
+        }
+    }
+
+    #[test]
+    fn read_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        // One padded byte: 8 bits available.
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1010_0000));
+        assert_eq!(r.read_bits(1), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Burrows–Wheeler transform with an implicit sentinel.
+//!
+//! The forward transform conceptually appends a sentinel `$` smaller than
+//! every byte, sorts all rotations of `data·$`, and emits the last column.
+//! Because the sentinel is unique, rotation order equals suffix order, so the
+//! whole transform reduces to one [`crate::sais`] suffix-array construction.
+//! The sentinel itself is not emitted; its row index (`primary`) is returned
+//! and stored in the block header instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::bwt::{bwt_forward, bwt_inverse};
+//!
+//! let data = b"banana".to_vec();
+//! let (last_col, primary) = bwt_forward(&data);
+//! assert_eq!(bwt_inverse(&last_col, primary).unwrap(), data);
+//! ```
+
+/// Errors from [`bwt_inverse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BwtError {
+    /// `primary` is outside `1..=data.len()` (or nonzero for empty data).
+    InvalidPrimary { primary: u32, len: usize },
+    /// The LF cycle did not close where expected; the input is corrupt.
+    BrokenCycle,
+}
+
+impl std::fmt::Display for BwtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BwtError::InvalidPrimary { primary, len } => {
+                write!(f, "BWT primary index {primary} invalid for length {len}")
+            }
+            BwtError::BrokenCycle => write!(f, "BWT permutation cycle is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for BwtError {}
+
+/// Computes the BWT of `data`.
+///
+/// Returns the last column (without the sentinel) and the `primary` index:
+/// the row, among the `data.len() + 1` sorted rotations, whose last column
+/// entry is the sentinel.
+pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, u32) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let sa = crate::sais::suffix_array(data);
+    let mut out = Vec::with_capacity(n);
+    // Row 0 is the rotation starting at the sentinel; its last column entry
+    // is the final byte of `data`.
+    out.push(data[n - 1]);
+    let mut primary = 0u32;
+    for (row, &p) in sa.iter().enumerate() {
+        if p == 0 {
+            // This rotation starts at data[0]; its predecessor is the
+            // sentinel, which we omit and record as `primary`.
+            primary = row as u32 + 1;
+        } else {
+            out.push(data[p as usize - 1]);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    debug_assert!(primary >= 1);
+    (out, primary)
+}
+
+/// Inverts the BWT.
+///
+/// `last_col` is the output of [`bwt_forward`] and `primary` the returned
+/// sentinel row.
+///
+/// # Errors
+///
+/// Returns [`BwtError`] if `primary` is out of range or the implied
+/// permutation is inconsistent (corrupt input).
+pub fn bwt_inverse(last_col: &[u8], primary: u32) -> Result<Vec<u8>, BwtError> {
+    let n = last_col.len();
+    if n == 0 {
+        return if primary == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(BwtError::InvalidPrimary { primary, len: 0 })
+        };
+    }
+    let p = primary as usize;
+    if p == 0 || p > n {
+        return Err(BwtError::InvalidPrimary { primary, len: n });
+    }
+
+    // Conceptual full last column has n+1 entries: the sentinel at row `p`
+    // and last_col packed around it. Alphabet: 0 = sentinel, byte b -> b+1.
+    // C[c] = number of symbols strictly smaller than c in the full column.
+    let mut cnt = [0u32; 257];
+    for &b in last_col {
+        cnt[b as usize + 1] += 1;
+    }
+    cnt[0] = 1; // the sentinel
+    let mut c_lt = [0u32; 258];
+    for c in 0..257 {
+        c_lt[c + 1] = c_lt[c] + cnt[c];
+    }
+
+    // LF mapping for every full-column row.
+    let mut lf = vec![0u32; n + 1];
+    let mut occ = [0u32; 257];
+    for row in 0..=n {
+        let sym: usize = if row == p {
+            0
+        } else {
+            let i = if row < p { row } else { row - 1 };
+            last_col[i] as usize + 1
+        };
+        lf[row] = c_lt[sym] + occ[sym];
+        occ[sym] += 1;
+    }
+
+    // Walk the cycle backwards from row 0 (the "$ data" rotation).
+    let mut out = vec![0u8; n];
+    let mut row = 0usize;
+    for k in (0..n).rev() {
+        if row == p {
+            // Hit the sentinel before reconstructing all bytes.
+            return Err(BwtError::BrokenCycle);
+        }
+        let i = if row < p { row } else { row - 1 };
+        out[k] = last_col[i];
+        row = lf[row] as usize;
+    }
+    if row != p {
+        return Err(BwtError::BrokenCycle);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let (l, p) = bwt_forward(data);
+        assert_eq!(l.len(), data.len());
+        assert_eq!(bwt_inverse(&l, p).unwrap(), data, "data={data:?}");
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn singletons_and_pairs() {
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"ba");
+        roundtrip(b"aa");
+        roundtrip(&[0]);
+        roundtrip(&[255, 0]);
+    }
+
+    #[test]
+    fn banana_known_output() {
+        // Sorted rotations of "banana$": $banana, a$banan, ana$ban, anana$b,
+        // banana$, na$bana, nana$ba -> last column annb$aa.
+        let (l, p) = bwt_forward(b"banana");
+        assert_eq!(p, 4); // '$' is in row 4
+        assert_eq!(l, b"annbaa");
+    }
+
+    #[test]
+    fn repetitive_inputs() {
+        roundtrip(&b"a".repeat(1000));
+        roundtrip(&b"ab".repeat(500));
+        roundtrip(&b"aab".repeat(333));
+        roundtrip(&[0u8; 500]);
+    }
+
+    #[test]
+    fn clusters_equal_bytes() {
+        // BWT of text with repeated contexts should have long runs.
+        let text = b"the quick brown fox the quick brown fox the quick brown fox";
+        let (l, _) = bwt_forward(text);
+        let runs = l.windows(2).filter(|w| w[0] == w[1]).count();
+        // At least a third of adjacent pairs equal (strong clustering).
+        assert!(runs * 3 >= l.len(), "runs={runs} len={}", l.len());
+    }
+
+    #[test]
+    fn pseudorandom_roundtrip() {
+        let mut x: u64 = 99;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn invalid_primary_rejected() {
+        let (l, _) = bwt_forward(b"hello");
+        assert!(bwt_inverse(&l, 0).is_err());
+        assert!(bwt_inverse(&l, 6).is_err());
+        assert!(bwt_inverse(b"", 3).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to checksum compressed blocks.
+//!
+//! Every block emitted by [`crate::Bzip`] and [`crate::Lz`] carries the
+//! CRC-32 of its *raw* contents; decompression recomputes and verifies it so
+//! that corruption is reported as an error rather than silently producing a
+//! wrong trace.
+//!
+//! # Examples
+//!
+//! ```
+//! assert_eq!(atc_codec::crc::crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built lookup table (256 entries, one per byte value).
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use atc_codec::crc::{crc32, Hasher};
+///
+/// let mut h = Hasher::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finalize(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Returns the final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + 3) as u8).collect();
+        for split in [0, 1, 13, 500, 999, 1000] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xA5u8; 64];
+        let good = crc32(&data);
+        data[17] ^= 0x10;
+        assert_ne!(crc32(&data), good);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by all codecs in this crate.
+
+use std::fmt;
+
+/// Errors produced while decompressing a codec stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before a complete block was read.
+    Truncated,
+    /// A header field or bitstream is structurally invalid.
+    Corrupt(String),
+    /// The block checksum did not match the decompressed data.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// An underlying I/O error (streaming wrappers only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed stream is truncated"),
+            CodecError::Corrupt(what) => write!(f, "compressed stream is corrupt: {what}"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "block checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            CodecError::Io(e) => write!(f, "i/o error in codec stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other),
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! This is the entropy stage of the [`crate::Bzip`] and [`crate::Lz`] block
+//! codecs. Code lengths are limited to [`MAX_CODE_LEN`] bits by iteratively
+//! halving frequencies and rebuilding (the same strategy bzip2 uses), and
+//! the canonical form means a table serializes as just one length per
+//! symbol.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::bitio::{BitReader, BitWriter};
+//! use atc_codec::huffman::{Decoder, Encoder};
+//!
+//! let data = [0usize, 1, 1, 2, 2, 2, 2, 7];
+//! let mut freqs = [0u64; 8];
+//! for &s in &data {
+//!     freqs[s] += 1;
+//! }
+//! let enc = Encoder::from_frequencies(&freqs);
+//! let mut w = BitWriter::new();
+//! enc.write_table(&mut w);
+//! for &s in &data {
+//!     enc.encode(&mut w, s);
+//! }
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! let dec = Decoder::read_table(&mut r, 8).unwrap();
+//! for &s in &data {
+//!     assert_eq!(dec.decode(&mut r), Some(s));
+//! }
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Maximum code length in bits.
+pub const MAX_CODE_LEN: u32 = 20;
+
+/// Number of bits used by the primary decode lookup table.
+const LUT_BITS: u32 = 10;
+
+/// Computes optimal code lengths for `freqs` with a length limit.
+///
+/// Symbols with zero frequency get length 0 (no code). If only one symbol is
+/// used it still gets a 1-bit code so the bitstream is self-delimiting.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    assert!(!freqs.is_empty(), "alphabet must not be empty");
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = unbounded_code_lengths(&scaled);
+        let max = lens.iter().copied().max().unwrap_or(0);
+        if max <= MAX_CODE_LEN {
+            return lens;
+        }
+        // Flatten the distribution and retry, as bzip2 does: halving
+        // frequencies (keeping them nonzero) shrinks the depth of the tree.
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f / 2).max(1);
+            }
+        }
+    }
+}
+
+/// Package-free Huffman construction via the classic two-queue/heap method.
+fn unbounded_code_lengths(freqs: &[u64]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u32; n];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Internal tree nodes; leaves are 0..n, internals appended after.
+    let mut parent = vec![usize::MAX; n + used.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        used.iter().map(|&i| Reverse((freqs[i], i))).collect();
+    let mut next = n;
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("heap has >= 2 items");
+        let Reverse((fb, b)) = heap.pop().expect("heap has >= 2 items");
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(Reverse((fa + fb, next)));
+        next += 1;
+    }
+
+    for &leaf in &used {
+        let mut depth = 0;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lens[leaf] = depth;
+    }
+    lens
+}
+
+/// Assigns canonical codes (numerically increasing within each length,
+/// shorter codes first) from code lengths.
+fn canonical_codes(lens: &[u32]) -> Vec<u32> {
+    let max = lens.iter().copied().max().unwrap_or(0);
+    let mut count = vec![0u32; max as usize + 1];
+    for &l in lens {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = vec![0u32; max as usize + 2];
+    let mut code = 0u32;
+    for l in 1..=max as usize {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    lens.iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next[l as usize];
+                next[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Canonical Huffman encoder over an alphabet of `usize` symbols.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    lens: Vec<u32>,
+    codes: Vec<u32>,
+}
+
+impl Encoder {
+    /// Builds an encoder from symbol frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let lens = code_lengths(freqs);
+        let codes = canonical_codes(&lens);
+        Self { lens, codes }
+    }
+
+    /// Rebuilds an encoder from explicit code lengths (as read from a table).
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let codes = canonical_codes(lens);
+        Self {
+            lens: lens.to_vec(),
+            codes,
+        }
+    }
+
+    /// Code length per symbol (0 = symbol unused).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// Total encoded size in bits of a message with the given frequencies.
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lens)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+
+    /// Appends the code for `symbol` to `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` has no code (zero frequency at build time).
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lens[symbol];
+        assert!(len > 0, "symbol {symbol} has no Huffman code");
+        w.write_bits(self.codes[symbol] as u64, len);
+    }
+
+    /// Serializes the table as 5-bit code lengths, one per symbol.
+    pub fn write_table(&self, w: &mut BitWriter) {
+        for &l in &self.lens {
+            debug_assert!(l <= MAX_CODE_LEN);
+            w.write_bits(l as u64, 5);
+        }
+    }
+}
+
+/// Entry of the primary decode LUT: `(symbol, code_len)`; `code_len == 0`
+/// marks codes longer than [`LUT_BITS`] (resolved by the slow path).
+#[derive(Debug, Clone, Copy, Default)]
+struct LutEntry {
+    symbol: u32,
+    len: u8,
+}
+
+/// Canonical Huffman decoder with a fast primary lookup table.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `first_code[l]`: canonical code value of the first length-`l` code.
+    first_code: Vec<u32>,
+    /// `first_index[l]`: index into `sorted_symbols` of that first code.
+    first_index: Vec<u32>,
+    /// Symbols sorted by (length, code).
+    sorted_symbols: Vec<u32>,
+    max_len: u32,
+    lut: Vec<LutEntry>,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// Returns `None` if the lengths do not describe a valid prefix code
+    /// (over-subscribed Kraft sum) and the alphabet has more than one symbol.
+    pub fn from_lengths(lens: &[u32]) -> Option<Self> {
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        if max_len == 0 || max_len > MAX_CODE_LEN {
+            return None;
+        }
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &l in lens {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Kraft inequality check: the code must be decodable.
+        let mut kraft: u64 = 0;
+        for l in 1..=max_len {
+            kraft += (count[l as usize] as u64) << (MAX_CODE_LEN - l);
+        }
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return None;
+        }
+
+        let mut first_code = vec![0u32; max_len as usize + 2];
+        let mut first_index = vec![0u32; max_len as usize + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len as usize {
+            code = (code + count[l - 1]) << 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            index += count[l];
+        }
+
+        let mut order: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
+        order.sort_by_key(|&s| (lens[s as usize], s));
+
+        let mut dec = Self {
+            first_code,
+            first_index,
+            sorted_symbols: order,
+            max_len,
+            lut: vec![LutEntry::default(); 1 << LUT_BITS],
+        };
+        dec.build_lut(lens);
+        Some(dec)
+    }
+
+    /// Reads a 5-bit-per-symbol table (as written by [`Encoder::write_table`])
+    /// and builds the decoder.
+    pub fn read_table(r: &mut BitReader<'_>, alphabet: usize) -> Option<Self> {
+        let mut lens = Vec::with_capacity(alphabet);
+        for _ in 0..alphabet {
+            lens.push(r.read_bits(5)? as u32);
+        }
+        Self::from_lengths(&lens)
+    }
+
+    fn build_lut(&mut self, lens: &[u32]) {
+        let mut codes = canonical_codes(lens);
+        for (sym, (&len, code)) in lens.iter().zip(codes.iter_mut()).enumerate() {
+            if len == 0 || len > LUT_BITS {
+                continue;
+            }
+            let shift = LUT_BITS - len;
+            let base = (*code as usize) << shift;
+            for fill in 0..(1usize << shift) {
+                self.lut[base + fill] = LutEntry {
+                    symbol: sym as u32,
+                    len: len as u8,
+                };
+            }
+        }
+    }
+
+    /// Decodes one symbol; returns `None` on truncated input or an invalid
+    /// code.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<usize> {
+        // Fast path: peek LUT_BITS bits if available.
+        if r.remaining_bits() >= LUT_BITS as usize {
+            let mut peek = r.clone();
+            let bits = peek.read_bits(LUT_BITS)? as usize;
+            let e = self.lut[bits];
+            if e.len > 0 {
+                r.read_bits(e.len as u32)?;
+                return Some(e.symbol as usize);
+            }
+            // Long code: fall through to canonical walk (re-reads from r).
+        }
+        let mut code: u32 = 0;
+        for len in 1..=self.max_len {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            let fc = self.first_code[len as usize];
+            if code >= fc && code - fc < self.count_at(len) {
+                let idx = self.first_index[len as usize] + (code - fc);
+                return Some(self.sorted_symbols[idx as usize] as usize);
+            }
+        }
+        None
+    }
+
+    /// Number of codes of exactly length `len`.
+    fn count_at(&self, len: u32) -> u32 {
+        let l = len as usize;
+        let next = if len < self.max_len {
+            self.first_index[l + 1]
+        } else {
+            self.sorted_symbols.len() as u32
+        };
+        next - self.first_index[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[usize], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s] += 1;
+        }
+        let enc = Encoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        for &s in symbols {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let dec = Decoder::read_table(&mut r, alphabet).expect("valid table");
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(dec.decode(&mut r), Some(s), "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&[3, 3, 3, 3], 8);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 1, 1, 1, 1], 2);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let mut data = vec![0usize; 10_000];
+        for i in 0..100 {
+            data[i * 100] = 1 + (i % 7);
+        }
+        roundtrip(&data, 8);
+    }
+
+    #[test]
+    fn uniform_256() {
+        let data: Vec<usize> = (0..4096).map(|i| i % 256).collect();
+        roundtrip(&data, 256);
+    }
+
+    #[test]
+    fn geometric_258() {
+        // Exercises the length-limiting path with a heavily skewed alphabet.
+        let mut freqs = vec![0u64; 258];
+        let mut f = 1u64 << 40;
+        for entry in freqs.iter_mut() {
+            *entry = f.max(1);
+            f /= 2;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+        let enc = Encoder::from_frequencies(&freqs);
+        let dec = Decoder::from_lengths(enc.lengths()).expect("valid");
+        let mut w = BitWriter::new();
+        for s in 0..258 {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for s in 0..258 {
+            assert_eq!(dec.decode(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn invalid_table_rejected() {
+        // Three symbols of length 1 over-subscribe the code space.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn truncated_stream() {
+        let freqs = vec![1u64; 4];
+        let enc = Encoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..0]);
+        let dec = Decoder::from_lengths(enc.lengths()).expect("valid");
+        assert_eq!(dec.decode(&mut r), None);
+    }
+
+    #[test]
+    fn kraft_exact_codes() {
+        // Lengths 1,2,3,3 exactly fill the code space.
+        let dec = Decoder::from_lengths(&[1, 2, 3, 3]);
+        assert!(dec.is_some());
+    }
+}

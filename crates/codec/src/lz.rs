@@ -1,0 +1,440 @@
+//! Gzip-class codec: LZSS matching + canonical Huffman entropy stage.
+//!
+//! The paper notes that ATC chunks can be piped through "another compressor,
+//! like gzip" instead of bzip2; this codec is that alternative back end. It
+//! uses deflate's length/distance bucketing (32 KiB window, matches of
+//! 3..=258 bytes) with a hash-chain matcher, but a simplified single-block
+//! framing with CRC-32 integrity.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::{Codec, Lz};
+//!
+//! let codec = Lz::default();
+//! let data = b"abcabcabcabcabc".repeat(20);
+//! let packed = codec.compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(codec.decompress(&packed).unwrap(), data);
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::crc::crc32;
+use crate::error::CodecError;
+use crate::huffman::{Decoder, Encoder};
+use crate::varint;
+use crate::Codec;
+
+/// Deflate length-code base values (codes 257..=285 in deflate; here the
+/// lit/len alphabet uses 257 + idx).
+const LEN_BASE: [u32; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u32; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+const EOB_SYM: usize = 256;
+const LITLEN_ALPHABET: usize = 257 + LEN_BASE.len(); // 286
+const DIST_ALPHABET: usize = DIST_BASE.len(); // 30
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+/// Default block size for [`Lz`].
+pub const DEFAULT_BLOCK_SIZE: usize = 256 * 1024;
+
+/// The LZSS + Huffman codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lz {
+    block_size: usize,
+}
+
+impl Lz {
+    /// Creates a codec with the default block size.
+    pub fn new() -> Self {
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+
+    /// Creates a codec with a custom block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero or exceeds `u32::MAX as usize / 2`.
+    pub fn with_block_size(block_size: usize) -> Self {
+        assert!(
+            block_size > 0 && block_size <= u32::MAX as usize / 2,
+            "block size {block_size} out of range"
+        );
+        Self { block_size }
+    }
+
+    /// The configured block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+}
+
+impl Default for Lz {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One LZSS token.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: u32, dist: u32 },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy hash-chain tokenizer.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l >= MAX_MATCH {
+                        break;
+                    }
+                }
+                chain += 1;
+                cand = prev[cand];
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u32,
+                dist: best_dist as u32,
+            });
+            // Insert hash entries for skipped positions so future matches
+            // can reference them.
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= n {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i = end;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Bucket index for a match length (largest base <= len).
+fn len_code(len: u32) -> usize {
+    debug_assert!((MIN_MATCH as u32..=MAX_MATCH as u32).contains(&len));
+    match LEN_BASE.binary_search(&len) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// Bucket index for a distance.
+fn dist_code(dist: u32) -> usize {
+    debug_assert!(dist >= 1);
+    match DIST_BASE.binary_search(&dist) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+impl Lz {
+    fn compress_block(&self, data: &[u8], out: &mut Vec<u8>) {
+        debug_assert!(!data.is_empty());
+        let crc = crc32(data);
+        let tokens = tokenize(data);
+
+        let mut lit_freq = vec![0u64; LITLEN_ALPHABET];
+        let mut dist_freq = vec![0u64; DIST_ALPHABET];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[257 + len_code(len)] += 1;
+                    dist_freq[dist_code(dist)] += 1;
+                }
+            }
+        }
+        lit_freq[EOB_SYM] += 1;
+        let has_dist = dist_freq.iter().any(|&f| f > 0);
+
+        let lit_enc = Encoder::from_frequencies(&lit_freq);
+        let dist_enc = has_dist.then(|| Encoder::from_frequencies(&dist_freq));
+
+        let mut bits = BitWriter::with_capacity(data.len() / 2);
+        bits.write_bit(has_dist);
+        lit_enc.write_table(&mut bits);
+        if let Some(de) = &dist_enc {
+            de.write_table(&mut bits);
+        }
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_enc.encode(&mut bits, b as usize),
+                Token::Match { len, dist } => {
+                    let lc = len_code(len);
+                    lit_enc.encode(&mut bits, 257 + lc);
+                    if LEN_EXTRA[lc] > 0 {
+                        bits.write_bits((len - LEN_BASE[lc]) as u64, LEN_EXTRA[lc]);
+                    }
+                    let dc = dist_code(dist);
+                    let de = dist_enc.as_ref().expect("matches imply dist table");
+                    de.encode(&mut bits, dc);
+                    if DIST_EXTRA[dc] > 0 {
+                        bits.write_bits((dist - DIST_BASE[dc]) as u64, DIST_EXTRA[dc]);
+                    }
+                }
+            }
+        }
+        lit_enc.encode(&mut bits, EOB_SYM);
+        let payload = bits.into_bytes();
+
+        varint::write_u64(out, data.len() as u64).expect("vec write");
+        out.extend_from_slice(&crc.to_le_bytes());
+        varint::write_u64(out, payload.len() as u64).expect("vec write");
+        out.extend_from_slice(&payload);
+    }
+
+    fn decompress_block(cursor: &mut &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        let raw_len = varint::read_u64(cursor).map_err(|_| CodecError::Truncated)? as usize;
+        if cursor.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let crc = u32::from_le_bytes(cursor[..4].try_into().expect("4 bytes"));
+        *cursor = &cursor[4..];
+        let payload_len = varint::read_u64(cursor).map_err(|_| CodecError::Truncated)? as usize;
+        if cursor.len() < payload_len {
+            return Err(CodecError::Truncated);
+        }
+        let payload = &cursor[..payload_len];
+        *cursor = &cursor[payload_len..];
+
+        let mut bits = BitReader::new(payload);
+        let has_dist = bits
+            .read_bit()
+            .ok_or_else(|| CodecError::Corrupt("missing dist flag".into()))?;
+        let lit_dec = Decoder::read_table(&mut bits, LITLEN_ALPHABET)
+            .ok_or_else(|| CodecError::Corrupt("invalid lit/len table".into()))?;
+        let dist_dec = if has_dist {
+            Some(
+                Decoder::read_table(&mut bits, DIST_ALPHABET)
+                    .ok_or_else(|| CodecError::Corrupt("invalid distance table".into()))?,
+            )
+        } else {
+            None
+        };
+
+        let start = out.len();
+        loop {
+            let sym = lit_dec
+                .decode(&mut bits)
+                .ok_or_else(|| CodecError::Corrupt("truncated token stream".into()))?;
+            if sym == EOB_SYM {
+                break;
+            }
+            if sym < 256 {
+                out.push(sym as u8);
+            } else {
+                let lc = sym - 257;
+                if lc >= LEN_BASE.len() {
+                    return Err(CodecError::Corrupt(format!("invalid length code {lc}")));
+                }
+                let extra = if LEN_EXTRA[lc] > 0 {
+                    bits.read_bits(LEN_EXTRA[lc])
+                        .ok_or_else(|| CodecError::Corrupt("truncated length bits".into()))?
+                } else {
+                    0
+                };
+                let len = (LEN_BASE[lc] as u64 + extra) as usize;
+                let dd = dist_dec
+                    .as_ref()
+                    .ok_or_else(|| CodecError::Corrupt("match without dist table".into()))?;
+                let dc = dd
+                    .decode(&mut bits)
+                    .ok_or_else(|| CodecError::Corrupt("truncated distance".into()))?;
+                let dextra = if DIST_EXTRA[dc] > 0 {
+                    bits.read_bits(DIST_EXTRA[dc])
+                        .ok_or_else(|| CodecError::Corrupt("truncated distance bits".into()))?
+                } else {
+                    0
+                };
+                let dist = (DIST_BASE[dc] as u64 + dextra) as usize;
+                let produced = out.len() - start;
+                if dist == 0 || dist > produced {
+                    return Err(CodecError::Corrupt(format!(
+                        "distance {dist} exceeds produced {produced}"
+                    )));
+                }
+                // Byte-by-byte copy: overlapping matches are the normal case.
+                for _ in 0..len {
+                    let b = out[out.len() - dist];
+                    out.push(b);
+                }
+            }
+            if out.len() - start > raw_len {
+                return Err(CodecError::Corrupt("block overruns declared length".into()));
+            }
+        }
+        if out.len() - start != raw_len {
+            return Err(CodecError::Corrupt(format!(
+                "block length mismatch: header {raw_len}, payload {}",
+                out.len() - start
+            )));
+        }
+        let actual = crc32(&out[start..]);
+        if actual != crc {
+            return Err(CodecError::ChecksumMismatch {
+                expected: crc,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Codec for Lz {
+    fn name(&self) -> &'static str {
+        "lz"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 3 + 64);
+        for block in data.chunks(self.block_size) {
+            self.compress_block(block, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        let mut cursor = data;
+        while !cursor.is_empty() {
+            Self::decompress_block(&mut cursor, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let codec = Lz::default();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn no_matches_all_literals() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // "aaaa..." forces dist=1 overlapping copies.
+        roundtrip(&b"a".repeat(1000));
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"hello world, hello world, hello world! ".repeat(100);
+        let codec = Lz::default();
+        let packed = codec.compress(&data);
+        assert!(packed.len() * 5 < data.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_range_within_window() {
+        let mut data = Vec::new();
+        let phrase: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
+        data.extend_from_slice(&phrase);
+        data.extend(std::iter::repeat_n(7u8, 20_000));
+        data.extend_from_slice(&phrase);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn multi_block() {
+        let codec = Lz::with_block_size(1024);
+        let data = b"block boundary test ".repeat(500);
+        let packed = codec.compress(&data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn pseudorandom_roundtrip() {
+        let mut x: u64 = 42;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 55) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let codec = Lz::default();
+        let data = b"corrupt me please corrupt me".repeat(30);
+        let mut packed = codec.compress(&data);
+        let pos = packed.len() - 5;
+        packed[pos] ^= 0x08;
+        assert!(codec.decompress(&packed).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Move-to-front transform.
+//!
+//! After a BWT, equal bytes cluster; MTF turns those clusters into runs of
+//! small values (mostly zeros), which the zero run-length stage
+//! ([`crate::rle`]) then collapses.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::mtf::{mtf_decode, mtf_encode};
+//!
+//! let data = b"aaabbbaaa".to_vec();
+//! let enc = mtf_encode(&data);
+//! assert_eq!(mtf_decode(&enc), data);
+//! ```
+
+/// Applies the move-to-front transform.
+///
+/// The alphabet starts as the identity permutation of byte values; each input
+/// byte is replaced by its current list index and moved to the front.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut alphabet: [u8; 256] = std::array::from_fn(|i| i as u8);
+    let mut out = Vec::with_capacity(data.len());
+    for &b in data {
+        let idx = alphabet
+            .iter()
+            .position(|&x| x == b)
+            .expect("byte always present in alphabet") as u8;
+        out.push(idx);
+        // Rotate [0..=idx] right by one so `b` lands at the front.
+        alphabet.copy_within(0..idx as usize, 1);
+        alphabet[0] = b;
+    }
+    out
+}
+
+/// Inverts [`mtf_encode`].
+pub fn mtf_decode(indices: &[u8]) -> Vec<u8> {
+    let mut alphabet: [u8; 256] = std::array::from_fn(|i| i as u8);
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let b = alphabet[idx as usize];
+        out.push(b);
+        alphabet.copy_within(0..idx as usize, 1);
+        alphabet[0] = b;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(mtf_encode(&[]).is_empty());
+        assert!(mtf_decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let enc = mtf_encode(b"aaaa");
+        assert_eq!(&enc[1..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn known_sequence() {
+        // 'b'=98 is initially at index 98; after that it is at front.
+        let enc = mtf_encode(b"bb");
+        assert_eq!(enc, vec![98, 0]);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).chain((0..=255u8).rev()).collect();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+}

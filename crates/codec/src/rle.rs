@@ -1,0 +1,201 @@
+//! Zero run-length encoding over the MTF output (bzip2's RUNA/RUNB scheme).
+//!
+//! After MTF the stream is dominated by zeros. Runs of zeros are re-encoded
+//! in *bijective base 2* using two dedicated symbols `RUNA` (digit value 1)
+//! and `RUNB` (digit value 2): a run of length `n = Σ dᵢ·2ⁱ` becomes the
+//! digit string `d₀ d₁ …`. Nonzero MTF bytes `v` are shifted to `v + 1` and
+//! a terminal `EOB` symbol closes the stream, exactly mirroring bzip2's
+//! symbol mapping.
+//!
+//! The output alphabet is `usize` symbols in `0..=EOB`.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::rle::{rle_decode, rle_encode, EOB, RUNA, RUNB};
+//!
+//! let enc = rle_encode(&[0, 0, 0, 5]);
+//! assert_eq!(enc, vec![RUNA, RUNA, 5 + 1, EOB]);
+//! assert_eq!(rle_decode(&enc).unwrap(), vec![0, 0, 0, 5]);
+//! ```
+
+/// Run digit of value 1.
+pub const RUNA: usize = 0;
+/// Run digit of value 2.
+pub const RUNB: usize = 1;
+/// End-of-block marker; also the largest symbol value.
+pub const EOB: usize = 257;
+/// Size of the RLE output alphabet (`EOB + 1`).
+pub const ALPHABET: usize = EOB + 1;
+
+/// Errors produced while decoding an RLE symbol stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RleError {
+    /// A symbol outside `0..=EOB` was encountered.
+    InvalidSymbol(usize),
+    /// The stream ended without an `EOB` symbol.
+    MissingEob,
+    /// Symbols follow the `EOB` marker.
+    TrailingData,
+}
+
+impl std::fmt::Display for RleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RleError::InvalidSymbol(s) => write!(f, "invalid RLE symbol {s}"),
+            RleError::MissingEob => write!(f, "RLE stream missing end-of-block marker"),
+            RleError::TrailingData => write!(f, "data after RLE end-of-block marker"),
+        }
+    }
+}
+
+impl std::error::Error for RleError {}
+
+/// Pushes the bijective-base-2 digits of a zero-run of length `n`.
+fn push_run(out: &mut Vec<usize>, mut n: u64) {
+    debug_assert!(n > 0);
+    while n > 0 {
+        if (n - 1) % 2 == 0 {
+            out.push(RUNA);
+            n = (n - 1) / 2;
+        } else {
+            out.push(RUNB);
+            n = (n - 2) / 2;
+        }
+    }
+}
+
+/// Encodes MTF output into the RUNA/RUNB symbol alphabet, appending `EOB`.
+pub fn rle_encode(mtf: &[u8]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(mtf.len() / 2 + 16);
+    let mut zero_run: u64 = 0;
+    for &b in mtf {
+        if b == 0 {
+            zero_run += 1;
+        } else {
+            if zero_run > 0 {
+                push_run(&mut out, zero_run);
+                zero_run = 0;
+            }
+            out.push(b as usize + 1);
+        }
+    }
+    if zero_run > 0 {
+        push_run(&mut out, zero_run);
+    }
+    out.push(EOB);
+    out
+}
+
+/// Decodes a RUNA/RUNB symbol stream back to MTF bytes.
+///
+/// # Errors
+///
+/// Returns [`RleError`] if the stream contains invalid symbols, lacks the
+/// `EOB` marker, or has symbols after it.
+pub fn rle_decode(symbols: &[usize]) -> Result<Vec<u8>, RleError> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut run: u64 = 0;
+    // Place value of the next run digit.
+    let mut place: u64 = 1;
+    let mut in_run = false;
+    let mut iter = symbols.iter().copied();
+    let mut finished = false;
+    for s in iter.by_ref() {
+        match s {
+            RUNA | RUNB => {
+                let digit = if s == RUNA { 1 } else { 2 };
+                run += digit * place;
+                place *= 2;
+                in_run = true;
+            }
+            _ => {
+                if in_run {
+                    out.resize(out.len() + run as usize, 0);
+                    run = 0;
+                    place = 1;
+                    in_run = false;
+                }
+                if s == EOB {
+                    finished = true;
+                    break;
+                }
+                if s > EOB {
+                    return Err(RleError::InvalidSymbol(s));
+                }
+                out.push((s - 1) as u8);
+            }
+        }
+    }
+    if !finished {
+        return Err(RleError::MissingEob);
+    }
+    if iter.next().is_some() {
+        return Err(RleError::TrailingData);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream() {
+        let enc = rle_encode(&[]);
+        assert_eq!(enc, vec![EOB]);
+        assert_eq!(rle_decode(&enc).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn run_lengths_small() {
+        // n=1 -> RUNA ; n=2 -> RUNB ; n=3 -> RUNA RUNA ; n=4 -> RUNB RUNA
+        let cases: &[(u64, &[usize])] = &[
+            (1, &[RUNA]),
+            (2, &[RUNB]),
+            (3, &[RUNA, RUNA]),
+            (4, &[RUNB, RUNA]),
+            (5, &[RUNA, RUNB]),
+            (6, &[RUNB, RUNB]),
+            (7, &[RUNA, RUNA, RUNA]),
+        ];
+        for &(n, expect) in cases {
+            let zeros = vec![0u8; n as usize];
+            let enc = rle_encode(&zeros);
+            assert_eq!(&enc[..enc.len() - 1], expect, "run length {n}");
+            assert_eq!(rle_decode(&enc).unwrap(), zeros);
+        }
+    }
+
+    #[test]
+    fn long_run_roundtrip() {
+        for n in [100usize, 1000, 65535, 1 << 20] {
+            let zeros = vec![0u8; n];
+            assert_eq!(rle_decode(&rle_encode(&zeros)).unwrap(), zeros);
+        }
+    }
+
+    #[test]
+    fn mixed_roundtrip() {
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| if i % 7 < 5 { 0 } else { (i % 255) as u8 })
+            .collect();
+        assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_255_roundtrip() {
+        // The +1 shift must not overflow the alphabet: 255 -> 256 < EOB.
+        let data = vec![255u8, 0, 255];
+        let enc = rle_encode(&data);
+        assert!(enc.iter().all(|&s| s <= EOB));
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(rle_decode(&[5]), Err(RleError::MissingEob));
+        assert_eq!(rle_decode(&[EOB, 5]), Err(RleError::TrailingData));
+        assert_eq!(rle_decode(&[EOB + 1]), Err(RleError::InvalidSymbol(EOB + 1)));
+    }
+}

@@ -1,0 +1,292 @@
+//! Linear-time suffix array construction (SA-IS).
+//!
+//! This powers the Burrows–Wheeler transform in [`crate::bwt`]. The
+//! algorithm is the induced-sorting construction of Nong, Zhang and Chan
+//! (2009): classify suffixes as L/S, sort the LMS substrings by induced
+//! sorting, recurse on the reduced string if names collide, then induce the
+//! full order from the sorted LMS suffixes. Time and space are linear in the
+//! input length, which keeps the bzip-class codec fast even on adversarial
+//! (highly repetitive) blocks where comparison sorts of rotations degrade.
+//!
+//! # Examples
+//!
+//! ```
+//! let sa = atc_codec::sais::suffix_array(b"banana");
+//! // Suffixes in order: a, ana, anana, banana, na, nana
+//! assert_eq!(sa, vec![5, 3, 1, 0, 4, 2]);
+//! ```
+
+const EMPTY: u32 = u32::MAX;
+
+/// Builds the suffix array of `text`.
+///
+/// Suffixes are compared with the usual convention that a proper prefix
+/// sorts before any suffix extending it (equivalently, the text ends with a
+/// virtual sentinel smaller than every byte).
+///
+/// # Panics
+///
+/// Panics if `text.len() >= u32::MAX as usize`.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    assert!(
+        text.len() < u32::MAX as usize,
+        "input too large for 32-bit suffix array"
+    );
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Shift bytes by +1 so value 0 is free for the explicit sentinel.
+    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&b| b as u32 + 1));
+    s.push(0);
+    let sa = sais(&s, 257);
+    // Drop the sentinel suffix (always first).
+    debug_assert_eq!(sa[0] as usize, text.len());
+    sa[1..].to_vec()
+}
+
+/// SA-IS over a u32 string `s` that ends with a unique smallest sentinel 0.
+/// `k` is the alphabet size (all values < k).
+fn sais(s: &[u32], k: usize) -> Vec<u32> {
+    let n = s.len();
+    debug_assert!(n > 0 && s[n - 1] == 0);
+    debug_assert!(s[..n - 1].iter().all(|&c| c > 0 && (c as usize) < k));
+    let mut sa = vec![EMPTY; n];
+    if n == 1 {
+        sa[0] = 0;
+        return sa;
+    }
+
+    // --- Classify suffixes: S-type (true) / L-type (false). ---
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // --- Bucket sizes per character. ---
+    let mut bucket = vec![0u32; k];
+    for &c in s {
+        bucket[c as usize] += 1;
+    }
+
+    // --- Pass 1: sort LMS substrings by induced sorting. ---
+    place_lms_in_tails(s, &mut sa, &bucket, &is_s);
+    induce(s, &mut sa, &bucket, &is_s);
+
+    // Compact the LMS suffixes in their current (LMS-substring-sorted) order.
+    let n_lms = (1..n).filter(|&i| is_lms(i)).count();
+    let mut lms_sorted = Vec::with_capacity(n_lms);
+    for &p in sa.iter() {
+        if p != EMPTY && is_lms(p as usize) {
+            lms_sorted.push(p);
+        }
+    }
+    debug_assert_eq!(lms_sorted.len(), n_lms);
+
+    // --- Name LMS substrings. ---
+    // names[i] = name of the LMS substring starting at text position i.
+    let mut names = vec![EMPTY; n];
+    let mut name: u32 = 0;
+    let mut prev: Option<u32> = None;
+    for &p in &lms_sorted {
+        if let Some(q) = prev {
+            if !lms_substring_eq(s, &is_s, q as usize, p as usize) {
+                name += 1;
+            }
+        }
+        names[p as usize] = name;
+        prev = Some(p);
+    }
+    let distinct = name as usize + 1;
+
+    // Reduced string: names of LMS substrings in text order.
+    let lms_pos: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    let s1: Vec<u32> = lms_pos.iter().map(|&p| names[p as usize]).collect();
+
+    // --- Order of LMS suffixes. ---
+    let lms_order: Vec<u32> = if distinct == n_lms {
+        // All names unique: order is derivable by bucketing names.
+        let mut order = vec![EMPTY; n_lms];
+        for (i, &nm) in s1.iter().enumerate() {
+            order[nm as usize] = lms_pos[i];
+        }
+        order
+    } else {
+        // Recurse. s1 ends with the sentinel's name (always the unique
+        // minimum: the sentinel LMS substring is just "0").
+        debug_assert_eq!(*s1.last().expect("non-empty"), 0);
+        let sa1 = sais(&s1, distinct);
+        sa1.iter().map(|&r| lms_pos[r as usize]).collect()
+    };
+
+    // --- Pass 2: induce the final order from sorted LMS suffixes. ---
+    sa.fill(EMPTY);
+    let mut tails = bucket_tails(&bucket);
+    for &p in lms_order.iter().rev() {
+        let c = s[p as usize] as usize;
+        tails[c] -= 1;
+        sa[tails[c] as usize] = p;
+    }
+    induce(s, &mut sa, &bucket, &is_s);
+    debug_assert!(sa.iter().all(|&p| p != EMPTY));
+    sa
+}
+
+/// Exclusive end offset of each character bucket.
+fn bucket_tails(bucket: &[u32]) -> Vec<u32> {
+    let mut tails = vec![0u32; bucket.len()];
+    let mut sum = 0u32;
+    for (c, &b) in bucket.iter().enumerate() {
+        sum += b;
+        tails[c] = sum;
+    }
+    tails
+}
+
+/// Start offset of each character bucket.
+fn bucket_heads(bucket: &[u32]) -> Vec<u32> {
+    let mut heads = vec![0u32; bucket.len()];
+    let mut sum = 0u32;
+    for (c, &b) in bucket.iter().enumerate() {
+        heads[c] = sum;
+        sum += b;
+    }
+    heads
+}
+
+/// Drops every LMS suffix at the tail of its first-character bucket.
+fn place_lms_in_tails(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) {
+    let n = s.len();
+    let mut tails = bucket_tails(bucket);
+    for i in (1..n).rev() {
+        if is_s[i] && !is_s[i - 1] {
+            let c = s[i] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = i as u32;
+        }
+    }
+}
+
+/// Induced sorting: scan left-to-right placing L-type predecessors at bucket
+/// heads, then right-to-left placing S-type predecessors at bucket tails.
+fn induce(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) {
+    let n = s.len();
+    let mut heads = bucket_heads(bucket);
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if !is_s[p] {
+                let c = s[p] as usize;
+                sa[heads[c] as usize] = p as u32;
+                heads[c] += 1;
+            }
+        }
+    }
+    let mut tails = bucket_tails(bucket);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if is_s[p] {
+                let c = s[p] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p as u32;
+            }
+        }
+    }
+}
+
+/// Compares the LMS substrings starting at `a` and `b` for exact equality
+/// (same characters and same L/S types up to and including the next LMS
+/// position).
+fn lms_substring_eq(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    // The sentinel LMS substring is unique.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut d = 0usize;
+    loop {
+        let pa = a + d;
+        let pb = b + d;
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if d > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        d += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2 log n) reference: sort suffixes directly.
+    fn naive_sa(text: &[u8]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..text.len() as u32).collect();
+        idx.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        idx
+    }
+
+    fn check(text: &[u8]) {
+        assert_eq!(suffix_array(text), naive_sa(text), "text={text:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(b"");
+        check(b"a");
+        check(b"ab");
+        check(b"ba");
+        check(b"aa");
+    }
+
+    #[test]
+    fn classic_examples() {
+        check(b"banana");
+        check(b"mississippi");
+        check(b"abracadabra");
+        check(b"GATTACA");
+    }
+
+    #[test]
+    fn repetitive() {
+        check(&b"ab".repeat(100));
+        check(&b"a".repeat(257));
+        check(&b"abcabcabcabd".repeat(20));
+        check(&[0u8; 64]);
+        check(&[255u8; 64]);
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let text: Vec<u8> = (0..=255u8).rev().collect();
+        check(&text);
+    }
+
+    #[test]
+    fn pseudorandom_matches_naive() {
+        let mut x: u64 = 0x12345;
+        let mut text = Vec::with_capacity(2000);
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            text.push((x >> 33) as u8);
+        }
+        check(&text);
+        // Small alphabet: forces deep recursion.
+        let text2: Vec<u8> = text.iter().map(|&b| b % 3).collect();
+        check(&text2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Identity codec: stores bytes unmodified.
+//!
+//! Useful as a control in compression-ratio experiments (it measures the
+//! framing overhead alone) and for debugging container formats without an
+//! entropy stage in the way.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_codec::{Codec, Store};
+//!
+//! let codec = Store;
+//! let packed = codec.compress(b"abc");
+//! assert_eq!(codec.decompress(&packed).unwrap(), b"abc");
+//! ```
+
+use crate::error::CodecError;
+use crate::Codec;
+
+/// The identity codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Store;
+
+impl Codec for Store {
+    fn name(&self) -> &'static str {
+        "store"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        data.to_vec()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(data.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let c = Store;
+        assert_eq!(c.compress(b"xyz"), b"xyz");
+        assert_eq!(c.decompress(b"xyz").unwrap(), b"xyz");
+        assert!(c.compress(b"").is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Streaming adapters: write through a codec, read back transparently.
+//!
+//! The ATC compressor streams addresses one at a time, so it needs
+//! `std::io::Write`/`Read` front ends over the block codecs. A
+//! [`CodecWriter`] buffers raw bytes up to a segment size, compresses each
+//! segment, and frames it as `varint(compressed_len) ++ compressed bytes`; a
+//! zero-length varint terminates the stream, allowing multiple logical
+//! streams to share one file. [`CodecReader`] mirrors this.
+//!
+//! Adapters hold the codec behind an [`Arc`], so long-lived containers (the
+//! ATC directory writer, the TCgen baseline) can share one codec across
+//! many concurrent streams without lifetime gymnastics.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//! use atc_codec::{Bzip, Codec, CodecReader, CodecWriter};
+//!
+//! let codec: Arc<dyn Codec> = Arc::new(Bzip::default());
+//! let mut w = CodecWriter::new(Vec::new(), Arc::clone(&codec));
+//! w.write_all(b"stream me")?;
+//! let file = w.finish()?;
+//!
+//! let mut r = CodecReader::new(&file[..], codec);
+//! let mut back = String::new();
+//! r.read_to_string(&mut back)?;
+//! assert_eq!(back, "stream me");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crate::error::CodecError;
+use crate::varint;
+use crate::Codec;
+
+/// Default raw-bytes-per-segment for streaming adapters.
+pub const DEFAULT_SEGMENT_SIZE: usize = 1 << 20;
+
+/// A `Write` adapter that compresses through a [`Codec`].
+///
+/// Call [`CodecWriter::finish`] to write the end-of-stream marker and
+/// recover the inner writer; dropping without `finish` leaves the stream
+/// unterminated (readers will report truncation).
+#[derive(Debug)]
+pub struct CodecWriter<W: Write> {
+    inner: W,
+    codec: Arc<dyn Codec>,
+    buf: Vec<u8>,
+    segment_size: usize,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+}
+
+impl<W: Write> CodecWriter<W> {
+    /// Creates a writer with the default segment size.
+    pub fn new(inner: W, codec: Arc<dyn Codec>) -> Self {
+        Self::with_segment_size(inner, codec, DEFAULT_SEGMENT_SIZE)
+    }
+
+    /// Creates a writer that compresses every `segment_size` raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is zero.
+    pub fn with_segment_size(inner: W, codec: Arc<dyn Codec>, segment_size: usize) -> Self {
+        assert!(segment_size > 0, "segment size must be positive");
+        Self {
+            inner,
+            codec,
+            buf: Vec::with_capacity(segment_size.min(1 << 22)),
+            segment_size,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+        }
+    }
+
+    /// Raw bytes accepted so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Compressed bytes emitted so far (excluding data still buffered).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+
+    fn flush_segment(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let packed = self.codec.compress(&self.buf);
+        let mut header = Vec::with_capacity(10);
+        varint::write_u64(&mut header, packed.len() as u64)?;
+        self.inner.write_all(&header)?;
+        self.inner.write_all(&packed)?;
+        self.compressed_bytes += (header.len() + packed.len()) as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the final segment, writes the end-of-stream marker, and
+    /// returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_segment()?;
+        let mut eos = Vec::with_capacity(1);
+        varint::write_u64(&mut eos, 0)?;
+        self.inner.write_all(&eos)?;
+        self.compressed_bytes += eos.len() as u64;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for CodecWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = self.segment_size - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == self.segment_size {
+                self.flush_segment()?;
+            }
+        }
+        self.raw_bytes += data.len() as u64;
+        Ok(data.len())
+    }
+
+    /// Flushes the inner writer only. Buffered raw bytes are *not* forced
+    /// into a short segment (that would hurt the compression ratio); they
+    /// are emitted by [`CodecWriter::finish`].
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter that decompresses a [`CodecWriter`] stream.
+#[derive(Debug)]
+pub struct CodecReader<R: Read> {
+    inner: R,
+    codec: Arc<dyn Codec>,
+    current: Vec<u8>,
+    pos: usize,
+    finished: bool,
+}
+
+impl<R: Read> CodecReader<R> {
+    /// Creates a reader over a terminated codec stream.
+    pub fn new(inner: R, codec: Arc<dyn Codec>) -> Self {
+        Self {
+            inner,
+            codec,
+            current: Vec::new(),
+            pos: 0,
+            finished: false,
+        }
+    }
+
+    /// Consumes the adapter and returns the inner reader, positioned just
+    /// after the end-of-stream marker if the stream was fully read.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn refill(&mut self) -> io::Result<bool> {
+        if self.finished {
+            return Ok(false);
+        }
+        let seg_len = varint::read_u64(&mut self.inner)? as usize;
+        if seg_len == 0 {
+            self.finished = true;
+            return Ok(false);
+        }
+        let mut packed = vec![0u8; seg_len];
+        self.inner.read_exact(&mut packed)?;
+        self.current = self.codec.decompress(&packed).map_err(io::Error::from)?;
+        self.pos = 0;
+        if self.current.is_empty() {
+            // A zero-raw-byte segment is never written; treat as corrupt.
+            return Err(io::Error::from(CodecError::Corrupt("empty segment".into())));
+        }
+        Ok(true)
+    }
+}
+
+impl<R: Read> Read for CodecReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.pos == self.current.len() {
+            if !self.refill()? {
+                return Ok(0);
+            }
+        }
+        let n = (self.current.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.current[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bzip, Lz, Store};
+
+    fn roundtrip(codec: Arc<dyn Codec>, data: &[u8], segment: usize) {
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), segment);
+        w.write_all(data).unwrap();
+        let file = w.finish().unwrap();
+        let mut r = CodecReader::new(&file[..], codec);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let codecs: [Arc<dyn Codec>; 3] =
+            [Arc::new(Store), Arc::new(Bzip::default()), Arc::new(Lz::default())];
+        for codec in codecs {
+            roundtrip(codec, b"", 4096);
+        }
+    }
+
+    #[test]
+    fn cross_codec_matrix() {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 97) as u8).collect();
+        let codecs: [Arc<dyn Codec>; 3] = [
+            Arc::new(Store),
+            Arc::new(Bzip::with_block_size(4096)),
+            Arc::new(Lz::default()),
+        ];
+        for codec in codecs {
+            for segment in [1usize, 100, 4096, 100_000] {
+                roundtrip(Arc::clone(&codec), &data, segment);
+            }
+        }
+    }
+
+    #[test]
+    fn unterminated_stream_errors() {
+        let mut file = Vec::new();
+        varint::write_u64(&mut file, 4).unwrap();
+        file.extend_from_slice(b"da"); // segment promises 4, delivers 2
+        let mut r = CodecReader::new(&file[..], Arc::new(Store) as Arc<dyn Codec>);
+        let mut back = Vec::new();
+        assert!(r.read_to_end(&mut back).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_preserved_for_inner() {
+        // Two logical streams back to back in one file.
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = CodecWriter::new(Vec::new(), Arc::clone(&codec));
+        w.write_all(b"first").unwrap();
+        let mut file = w.finish().unwrap();
+        let mut w2 = CodecWriter::new(Vec::new(), Arc::clone(&codec));
+        w2.write_all(b"second").unwrap();
+        file.extend_from_slice(&w2.finish().unwrap());
+
+        let mut r = CodecReader::new(&file[..], Arc::clone(&codec));
+        let mut a = Vec::new();
+        r.read_to_end(&mut a).unwrap();
+        assert_eq!(a, b"first");
+        let mut rest = r.into_inner();
+        let mut r2 = CodecReader::new(&mut rest, codec);
+        let mut b = Vec::new();
+        r2.read_to_end(&mut b).unwrap();
+        assert_eq!(b, b"second");
+    }
+
+    #[test]
+    fn byte_counters() {
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = CodecWriter::new(Vec::new(), codec);
+        w.write_all(&[7u8; 100]).unwrap();
+        assert_eq!(w.raw_bytes(), 100);
+        let compressed = w.finish().unwrap().len() as u64;
+        assert!(compressed >= 100); // store codec + framing
+    }
+}

@@ -1,0 +1,148 @@
+//! LEB128 variable-length integers used by every on-disk format in the
+//! workspace (block frames, ATC interval records, trace headers).
+//!
+//! Small values (block lengths, chunk ids, interval counts) dominate these
+//! formats, so a byte-oriented varint keeps headers negligible next to the
+//! compressed payload.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut buf = Vec::new();
+//! atc_codec::varint::write_u64(&mut buf, 300)?;
+//! let mut cur = &buf[..];
+//! assert_eq!(atc_codec::varint::read_u64(&mut cur)?, 300);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Writes `value` as an unsigned LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_u64<W: Write>(w: &mut W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, premature end of input, or an encoding
+/// longer than 10 bytes (which cannot fit in a `u64`).
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift == 63 && b > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        value |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint longer than 10 bytes",
+            ));
+        }
+    }
+}
+
+/// Writes `value` with zigzag encoding so small negative values stay short.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_i64<W: Write>(w: &mut W, value: i64) -> io::Result<()> {
+    write_u64(w, ((value << 1) ^ (value >> 63)) as u64)
+}
+
+/// Reads a zigzag-encoded signed varint.
+///
+/// # Errors
+///
+/// Same failure modes as [`read_u64`].
+pub fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+    let z = read_u64(r)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        read_u64(&mut &buf[..]).unwrap()
+    }
+
+    fn roundtrip_i(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v).unwrap();
+        read_i64(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            assert_eq!(roundtrip_i(v), v);
+        }
+    }
+
+    #[test]
+    fn encoding_sizes() {
+        let size = |v: u64| {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            buf.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(127), 1);
+        assert_eq!(size(128), 2);
+        assert_eq!(size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        buf.pop();
+        assert!(read_u64(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn overlong_encoding_errors() {
+        // 11 continuation bytes cannot encode a u64.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&mut &buf[..]).is_err());
+    }
+}

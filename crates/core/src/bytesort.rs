@@ -1,0 +1,343 @@
+//! The bytesort reversible transformation (§4 of the paper).
+//!
+//! Bytesort takes a buffer of `N` 64-bit addresses and emits eight blocks of
+//! `N` bytes:
+//!
+//! 1. block 0 is the most-significant byte of every address, in sequence
+//!    order (plain byte-unshuffling);
+//! 2. before emitting block *j*, the addresses are **stably** counting-sorted
+//!    by their byte *j−1*; block *j* is then byte *j* of every address in
+//!    this progressively sorted order.
+//!
+//! Because the sorts are stable, addresses from the same memory region are
+//! grouped together column after column, exposing cross-region pattern
+//! repetition that a byte-level compressor (bzip2) can exploit. The whole
+//! transformation — and its inverse — is linear in time and space, exactly
+//! as the paper's C implementation (`unshuffle_bytes` / `sort_bytes` /
+//! `output_bytesorted_blocks` in Figure 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_core::bytesort::{bytesort_forward, bytesort_inverse};
+//!
+//! let addrs: Vec<u64> = (0..1000u64).map(|i| 0xF200 + (i % 37) * 0x100).collect();
+//! let cols = bytesort_forward(&addrs);
+//! assert_eq!(cols.len(), 8);
+//! assert_eq!(bytesort_inverse(&cols).unwrap(), addrs);
+//! ```
+
+use crate::error::AtcError;
+
+/// Number of byte columns in a 64-bit address.
+pub const COLUMNS: usize = 8;
+
+/// Applies the bytesort transformation to a buffer of addresses.
+///
+/// Returns the eight emitted byte blocks, most-significant column first.
+/// Each block has `addrs.len()` bytes. The transformation is reversed by
+/// [`bytesort_inverse`].
+pub fn bytesort_forward(addrs: &[u64]) -> Vec<Vec<u8>> {
+    let n = addrs.len();
+    let mut cols: Vec<Vec<u8>> = Vec::with_capacity(COLUMNS);
+    // Working copies ping-pong between `cur` and `next`, with consumed
+    // high-order bytes shifted out, mirroring the paper's `a[i] << 8`.
+    let mut cur: Vec<u64> = addrs.to_vec();
+    let mut next: Vec<u64> = vec![0u64; n];
+    for level in 0..COLUMNS {
+        // Unshuffle: emit the current most-significant byte column and
+        // compute its histogram (the paper's `unshuffle_bytes`).
+        let mut hist = [0u32; 256];
+        let mut col = Vec::with_capacity(n);
+        for &a in &cur {
+            let c = (a >> 56) as u8;
+            col.push(c);
+            hist[c as usize] += 1;
+        }
+        cols.push(col);
+        if level == COLUMNS - 1 {
+            break;
+        }
+        // Stable counting sort by that byte, shifting it out (the paper's
+        // `sort_bytes`).
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for c in 0..256 {
+            offs[c] = sum;
+            sum += hist[c];
+        }
+        for &a in &cur {
+            let c = (a >> 56) as usize;
+            next[offs[c] as usize] = a << 8;
+            offs[c] += 1;
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cols
+}
+
+/// Inverts [`bytesort_forward`].
+///
+/// The decoder replays the encoder's stable sorts: the histogram of each
+/// received column determines the permutation the encoder applied after
+/// emitting it, so a running `perm[i]` (position of original address `i` in
+/// the current order) recovers every byte.
+///
+/// # Errors
+///
+/// Returns [`AtcError::Format`] if `cols` does not contain exactly eight
+/// equally long blocks.
+pub fn bytesort_inverse(cols: &[Vec<u8>]) -> Result<Vec<u64>, AtcError> {
+    if cols.len() != COLUMNS {
+        return Err(AtcError::Format(format!(
+            "bytesort needs {COLUMNS} columns, got {}",
+            cols.len()
+        )));
+    }
+    let n = cols[0].len();
+    if cols.iter().any(|c| c.len() != n) {
+        return Err(AtcError::Format(
+            "bytesort columns have unequal lengths".into(),
+        ));
+    }
+    let mut addrs = vec![0u64; n];
+    // perm[i] = position of original address i in the encoder's current
+    // order when column `level` was emitted. Identity at level 0.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut newpos: Vec<u32> = vec![0; n];
+    for (level, col) in cols.iter().enumerate() {
+        let shift = 8 * (COLUMNS - 1 - level) as u32;
+        for (i, p) in perm.iter().enumerate() {
+            addrs[i] |= (col[*p as usize] as u64) << shift;
+        }
+        if level == COLUMNS - 1 {
+            break;
+        }
+        // Replay the encoder's stable counting sort of this column.
+        let mut hist = [0u32; 256];
+        for &c in col {
+            hist[c as usize] += 1;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for c in 0..256 {
+            offs[c] = sum;
+            sum += hist[c];
+        }
+        for (p, &c) in col.iter().enumerate() {
+            newpos[p] = offs[c as usize];
+            offs[c as usize] += 1;
+        }
+        for p in perm.iter_mut() {
+            *p = newpos[*p as usize];
+        }
+    }
+    Ok(addrs)
+}
+
+/// Plain byte-unshuffling (§4.1's first idea, the paper's `us` baseline):
+/// transposes the buffer into eight byte columns in sequence order, without
+/// any sorting.
+pub fn unshuffle(addrs: &[u64]) -> Vec<Vec<u8>> {
+    let n = addrs.len();
+    let mut cols: Vec<Vec<u8>> = (0..COLUMNS).map(|_| Vec::with_capacity(n)).collect();
+    for &a in addrs {
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push((a >> (8 * (COLUMNS - 1 - j))) as u8);
+        }
+    }
+    cols
+}
+
+/// Inverts [`unshuffle`].
+///
+/// # Errors
+///
+/// Returns [`AtcError::Format`] if `cols` does not contain exactly eight
+/// equally long blocks.
+pub fn unshuffle_inverse(cols: &[Vec<u8>]) -> Result<Vec<u64>, AtcError> {
+    if cols.len() != COLUMNS {
+        return Err(AtcError::Format(format!(
+            "unshuffle needs {COLUMNS} columns, got {}",
+            cols.len()
+        )));
+    }
+    let n = cols[0].len();
+    if cols.iter().any(|c| c.len() != n) {
+        return Err(AtcError::Format(
+            "unshuffle columns have unequal lengths".into(),
+        ));
+    }
+    let mut addrs = vec![0u64; n];
+    for (j, col) in cols.iter().enumerate() {
+        let shift = 8 * (COLUMNS - 1 - j) as u32;
+        for (a, &c) in addrs.iter_mut().zip(col) {
+            *a |= (c as u64) << shift;
+        }
+    }
+    Ok(addrs)
+}
+
+/// Serializes columns back-to-back into one byte stream (the layout fed to
+/// the back-end compressor).
+pub fn columns_to_bytes(cols: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = cols.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for c in cols {
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Splits a concatenated column stream back into eight equal columns.
+///
+/// # Errors
+///
+/// Returns [`AtcError::Format`] if `bytes.len()` is not a multiple of eight.
+pub fn bytes_to_columns(bytes: &[u8]) -> Result<Vec<Vec<u8>>, AtcError> {
+    if bytes.len() % COLUMNS != 0 {
+        return Err(AtcError::Format(format!(
+            "column stream length {} is not a multiple of {COLUMNS}",
+            bytes.len()
+        )));
+    }
+    if bytes.is_empty() {
+        return Ok(vec![Vec::new(); COLUMNS]);
+    }
+    let n = bytes.len() / COLUMNS;
+    Ok(bytes.chunks_exact(n).map(<[u8]>::to_vec).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(addrs: &[u64]) {
+        let cols = bytesort_forward(addrs);
+        assert_eq!(bytesort_inverse(&cols).unwrap(), addrs, "bytesort");
+        let ucols = unshuffle(addrs);
+        assert_eq!(unshuffle_inverse(&ucols).unwrap(), addrs, "unshuffle");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[u64::MAX]);
+        roundtrip(&[0x1234_5678_9ABC_DEF0]);
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // Figure 1: sixteen 32-bit addresses (here zero-extended to 64 bits
+        // in the low half so the high 4 columns are all zero).
+        let addrs: Vec<u64> = vec![
+            0x0000_0000, 0xFF00_0007, 0x0001_C000, 0xFF00_0006, 0x0001_8000, 0xFF00_0005,
+            0x0001_4000, 0xFF00_0004, 0x0001_0000, 0xFF00_0003, 0x0000_C000, 0xFF00_0002,
+            0x0000_8000, 0xFF00_0001, 0x0000_4000, 0xFF00_0000,
+        ];
+        let cols = bytesort_forward(&addrs);
+        // Columns 0..4 (bytes 7..4 of the 64-bit values) are all zero.
+        for c in &cols[..4] {
+            assert!(c.iter().all(|&b| b == 0));
+        }
+        // Column 4 = the "1st byte column" of Figure 1: original order.
+        let expect_c4: Vec<u8> = addrs.iter().map(|&a| (a >> 24) as u8).collect();
+        assert_eq!(cols[4], expect_c4);
+        // After sorting by that byte, the 00-prefixed addresses precede the
+        // FF-prefixed ones (stably), giving Figure 1's "block 2".
+        let expect_c5: Vec<u8> = vec![
+            0x00, 0x01, 0x01, 0x01, 0x01, 0x00, 0x00, 0x00, // 00-group byte 2
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // FF-group byte 2
+        ];
+        assert_eq!(cols[5], expect_c5);
+        assert_eq!(bytesort_inverse(&cols).unwrap(), addrs);
+    }
+
+    #[test]
+    fn paper_section41_text_example() {
+        // §4.1: F200..F2FF interleaved with A100..A17F (two regions with
+        // identical low-byte patterns). After bytesort, the low-order column
+        // must consist of two runs: 00..7F then 00..FF.
+        let mut addrs = Vec::new();
+        let mut a1 = 0u64;
+        for i in 0..256u64 {
+            addrs.push(0xF200 + i);
+            if i % 2 == 1 {
+                addrs.push(0xA100 + a1);
+                a1 += 1;
+            }
+        }
+        let cols = bytesort_forward(&addrs);
+        let low = &cols[7];
+        // First 128 bytes: the A1 region's low bytes in order.
+        let first: Vec<u8> = (0..128u64).map(|i| i as u8).collect();
+        assert_eq!(&low[..128], &first[..]);
+        // Next 256: the F2 region's low bytes in order.
+        let second: Vec<u8> = (0..256u64).map(|i| i as u8).collect();
+        assert_eq!(&low[128..], &second[..]);
+        assert_eq!(bytesort_inverse(&cols).unwrap(), addrs);
+    }
+
+    #[test]
+    fn stability_preserves_same_key_order() {
+        // Addresses identical in the top 7 bytes must keep their relative
+        // order in the final column.
+        let addrs = vec![0x10, 0x30, 0x20, 0x10, 0x30];
+        let cols = bytesort_forward(&addrs);
+        assert_eq!(cols[7], vec![0x10, 0x30, 0x20, 0x10, 0x30]);
+        assert_eq!(bytesort_inverse(&cols).unwrap(), addrs);
+    }
+
+    #[test]
+    fn pseudorandom_roundtrip() {
+        let mut x: u64 = 0xABCD;
+        let addrs: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect();
+        roundtrip(&addrs);
+    }
+
+    #[test]
+    fn block_addresses_with_null_top_bits() {
+        let addrs: Vec<u64> = (0..5000u64).map(|i| (i * 977) % (1 << 52)).collect();
+        roundtrip(&addrs);
+    }
+
+    #[test]
+    fn column_stream_roundtrip() {
+        let addrs: Vec<u64> = (0..100).map(|i| i * 64).collect();
+        let cols = bytesort_forward(&addrs);
+        let bytes = columns_to_bytes(&cols);
+        assert_eq!(bytes.len(), 800);
+        let back = bytes_to_columns(&bytes).unwrap();
+        assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn invalid_columns_rejected() {
+        assert!(bytesort_inverse(&vec![vec![0u8; 4]; 7]).is_err());
+        let mut cols = vec![vec![0u8; 4]; 8];
+        cols[3] = vec![0u8; 5];
+        assert!(bytesort_inverse(&cols).is_err());
+        assert!(bytes_to_columns(&[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn sorting_groups_regions() {
+        // Two interleaved regions: after bytesort the last column must be
+        // "more runny" than the raw interleaved low bytes.
+        let mut addrs = Vec::new();
+        for i in 0..512u64 {
+            addrs.push(0x0000_F200_0000 + i * 64);
+            addrs.push(0x0000_A100_0000 + i * 64);
+        }
+        let cols = bytesort_forward(&addrs);
+        let runs = |v: &[u8]| v.windows(2).filter(|w| w[0] == w[1]).count();
+        let raw_low: Vec<u8> = addrs.iter().map(|&a| (a >> 16) as u8).collect();
+        assert!(runs(&cols[5]) >= runs(&raw_low));
+    }
+}

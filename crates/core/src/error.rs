@@ -1,0 +1,71 @@
+//! Error type for the ATC compressor.
+
+use std::fmt;
+
+/// Errors produced by ATC compression, decompression, and container I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AtcError {
+    /// Underlying file or stream I/O failed.
+    Io(std::io::Error),
+    /// The back-end codec reported corrupt data.
+    Codec(atc_codec::CodecError),
+    /// The container layout or a record is structurally invalid.
+    Format(String),
+}
+
+impl fmt::Display for AtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtcError::Io(e) => write!(f, "i/o error: {e}"),
+            AtcError::Codec(e) => write!(f, "codec error: {e}"),
+            AtcError::Format(what) => write!(f, "invalid ATC container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AtcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtcError::Io(e) => Some(e),
+            AtcError::Codec(e) => Some(e),
+            AtcError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AtcError {
+    fn from(e: std::io::Error) -> Self {
+        AtcError::Io(e)
+    }
+}
+
+impl From<atc_codec::CodecError> for AtcError {
+    fn from(e: atc_codec::CodecError) -> Self {
+        AtcError::Codec(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, AtcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = AtcError::Format("missing meta file".into());
+        let s = e.to_string();
+        assert!(s.contains("missing meta file"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = AtcError::from(io);
+        assert!(e.source().is_some());
+    }
+}

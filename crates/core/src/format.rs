@@ -1,0 +1,405 @@
+//! On-disk container format.
+//!
+//! An ATC trace is a *directory*, mirroring the original tool (Figure 8 of
+//! the paper shows `foobar/1.bz2` + `foobar/INFO.bz2`):
+//!
+//! ```text
+//! trace.atc/
+//!   meta              plain-text key=value header (mode, codec, counts …)
+//!   data.atc          lossless mode: the whole bytesorted trace, one codec stream
+//!   chunk-000000.atc  lossy mode: one file per stored chunk
+//!   info.atc          lossy mode: the compressed interval trace (records below)
+//! ```
+//!
+//! Every `.atc` payload is a [`atc_codec::CodecWriter`] stream of the codec
+//! named in `meta`. Address payloads are sequences of *frames*:
+//! `varint(n) ++ bytesort columns (8·n bytes)`; a frame holds one buffer of
+//! at most `buffer` addresses (the paper's `B`).
+//!
+//! The interval trace (`info.atc`) is a sequence of records:
+//!
+//! ```text
+//! 0x01  varint(chunk_id) varint(len)            -- NewChunk
+//! 0x02  varint(chunk_id) u8(mask) [256 B]*      -- Imitate (tables for set bits, ascending j)
+//! ```
+
+use std::io::{Read, Write};
+
+use atc_codec::varint;
+
+use crate::bytesort;
+use crate::error::{AtcError, Result};
+use crate::hist::{Translation, COLUMNS};
+
+/// Format version recorded in `meta`.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Name of the plain-text header file.
+pub const META_FILE: &str = "meta";
+/// Name of the lossless payload file.
+pub const DATA_FILE: &str = "data.atc";
+/// Name of the interval-trace file (lossy mode).
+pub const INFO_FILE: &str = "info.atc";
+
+/// File name for chunk `id`.
+pub fn chunk_file_name(id: u64) -> String {
+    format!("chunk-{id:06}.atc")
+}
+
+/// Record tag: a new chunk was stored.
+const TAG_CHUNK: u8 = 0x01;
+/// Record tag: an interval imitates an existing chunk.
+const TAG_IMITATE: u8 = 0x02;
+
+/// One interval-trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntervalRecord {
+    /// The interval was stored as chunk `chunk_id` (`len` addresses).
+    NewChunk {
+        /// Id of the stored chunk (also names the chunk file).
+        chunk_id: u64,
+        /// Number of addresses in the chunk.
+        len: u64,
+    },
+    /// The interval is imitated by translating chunk `chunk_id`.
+    Imitate {
+        /// Id of the imitated chunk.
+        chunk_id: u64,
+        /// Per-column translations; `None` = identity (raw histograms
+        /// already within threshold, the paper's "only if necessary" rule).
+        translations: Box<[Option<Translation>; COLUMNS]>,
+    },
+}
+
+impl IntervalRecord {
+    /// Serializes the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write<W: Write>(&self, w: &mut W) -> Result<()> {
+        match self {
+            IntervalRecord::NewChunk { chunk_id, len } => {
+                w.write_all(&[TAG_CHUNK])?;
+                varint::write_u64(w, *chunk_id)?;
+                varint::write_u64(w, *len)?;
+            }
+            IntervalRecord::Imitate {
+                chunk_id,
+                translations,
+            } => {
+                w.write_all(&[TAG_IMITATE])?;
+                varint::write_u64(w, *chunk_id)?;
+                let mut mask = 0u8;
+                for (j, t) in translations.iter().enumerate() {
+                    if t.is_some() {
+                        mask |= 1 << j;
+                    }
+                }
+                w.write_all(&[mask])?;
+                for t in translations.iter().flatten() {
+                    w.write_all(t.table())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the next record; `Ok(None)` at clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on unknown tags or invalid translation
+    /// tables, and [`AtcError::Io`] on truncated input.
+    pub fn read<R: Read>(r: &mut R) -> Result<Option<Self>> {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        match tag[0] {
+            TAG_CHUNK => {
+                let chunk_id = varint::read_u64(r)?;
+                let len = varint::read_u64(r)?;
+                Ok(Some(IntervalRecord::NewChunk { chunk_id, len }))
+            }
+            TAG_IMITATE => {
+                let chunk_id = varint::read_u64(r)?;
+                let mut mask = [0u8; 1];
+                r.read_exact(&mut mask)?;
+                let mut translations: Box<[Option<Translation>; COLUMNS]> =
+                    Box::new(Default::default());
+                for j in 0..COLUMNS {
+                    if mask[0] & (1 << j) != 0 {
+                        let mut table = [0u8; 256];
+                        r.read_exact(&mut table)?;
+                        let t = Translation::from_table(table).ok_or_else(|| {
+                            AtcError::Format(format!(
+                                "translation table for byte {j} is not a permutation"
+                            ))
+                        })?;
+                        translations[j] = Some(t);
+                    }
+                }
+                Ok(Some(IntervalRecord::Imitate {
+                    chunk_id,
+                    translations,
+                }))
+            }
+            other => Err(AtcError::Format(format!("unknown record tag {other:#x}"))),
+        }
+    }
+}
+
+/// Writes one bytesorted frame: `varint(n)` followed by the eight columns.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, addrs: &[u64]) -> Result<()> {
+    varint::write_u64(w, addrs.len() as u64)?;
+    let cols = bytesort::bytesort_forward(addrs);
+    for c in &cols {
+        w.write_all(c)?;
+    }
+    Ok(())
+}
+
+/// Reads one bytesorted frame; `Ok(None)` at clean end of stream.
+///
+/// # Errors
+///
+/// Returns [`AtcError::Io`] on truncated frames and [`AtcError::Format`] on
+/// structurally invalid ones.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u64>>> {
+    let n = match try_read_varint(r)? {
+        Some(n) => n as usize,
+        None => return Ok(None),
+    };
+    let mut cols = Vec::with_capacity(COLUMNS);
+    for _ in 0..COLUMNS {
+        let mut col = vec![0u8; n];
+        r.read_exact(&mut col)?;
+        cols.push(col);
+    }
+    bytesort::bytesort_inverse(&cols).map(Some)
+}
+
+/// Reads a varint, mapping clean EOF (before the first byte) to `None`.
+fn try_read_varint<R: Read>(r: &mut R) -> Result<Option<u64>> {
+    let mut first = [0u8; 1];
+    match r.read_exact(&mut first) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    if first[0] & 0x80 == 0 {
+        return Ok(Some(first[0] as u64));
+    }
+    let mut value = (first[0] & 0x7F) as u64;
+    let mut shift = 7u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        value |= ((byte[0] & 0x7F) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(AtcError::Format("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+/// The plain-text `meta` header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Meta {
+    /// Format version.
+    pub version: u32,
+    /// `"lossless"` or `"lossy"`.
+    pub mode: String,
+    /// Back-end codec name (see [`atc_codec::codec_by_name`]).
+    pub codec: String,
+    /// Bytesort buffer size `B` in addresses.
+    pub buffer: u64,
+    /// Interval length `L` (lossy mode; 0 in lossless mode).
+    pub interval_len: u64,
+    /// Similarity threshold ε (lossy mode; 0 in lossless mode).
+    pub threshold: f64,
+    /// Total number of addresses in the trace.
+    pub count: u64,
+    /// Number of stored chunks.
+    pub chunks: u64,
+}
+
+impl Meta {
+    /// Serializes as `key=value` lines.
+    pub fn to_text(&self) -> String {
+        format!(
+            "version={}\nmode={}\ncodec={}\nbuffer={}\ninterval_len={}\nthreshold={}\ncount={}\nchunks={}\n",
+            self.version,
+            self.mode,
+            self.codec,
+            self.buffer,
+            self.interval_len,
+            self.threshold,
+            self.count,
+            self.chunks
+        )
+    }
+
+    /// Parses the `meta` file contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on missing or malformed keys.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut map = std::collections::HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| AtcError::Format(format!("malformed meta line {line:?}")))?;
+            map.insert(k.to_string(), v.to_string());
+        }
+        let get = |k: &str| {
+            map.get(k)
+                .cloned()
+                .ok_or_else(|| AtcError::Format(format!("meta key {k:?} missing")))
+        };
+        let parse_u64 = |k: &str| -> Result<u64> {
+            get(k)?
+                .parse()
+                .map_err(|_| AtcError::Format(format!("meta key {k:?} is not an integer")))
+        };
+        Ok(Meta {
+            version: parse_u64("version")? as u32,
+            mode: get("mode")?,
+            codec: get("codec")?,
+            buffer: parse_u64("buffer")?,
+            interval_len: parse_u64("interval_len")?,
+            threshold: get("threshold")?
+                .parse()
+                .map_err(|_| AtcError::Format("meta key \"threshold\" is not a number".into()))?,
+            count: parse_u64("count")?,
+            chunks: parse_u64("chunks")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let addrs: Vec<u64> = (0..777u64).map(|i| i * 997).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &addrs).unwrap();
+        write_frame(&mut buf, &addrs[..10]).unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), addrs);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), &addrs[..10]);
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let addrs: Vec<u64> = (0..100u64).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &addrs).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut cur = &buf[..];
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn record_roundtrip_chunk() {
+        let rec = IntervalRecord::NewChunk {
+            chunk_id: 42,
+            len: 1_000_000,
+        };
+        let mut buf = Vec::new();
+        rec.write(&mut buf).unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(IntervalRecord::read(&mut cur).unwrap().unwrap(), rec);
+        assert!(IntervalRecord::read(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn record_roundtrip_imitate() {
+        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::new(Default::default());
+        let mut table = [0u8; 256];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (i as u8).wrapping_add(1);
+        }
+        translations[2] = Some(Translation::from_table(table).unwrap());
+        translations[5] = Some(Translation::identity());
+        let rec = IntervalRecord::Imitate {
+            chunk_id: 7,
+            translations,
+        };
+        let mut buf = Vec::new();
+        rec.write(&mut buf).unwrap();
+        // 1 tag + 1 id + 1 mask + 2*256 tables
+        assert_eq!(buf.len(), 3 + 512);
+        let mut cur = &buf[..];
+        assert_eq!(IntervalRecord::read(&mut cur).unwrap().unwrap(), rec);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = [0xEEu8];
+        let mut cur = &buf[..];
+        assert!(IntervalRecord::read(&mut cur).is_err());
+    }
+
+    #[test]
+    fn non_permutation_table_rejected() {
+        let mut buf = vec![TAG_IMITATE, 1, 0b0000_0001];
+        buf.extend_from_slice(&[7u8; 256]); // constant table: not a permutation
+        let mut cur = &buf[..];
+        assert!(IntervalRecord::read(&mut cur).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = Meta {
+            version: FORMAT_VERSION,
+            mode: "lossy".into(),
+            codec: "bzip".into(),
+            buffer: 1_000_000,
+            interval_len: 10_000_000,
+            threshold: 0.1,
+            count: 123_456_789,
+            chunks: 17,
+        };
+        assert_eq!(Meta::parse(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn meta_missing_key() {
+        assert!(Meta::parse("version=1\n").is_err());
+        assert!(Meta::parse("not a line\n").is_err());
+    }
+
+    #[test]
+    fn chunk_names_sortable() {
+        assert_eq!(chunk_file_name(0), "chunk-000000.atc");
+        assert_eq!(chunk_file_name(999_999), "chunk-999999.atc");
+        assert!(chunk_file_name(1) < chunk_file_name(2));
+    }
+}

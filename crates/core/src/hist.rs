@@ -1,0 +1,350 @@
+//! Sorted byte-histograms, interval distance, and byte translations (§5.1).
+//!
+//! An interval of `L` addresses is characterised by eight byte-histograms
+//! `h[j]` (`h[j][i]` = number of addresses whose byte *j* equals *i*). The
+//! *sorted* histogram `h'[j]` is `h[j]` sorted in decreasing order by a
+//! stable sort; the permutation `p[j]` performing the sort maps sorted rank
+//! to byte value (`p[j][0]` is the most frequent byte of order *j*).
+//!
+//! Two intervals are compared by
+//! `D(A,B) = max_j d(h'_A[j], h'_B[j])` with
+//! `d(h_a, h_b) = (1/L) Σ_i |h_a(i) − h_b(i)| ∈ [0, 2]`,
+//! and an interval *looks like* a previous one when `D < ε`.
+//!
+//! When chunk `A` imitates interval `B`, the byte translation
+//! `t[j][p_A[j][i]] = p_B[j][i]` remaps each byte so the most frequent byte
+//! of `A` becomes the most frequent byte of `B`, and so on — this is what
+//! defeats the *myopic interval problem*.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_core::hist::ByteHistograms;
+//!
+//! // Two intervals with identical structure in disjoint regions ...
+//! let a: Vec<u64> = (0..256).map(|i| 0xF200 + i).collect();
+//! let b: Vec<u64> = (0..256).map(|i| 0xF300 + i).collect();
+//! let ha = ByteHistograms::from_addrs(&a);
+//! let hb = ByteHistograms::from_addrs(&b);
+//! // ... are at distance zero after sorting (the paper's §5.1 example).
+//! assert_eq!(ha.sorted().distance(&hb.sorted()), 0.0);
+//! ```
+
+/// Number of byte columns.
+pub const COLUMNS: usize = 8;
+
+/// Raw (unsorted) byte-histograms of an interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteHistograms {
+    counts: [[u32; 256]; COLUMNS],
+    len: u64,
+}
+
+impl ByteHistograms {
+    /// Computes the eight byte-histograms of `addrs`.
+    pub fn from_addrs(addrs: &[u64]) -> Self {
+        let mut counts = [[0u32; 256]; COLUMNS];
+        for &a in addrs {
+            for (j, col) in counts.iter_mut().enumerate() {
+                col[((a >> (8 * j)) & 0xFF) as usize] += 1;
+            }
+        }
+        Self {
+            counts,
+            len: addrs.len() as u64,
+        }
+    }
+
+    /// Number of addresses histogrammed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if built from an empty interval.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw histogram of byte order `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 8`.
+    pub fn column(&self, j: usize) -> &[u32; 256] {
+        &self.counts[j]
+    }
+
+    /// Distance between the raw histograms of byte order `j` of `self` and
+    /// `other`: `(1/L) Σ_i |h_a(i) − h_b(i)|`.
+    ///
+    /// Used to decide, per byte order, whether a translation is necessary
+    /// at imitation time.
+    pub fn column_distance(&self, other: &Self, j: usize) -> f64 {
+        hist_l1(&self.counts[j], &other.counts[j]) / self.len.max(other.len).max(1) as f64
+    }
+
+    /// Sorts every column, producing the interval signature.
+    pub fn sorted(&self) -> SortedHistograms {
+        let mut sorted = [[0u32; 256]; COLUMNS];
+        let mut perm = [[0u8; 256]; COLUMNS];
+        for j in 0..COLUMNS {
+            // Stable descending sort: ties keep smaller byte value first
+            // (the paper's p[j](i1) < p[j](i2) tie rule).
+            let mut idx: [u16; 256] = std::array::from_fn(|i| i as u16);
+            idx.sort_by_key(|&i| std::cmp::Reverse(self.counts[j][i as usize]));
+            for (rank, &byte) in idx.iter().enumerate() {
+                sorted[j][rank] = self.counts[j][byte as usize];
+                perm[j][rank] = byte as u8;
+            }
+        }
+        SortedHistograms {
+            sorted,
+            perm,
+            len: self.len,
+        }
+    }
+}
+
+/// L1 distance between two 256-bin histograms.
+fn hist_l1(a: &[u32; 256], b: &[u32; 256]) -> f64 {
+    let mut sum = 0u64;
+    for i in 0..256 {
+        sum += a[i].abs_diff(b[i]) as u64;
+    }
+    sum as f64
+}
+
+/// Sorted byte-histograms: the interval signature stored in the chunk table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedHistograms {
+    sorted: [[u32; 256]; COLUMNS],
+    /// `perm[j][rank]` = byte value at this sorted rank (the paper's `p[j]`).
+    perm: [[u8; 256]; COLUMNS],
+    len: u64,
+}
+
+impl SortedHistograms {
+    /// Number of addresses in the underlying interval.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if built from an empty interval.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The paper's `p[j]` permutation: sorted rank → byte value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 8`.
+    pub fn permutation(&self, j: usize) -> &[u8; 256] {
+        &self.perm[j]
+    }
+
+    /// Distance `d(h'_a[j], h'_b[j])` between sorted histograms of order `j`.
+    pub fn column_distance(&self, other: &Self, j: usize) -> f64 {
+        hist_l1(&self.sorted[j], &other.sorted[j]) / self.len.max(other.len).max(1) as f64
+    }
+
+    /// The paper's interval distance `D = max_j d_j` (equation 2).
+    ///
+    /// Always in `[0, 2]`.
+    pub fn distance(&self, other: &Self) -> f64 {
+        (0..COLUMNS)
+            .map(|j| self.column_distance(other, j))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A byte translation `t[j]`: a permutation of `[0, 255]` remapping chunk
+/// bytes onto interval bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    table: [u8; 256],
+}
+
+impl Translation {
+    /// Builds `t` such that `t[p_a[i]] = p_b[i]` (the paper's definition):
+    /// the i-th most frequent byte of the chunk maps to the i-th most
+    /// frequent byte of the interval.
+    pub fn between(pa: &[u8; 256], pb: &[u8; 256]) -> Self {
+        let mut table = [0u8; 256];
+        for i in 0..256 {
+            table[pa[i] as usize] = pb[i];
+        }
+        Self { table }
+    }
+
+    /// The identity translation.
+    pub fn identity() -> Self {
+        Self {
+            table: std::array::from_fn(|i| i as u8),
+        }
+    }
+
+    /// Creates a translation from a raw table.
+    ///
+    /// Returns `None` if `table` is not a permutation of `[0, 255]`.
+    pub fn from_table(table: [u8; 256]) -> Option<Self> {
+        let mut seen = [false; 256];
+        for &b in &table {
+            if seen[b as usize] {
+                return None;
+            }
+            seen[b as usize] = true;
+        }
+        Some(Self { table })
+    }
+
+    /// The raw 256-byte table (serialised verbatim in the interval trace,
+    /// "completely described with 8 × 256 bytes" per §5.2).
+    pub fn table(&self) -> &[u8; 256] {
+        &self.table
+    }
+
+    /// Translates one byte.
+    #[inline]
+    pub fn map(&self, byte: u8) -> u8 {
+        self.table[byte as usize]
+    }
+
+    /// True if this is the identity mapping.
+    pub fn is_identity(&self) -> bool {
+        self.table.iter().enumerate().all(|(i, &b)| i as u8 == b)
+    }
+}
+
+/// Applies per-column translations to an address: byte `j` is remapped by
+/// `translations[j]` when present.
+pub fn translate_addr(addr: u64, translations: &[Option<Translation>; COLUMNS]) -> u64 {
+    let mut out = 0u64;
+    for (j, t) in translations.iter().enumerate() {
+        let byte = ((addr >> (8 * j)) & 0xFF) as u8;
+        let mapped = match t {
+            Some(t) => t.map(byte),
+            None => byte,
+        };
+        out |= (mapped as u64) << (8 * j);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts() {
+        let h = ByteHistograms::from_addrs(&[0x0102, 0x0103, 0x0104]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.column(1)[0x01], 3);
+        assert_eq!(h.column(0)[0x02], 1);
+        assert_eq!(h.column(0)[0x03], 1);
+        assert_eq!(h.column(0)[0x04], 1);
+        assert_eq!(h.column(7)[0x00], 3);
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = ByteHistograms::from_addrs(&(0..100u64).collect::<Vec<_>>()).sorted();
+        let b = ByteHistograms::from_addrs(&(50..150u64).collect::<Vec<_>>()).sorted();
+        let c = ByteHistograms::from_addrs(&(0..100u64).map(|i| i * 3).collect::<Vec<_>>()).sorted();
+        // Identity.
+        assert_eq!(a.distance(&a), 0.0);
+        // Symmetry.
+        assert_eq!(a.distance(&b), b.distance(&a));
+        // Bounds.
+        for (x, y) in [(&a, &b), (&a, &c), (&b, &c)] {
+            let d = x.distance(y);
+            assert!((0.0..=2.0).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_max_distance() {
+        // Completely different byte values in column 0 -> distance 2 on raw
+        // histograms but 0 on sorted (same shape).
+        let a = ByteHistograms::from_addrs(&vec![0x11u64; 100]);
+        let b = ByteHistograms::from_addrs(&vec![0x22u64; 100]);
+        assert_eq!(a.column_distance(&b, 0), 2.0);
+        assert_eq!(a.sorted().distance(&b.sorted()), 0.0);
+    }
+
+    #[test]
+    fn paper_example_f2_to_f3() {
+        // §5.1: A = F200..F2FF, B = F300..F3FF. D(A,B) = 0 and the byte-1
+        // translation maps F2 -> F3 and fixes everything else's order.
+        let a: Vec<u64> = (0..256).map(|i| 0xF200 + i).collect();
+        let b: Vec<u64> = (0..256).map(|i| 0xF300 + i).collect();
+        let ha = ByteHistograms::from_addrs(&a);
+        let hb = ByteHistograms::from_addrs(&b);
+        let sa = ha.sorted();
+        let sb = hb.sorted();
+        assert_eq!(sa.distance(&sb), 0.0);
+        // Column 1 raw distance is 2 (completely different byte values), so
+        // translation is needed there.
+        assert_eq!(ha.column_distance(&hb, 1), 2.0);
+        // Column 0 raw distance is 0: bytes 00..FF appear once each in both.
+        assert_eq!(ha.column_distance(&hb, 0), 0.0);
+        // p_A[1][0] must be F2 (most frequent byte of order 1 in A).
+        assert_eq!(sa.permutation(1)[0], 0xF2);
+        assert_eq!(sb.permutation(1)[0], 0xF3);
+        let t = Translation::between(sa.permutation(1), sb.permutation(1));
+        assert_eq!(t.map(0xF2), 0xF3);
+        // Translating A's addresses reproduces B exactly on byte 1.
+        let mut translations: [Option<Translation>; COLUMNS] = Default::default();
+        translations[1] = Some(t);
+        let translated: Vec<u64> = a.iter().map(|&x| translate_addr(x, &translations)).collect();
+        assert_eq!(translated, b);
+    }
+
+    #[test]
+    fn translation_is_permutation() {
+        let a: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let b: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x85EB_CA6B)).collect();
+        let sa = ByteHistograms::from_addrs(&a).sorted();
+        let sb = ByteHistograms::from_addrs(&b).sorted();
+        for j in 0..COLUMNS {
+            let t = Translation::between(sa.permutation(j), sb.permutation(j));
+            assert!(Translation::from_table(*t.table()).is_some(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_byte_value() {
+        // All bytes appear equally often: permutation must be the identity.
+        let addrs: Vec<u64> = (0..256u64).collect();
+        let s = ByteHistograms::from_addrs(&addrs).sorted();
+        for i in 0..256 {
+            assert_eq!(s.permutation(0)[i], i as u8);
+        }
+    }
+
+    #[test]
+    fn identity_translation() {
+        let t = Translation::identity();
+        assert!(t.is_identity());
+        for b in 0..=255u8 {
+            assert_eq!(t.map(b), b);
+        }
+        let mut bad = [0u8; 256];
+        bad[1] = 0; // duplicate 0
+        assert!(Translation::from_table(bad).is_none());
+    }
+
+    #[test]
+    fn empty_interval() {
+        let h = ByteHistograms::from_addrs(&[]);
+        assert!(h.is_empty());
+        let s = h.sorted();
+        assert_eq!(s.distance(&s), 0.0);
+    }
+
+    #[test]
+    fn translate_addr_untouched_columns() {
+        let translations: [Option<Translation>; COLUMNS] = Default::default();
+        assert_eq!(translate_addr(0xDEAD_BEEF, &translations), 0xDEAD_BEEF);
+    }
+}

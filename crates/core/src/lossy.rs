@@ -1,0 +1,357 @@
+//! Online phase classification for lossy compression (§5.2).
+//!
+//! The trace is cut into intervals of `L` addresses. Each finished interval
+//! is compared — via the sorted byte-histogram distance of
+//! [`crate::hist`] — against the histograms of previously stored *chunks*.
+//! If the best match is within threshold ε the interval is *imitated*
+//! (recorded as a chunk id plus byte translations); otherwise the interval
+//! becomes a new chunk, losslessly bytesort-compressed on disk, and its
+//! histograms enter the chunk table. The table is capacity-bounded: when
+//! full, the *oldest* chunk's entry is evicted (the chunk file itself stays
+//! on disk, since already-written interval records may reference it).
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_core::lossy::{Classification, LossyConfig, PhaseClassifier};
+//!
+//! let mut cls = PhaseClassifier::new(LossyConfig::default());
+//! let interval_a: Vec<u64> = (0..1000).map(|i| 0xF200_0000 + i).collect();
+//! let interval_b: Vec<u64> = (0..1000).map(|i| 0xF300_0000 + i).collect();
+//!
+//! // First interval always becomes a chunk.
+//! assert!(matches!(cls.classify(&interval_a, 0), Classification::NewChunk));
+//! // A shifted copy imitates it via byte translation.
+//! assert!(matches!(cls.classify(&interval_b, 1), Classification::Imitate { chunk_id: 0, .. }));
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::hist::{ByteHistograms, SortedHistograms, Translation, COLUMNS};
+
+/// Configuration of the lossy compression scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyConfig {
+    /// Interval length `L` in addresses (the paper uses 10 M).
+    pub interval_len: usize,
+    /// Similarity threshold ε (the paper finds 0.1 is a good default).
+    pub threshold: f64,
+    /// Capacity of the in-memory chunk histogram table.
+    pub max_chunks: usize,
+    /// Apply byte translations when imitating (disable to reproduce the
+    /// Figure 4 ablation, which shows the myopic-interval distortion).
+    pub byte_translation: bool,
+}
+
+impl Default for LossyConfig {
+    /// The paper's parameters: `L` = 10 M addresses, ε = 0.1, translations
+    /// on. The table capacity is not specified in the paper; 4096 entries
+    /// (≈ 33 MB of histograms) is far more than any trace in the evaluation
+    /// creates.
+    fn default() -> Self {
+        Self {
+            interval_len: 10_000_000,
+            threshold: 0.1,
+            max_chunks: 4096,
+            byte_translation: true,
+        }
+    }
+}
+
+impl LossyConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `interval_len`, `max_chunks`, or `threshold`
+    /// is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval_len == 0 {
+            return Err("interval_len must be positive".into());
+        }
+        if self.max_chunks == 0 {
+            return Err("max_chunks must be positive".into());
+        }
+        if !(0.0..=2.0).contains(&self.threshold) {
+            return Err(format!(
+                "threshold {} outside the distance range [0, 2]",
+                self.threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of classifying one interval.
+#[derive(Debug, Clone)]
+pub enum Classification {
+    /// No stored chunk is within ε: store this interval as a new chunk.
+    NewChunk,
+    /// A stored chunk matches: imitate it.
+    Imitate {
+        /// Id of the best-matching chunk.
+        chunk_id: u64,
+        /// Distance `D` to that chunk (for diagnostics).
+        distance: f64,
+        /// Per-column translations (`None` where the raw histograms already
+        /// match within ε).
+        translations: Box<[Option<Translation>; COLUMNS]>,
+    },
+}
+
+/// One chunk's signature in the table.
+#[derive(Debug, Clone)]
+struct ChunkEntry {
+    id: u64,
+    hists: ByteHistograms,
+    sorted: SortedHistograms,
+}
+
+/// The online phase classifier: chunk histogram table + matching logic.
+#[derive(Debug)]
+pub struct PhaseClassifier {
+    config: LossyConfig,
+    /// FIFO of stored chunk signatures (front = oldest).
+    table: VecDeque<ChunkEntry>,
+}
+
+impl PhaseClassifier {
+    /// Creates a classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`LossyConfig::validate`]).
+    pub fn new(config: LossyConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid lossy configuration: {e}");
+        }
+        Self {
+            config,
+            table: VecDeque::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LossyConfig {
+        &self.config
+    }
+
+    /// Number of chunk signatures currently in the table.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Classifies a finished interval.
+    ///
+    /// `next_chunk_id` is the id the interval will get *if* it becomes a new
+    /// chunk; on `NewChunk` the classifier records the signature under that
+    /// id (evicting the oldest entry when the table is full).
+    pub fn classify(&mut self, interval: &[u64], next_chunk_id: u64) -> Classification {
+        let hists = ByteHistograms::from_addrs(interval);
+        let sorted = hists.sorted();
+
+        // Find the chunk with the smallest distance (§5.2: "when several
+        // chunks match the current interval, we imitate the interval using
+        // the chunk having the smallest distance").
+        let mut best: Option<(usize, f64)> = None;
+        for (i, entry) in self.table.iter().enumerate() {
+            let d = entry.sorted.distance(&sorted);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+
+        if let Some((i, d)) = best {
+            if d < self.config.threshold {
+                let entry = &self.table[i];
+                let translations = if self.config.byte_translation {
+                    self.build_translations(entry, &hists, &sorted)
+                } else {
+                    Box::new(Default::default())
+                };
+                return Classification::Imitate {
+                    chunk_id: entry.id,
+                    distance: d,
+                    translations,
+                };
+            }
+        }
+
+        self.insert(next_chunk_id, hists, sorted);
+        Classification::NewChunk
+    }
+
+    /// Builds per-column translations from chunk `entry` to the interval:
+    /// translate byte order `j` only when the *raw* histograms differ by
+    /// more than ε (the paper's "only for values of j for which this is
+    /// necessary").
+    fn build_translations(
+        &self,
+        entry: &ChunkEntry,
+        hists: &ByteHistograms,
+        sorted: &SortedHistograms,
+    ) -> Box<[Option<Translation>; COLUMNS]> {
+        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::new(Default::default());
+        for j in 0..COLUMNS {
+            if entry.hists.column_distance(hists, j) > self.config.threshold {
+                let t = Translation::between(entry.sorted.permutation(j), sorted.permutation(j));
+                if !t.is_identity() {
+                    translations[j] = Some(t);
+                }
+            }
+        }
+        translations
+    }
+
+    fn insert(&mut self, id: u64, hists: ByteHistograms, sorted: SortedHistograms) {
+        if self.table.len() == self.config.max_chunks {
+            self.table.pop_front(); // evict the oldest chunk's histograms
+        }
+        self.table.push_back(ChunkEntry { id, hists, sorted });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::translate_addr;
+
+    fn cfg(max_chunks: usize) -> LossyConfig {
+        LossyConfig {
+            interval_len: 1000,
+            threshold: 0.1,
+            max_chunks,
+            byte_translation: true,
+        }
+    }
+
+    #[test]
+    fn first_interval_is_chunk() {
+        let mut c = PhaseClassifier::new(cfg(8));
+        let iv: Vec<u64> = (0..100).collect();
+        assert!(matches!(c.classify(&iv, 0), Classification::NewChunk));
+        assert_eq!(c.table_len(), 1);
+    }
+
+    #[test]
+    fn identical_interval_imitates_without_translation() {
+        let mut c = PhaseClassifier::new(cfg(8));
+        let iv: Vec<u64> = (0..1000).map(|i| i * 64).collect();
+        c.classify(&iv, 0);
+        match c.classify(&iv, 1) {
+            Classification::Imitate {
+                chunk_id,
+                distance,
+                translations,
+            } => {
+                assert_eq!(chunk_id, 0);
+                assert_eq!(distance, 0.0);
+                assert!(translations.iter().all(Option::is_none));
+            }
+            other => panic!("expected imitation, got {other:?}"),
+        }
+        // No new table entry on imitation.
+        assert_eq!(c.table_len(), 1);
+    }
+
+    #[test]
+    fn shifted_region_translates_back_exactly() {
+        // The paper's perfect-imitation example: B = A shifted by one byte
+        // value in column 1.
+        let a: Vec<u64> = (0..256).map(|i| 0xF200 + i).collect();
+        let b: Vec<u64> = (0..256).map(|i| 0xF300 + i).collect();
+        let mut c = PhaseClassifier::new(cfg(8));
+        c.classify(&a, 0);
+        match c.classify(&b, 1) {
+            Classification::Imitate { translations, .. } => {
+                let translated: Vec<u64> =
+                    a.iter().map(|&x| translate_addr(x, &translations)).collect();
+                assert_eq!(translated, b, "imitation must be perfect here");
+            }
+            other => panic!("expected imitation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_structure_creates_chunk() {
+        let mut c = PhaseClassifier::new(cfg(8));
+        let stream: Vec<u64> = (0..1000).map(|i| i * 64).collect();
+        let constant: Vec<u64> = vec![42; 1000];
+        c.classify(&stream, 0);
+        assert!(matches!(c.classify(&constant, 1), Classification::NewChunk));
+        assert_eq!(c.table_len(), 2);
+    }
+
+    #[test]
+    fn best_match_wins() {
+        let mut c = PhaseClassifier::new(cfg(8));
+        // Chunk 0: uniform ramp over 1000 blocks; chunk 1: 500 blocks
+        // visited twice (different sorted-histogram shape).
+        let wide: Vec<u64> = (0..1000).collect();
+        let narrow: Vec<u64> = (0..500).flat_map(|i| [i, i]).collect();
+        c.classify(&wide, 0);
+        c.classify(&narrow, 1);
+        // The same narrow shape in a disjoint region (identical sorted
+        // histograms, different raw ones) must imitate chunk 1, not chunk 0.
+        let narrow2: Vec<u64> = (0..500).flat_map(|i| [i + (7 << 32), i + (7 << 32)]).collect();
+        match c.classify(&narrow2, 2) {
+            Classification::Imitate { chunk_id, .. } => assert_eq!(chunk_id, 1),
+            other => panic!("expected imitation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = PhaseClassifier::new(cfg(2));
+        // Three structurally distinct signatures.
+        let constant: Vec<u64> = vec![0x0101_0101; 1000];
+        let doubled: Vec<u64> = (0..500).flat_map(|i| [i, i]).collect();
+        let ramp: Vec<u64> = (0..1000).collect();
+        c.classify(&constant, 0);
+        c.classify(&doubled, 1);
+        c.classify(&ramp, 2); // table full: evicts chunk 0's signature
+        assert_eq!(c.table_len(), 2);
+        // The constant pattern was evicted: seeing it again makes a chunk.
+        assert!(matches!(c.classify(&constant, 3), Classification::NewChunk));
+        // The ramp signature is still resident: it imitates chunk 2.
+        let ramp_shifted: Vec<u64> = (0..1000).map(|i| i + (3 << 40)).collect();
+        match c.classify(&ramp_shifted, 4) {
+            Classification::Imitate { chunk_id, .. } => assert_eq!(chunk_id, 2),
+            other => panic!("expected imitation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn translation_disabled_for_figure4() {
+        let mut c = PhaseClassifier::new(LossyConfig {
+            byte_translation: false,
+            ..cfg(8)
+        });
+        let a: Vec<u64> = (0..256).map(|i| 0xF200 + i).collect();
+        let b: Vec<u64> = (0..256).map(|i| 0xF300 + i).collect();
+        c.classify(&a, 0);
+        match c.classify(&b, 1) {
+            Classification::Imitate { translations, .. } => {
+                assert!(translations.iter().all(Option::is_none));
+            }
+            other => panic!("expected imitation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(LossyConfig {
+            interval_len: 0,
+            ..LossyConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LossyConfig {
+            threshold: 3.0,
+            ..LossyConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LossyConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,432 @@
+//! Streaming ATC decompression (the original tool's `atc_open('d') /
+//! atc_decode / atc_close`).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use atc_codec::{codec_by_name, Codec, CodecReader};
+
+use crate::error::{AtcError, Result};
+use crate::format::{self, IntervalRecord, Meta};
+use crate::hist::{translate_addr, Translation, COLUMNS};
+
+/// Default number of decompressed chunks kept in memory.
+///
+/// Runs of imitations of the same chunk then decode at translate speed
+/// without re-reading the chunk file.
+pub const DEFAULT_CHUNK_CACHE: usize = 8;
+
+/// A streaming ATC decompressor over a trace directory.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use atc_core::{AtcReader, AtcWriter, Mode};
+///
+/// let dir = std::env::temp_dir().join("atc-reader-doc");
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut w = AtcWriter::create(&dir, Mode::Lossless)?;
+/// w.code_all([64, 128, 192])?;
+/// w.finish()?;
+///
+/// let mut r = AtcReader::open(&dir)?;
+/// assert_eq!(r.decode()?, Some(64));
+/// assert_eq!(r.decode()?, Some(128));
+/// assert_eq!(r.decode()?, Some(192));
+/// assert_eq!(r.decode()?, None);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AtcReader {
+    meta: Meta,
+    dir: PathBuf,
+    codec: Arc<dyn Codec>,
+    state: State,
+    /// Decoded values not yet handed out.
+    pending: VecDeque<u64>,
+    produced: u64,
+}
+
+#[derive(Debug)]
+enum State {
+    Lossless {
+        stream: CodecReader<BufReader<File>>,
+    },
+    Lossy {
+        info: CodecReader<BufReader<File>>,
+        cache: ChunkCache,
+    },
+}
+
+impl AtcReader {
+    /// Opens a trace directory written by [`crate::AtcWriter`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory, `meta` file, or payload files are missing or
+    /// malformed, or the recorded codec is unknown.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Self::with_chunk_cache(dir, DEFAULT_CHUNK_CACHE)
+    }
+
+    /// Opens a trace directory with an explicit chunk-cache capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AtcReader::open`].
+    pub fn with_chunk_cache<P: AsRef<Path>>(dir: P, chunk_cache: usize) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta_text = std::fs::read_to_string(dir.join(format::META_FILE)).map_err(|e| {
+            AtcError::Format(format!(
+                "cannot read {}/{}: {e}",
+                dir.display(),
+                format::META_FILE
+            ))
+        })?;
+        let meta = Meta::parse(&meta_text)?;
+        let codec: Arc<dyn Codec> = Arc::from(
+            codec_by_name(&meta.codec)
+                .ok_or_else(|| AtcError::Format(format!("unknown codec {:?}", meta.codec)))?,
+        );
+        let state = match meta.mode.as_str() {
+            "lossless" => {
+                let file = BufReader::new(File::open(dir.join(format::DATA_FILE))?);
+                State::Lossless {
+                    stream: CodecReader::new(file, Arc::clone(&codec)),
+                }
+            }
+            "lossy" => {
+                let file = BufReader::new(File::open(dir.join(format::INFO_FILE))?);
+                State::Lossy {
+                    info: CodecReader::new(file, Arc::clone(&codec)),
+                    cache: ChunkCache::new(chunk_cache.max(1)),
+                }
+            }
+            other => {
+                return Err(AtcError::Format(format!("unknown mode {other:?}")));
+            }
+        };
+        Ok(Self {
+            meta,
+            dir,
+            codec,
+            state,
+            pending: VecDeque::new(),
+            produced: 0,
+        })
+    }
+
+    /// The trace header.
+    pub fn meta(&self) -> &Meta {
+        &self.meta
+    }
+
+    /// Decodes the next value; `Ok(None)` at end of trace (the original
+    /// `atc_decode` returning 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, codec, and format errors.
+    pub fn decode(&mut self) -> Result<Option<u64>> {
+        loop {
+            if let Some(v) = self.pending.pop_front() {
+                self.produced += 1;
+                return Ok(Some(v));
+            }
+            if !self.refill()? {
+                if self.produced != self.meta.count {
+                    return Err(AtcError::Format(format!(
+                        "trace ended after {} of {} addresses",
+                        self.produced, self.meta.count
+                    )));
+                }
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Decodes the remainder of the trace into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`AtcReader::decode`].
+    pub fn decode_all(&mut self) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        while let Some(v) = self.decode()? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Adapts the reader into an iterator of `Result<u64>`.
+    pub fn values(&mut self) -> Values<'_> {
+        Values { reader: self }
+    }
+
+    fn refill(&mut self) -> Result<bool> {
+        match &mut self.state {
+            State::Lossless { stream } => match format::read_frame(stream)? {
+                Some(addrs) => {
+                    self.pending.extend(addrs);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            State::Lossy { info, cache } => {
+                let Some(record) = IntervalRecord::read(info)? else {
+                    return Ok(false);
+                };
+                match record {
+                    IntervalRecord::NewChunk { chunk_id, len } => {
+                        let addrs = cache.load(&self.dir, &self.codec, chunk_id)?;
+                        if addrs.len() as u64 != len {
+                            return Err(AtcError::Format(format!(
+                                "chunk {chunk_id} holds {} addresses, record says {len}",
+                                addrs.len()
+                            )));
+                        }
+                        self.pending.extend(addrs.iter().copied());
+                    }
+                    IntervalRecord::Imitate {
+                        chunk_id,
+                        translations,
+                    } => {
+                        let addrs = cache.load(&self.dir, &self.codec, chunk_id)?;
+                        if translations.iter().all(Option::is_none) {
+                            self.pending.extend(addrs.iter().copied());
+                        } else {
+                            let t: &[Option<Translation>; COLUMNS] = &translations;
+                            self.pending
+                                .extend(addrs.iter().map(|&a| translate_addr(a, t)));
+                        }
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Iterator over decoded values (see [`AtcReader::values`]).
+#[derive(Debug)]
+pub struct Values<'r> {
+    reader: &'r mut AtcReader,
+}
+
+impl Iterator for Values<'_> {
+    type Item = Result<u64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.decode().transpose()
+    }
+}
+
+/// LRU cache of decompressed chunks.
+#[derive(Debug)]
+struct ChunkCache {
+    capacity: usize,
+    /// Most recently used last.
+    entries: Vec<(u64, Arc<Vec<u64>>)>,
+}
+
+impl ChunkCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn load(&mut self, dir: &Path, codec: &Arc<dyn Codec>, id: u64) -> Result<Arc<Vec<u64>>> {
+        if let Some(i) = self.entries.iter().position(|(eid, _)| *eid == id) {
+            let entry = self.entries.remove(i);
+            let addrs = Arc::clone(&entry.1);
+            self.entries.push(entry);
+            return Ok(addrs);
+        }
+        let path = dir.join(format::chunk_file_name(id));
+        let file = BufReader::new(File::open(&path).map_err(|e| {
+            AtcError::Format(format!("cannot open chunk file {}: {e}", path.display()))
+        })?);
+        let mut stream = CodecReader::new(file, Arc::clone(codec));
+        let mut addrs = Vec::new();
+        while let Some(frame) = format::read_frame(&mut stream)? {
+            addrs.extend(frame);
+        }
+        let addrs = Arc::new(addrs);
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((id, Arc::clone(&addrs)));
+        Ok(addrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lossy::LossyConfig;
+    use crate::writer::{AtcOptions, AtcWriter, Mode};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atc-reader-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lossless_roundtrip_multi_buffer() {
+        let dir = tmp("lossless");
+        let addrs: Vec<u64> = (0..2500u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 1000, // 3 frames: 1000 + 1000 + 500
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert_eq!(r.meta().mode, "lossless");
+        assert_eq!(r.decode_all().unwrap(), addrs);
+        assert_eq!(r.decode().unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_identical_intervals_roundtrip_exactly() {
+        let dir = tmp("lossy-exact");
+        let interval: Vec<u64> = (0..200u64).map(|i| i * 64).collect();
+        let cfg = LossyConfig {
+            interval_len: 200,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 128,
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            w.code_all(interval.iter().copied()).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.chunks, 1);
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        let out = r.decode_all().unwrap();
+        assert_eq!(out.len(), 800);
+        for lap in 0..4 {
+            assert_eq!(&out[lap * 200..(lap + 1) * 200], &interval[..], "lap {lap}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_translation_reproduces_shifted_regions() {
+        let dir = tmp("lossy-shift");
+        // Four intervals, each a sweep of a different region: the paper's
+        // perfect-imitation case.
+        let cfg = LossyConfig {
+            interval_len: 256,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 256,
+            },
+        )
+        .unwrap();
+        let mut expected = Vec::new();
+        for region in [0xF2u64, 0xF3, 0xA1, 0xB7] {
+            let interval: Vec<u64> = (0..256u64).map(|i| (region << 8) + i).collect();
+            w.code_all(interval.iter().copied()).unwrap();
+            expected.extend(interval);
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.chunks, 1, "one chunk imitated by all others");
+        assert_eq!(stats.imitations, 3);
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert_eq!(r.decode_all().unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_partial_final_interval() {
+        let dir = tmp("lossy-partial");
+        let cfg = LossyConfig {
+            interval_len: 100,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 50,
+            },
+        )
+        .unwrap();
+        let addrs: Vec<u64> = (0..250u64).collect(); // 2.5 intervals
+        w.code_all(addrs.iter().copied()).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.intervals, 3);
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        let out = r.decode_all().unwrap();
+        assert_eq!(out.len(), 250);
+        // The final partial interval is stored losslessly.
+        assert_eq!(&out[200..], &addrs[200..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn values_iterator() {
+        let dir = tmp("values");
+        let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.code_all([1u64, 2, 3]).unwrap();
+        w.finish().unwrap();
+        let mut r = AtcReader::open(&dir).unwrap();
+        let vals: Vec<u64> = r.values().map(|v| v.unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_fails() {
+        assert!(AtcReader::open("/nonexistent/atc/dir").is_err());
+    }
+
+    #[test]
+    fn truncated_count_detected() {
+        let dir = tmp("truncated");
+        let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.code_all((0..10u64).map(|i| i * 64)).unwrap();
+        w.finish().unwrap();
+        // Tamper: claim more addresses than stored.
+        let meta_path = dir.join("meta");
+        let text = std::fs::read_to_string(&meta_path).unwrap();
+        std::fs::write(&meta_path, text.replace("count=10", "count=11")).unwrap();
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert!(r.decode_all().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! Container integrity verification.
+//!
+//! [`verify`] walks an ATC trace directory end to end — header, interval
+//! trace, every referenced chunk, every checksum — without materializing
+//! the decoded trace, and reports what it found. Useful before shipping
+//! multi-gigabyte trace archives (the paper's use case stores traces for
+//! "hours of real execution").
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::sync::Arc;
+
+use atc_codec::{codec_by_name, Codec, CodecReader};
+
+use crate::error::{AtcError, Result};
+use crate::format::{self, IntervalRecord, Meta};
+
+/// What [`verify`] found in a healthy container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Parsed header.
+    pub mode: String,
+    /// Total addresses recoverable from the container.
+    pub addresses: u64,
+    /// Number of interval records (lossy mode; 0 in lossless mode).
+    pub intervals: u64,
+    /// Chunk files present and referenced.
+    pub chunks: u64,
+    /// Chunk files present on disk but referenced by no interval record
+    /// (harmless, but a sign of a bug or tampering).
+    pub orphan_chunks: Vec<String>,
+}
+
+/// Verifies an ATC trace directory.
+///
+/// Checks performed:
+///
+/// * `meta` parses and names a known codec;
+/// * every payload stream decompresses with valid per-block checksums;
+/// * lossy mode: every interval record is well-formed, every referenced
+///   chunk file exists, decodes, and has the length its `NewChunk` record
+///   declared;
+/// * the total address count matches `meta`.
+///
+/// # Errors
+///
+/// Returns the first [`AtcError`] encountered; a returned report means the
+/// container decodes cleanly end to end.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use atc_core::{verify, AtcWriter, Mode};
+///
+/// let dir = std::env::temp_dir().join("atc-verify-doc");
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut w = AtcWriter::create(&dir, Mode::Lossless)?;
+/// w.code_all((0..100u64).map(|i| i * 64))?;
+/// w.finish()?;
+/// let report = verify(&dir)?;
+/// assert_eq!(report.addresses, 100);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify<P: AsRef<Path>>(dir: P) -> Result<VerifyReport> {
+    let dir = dir.as_ref();
+    let meta_text = std::fs::read_to_string(dir.join(format::META_FILE))
+        .map_err(|e| AtcError::Format(format!("cannot read meta: {e}")))?;
+    let meta = Meta::parse(&meta_text)?;
+    let codec: Arc<dyn Codec> = Arc::from(
+        codec_by_name(&meta.codec)
+            .ok_or_else(|| AtcError::Format(format!("unknown codec {:?}", meta.codec)))?,
+    );
+
+    let report = match meta.mode.as_str() {
+        "lossless" => verify_lossless(dir, &meta, &codec)?,
+        "lossy" => verify_lossy(dir, &meta, &codec)?,
+        other => return Err(AtcError::Format(format!("unknown mode {other:?}"))),
+    };
+    if report.addresses != meta.count {
+        return Err(AtcError::Format(format!(
+            "container holds {} addresses, meta declares {}",
+            report.addresses, meta.count
+        )));
+    }
+    Ok(report)
+}
+
+fn verify_lossless(dir: &Path, meta: &Meta, codec: &Arc<dyn Codec>) -> Result<VerifyReport> {
+    let file = BufReader::new(File::open(dir.join(format::DATA_FILE))?);
+    let mut stream = CodecReader::new(file, Arc::clone(codec));
+    let mut addresses = 0u64;
+    while let Some(frame) = format::read_frame(&mut stream)? {
+        addresses += frame.len() as u64;
+    }
+    Ok(VerifyReport {
+        mode: meta.mode.clone(),
+        addresses,
+        intervals: 0,
+        chunks: 0,
+        orphan_chunks: Vec::new(),
+    })
+}
+
+fn verify_lossy(dir: &Path, meta: &Meta, codec: &Arc<dyn Codec>) -> Result<VerifyReport> {
+    let file = BufReader::new(File::open(dir.join(format::INFO_FILE))?);
+    let mut info = CodecReader::new(file, Arc::clone(codec));
+
+    // First pass over records: collect references and declared lengths.
+    let mut declared: Vec<(u64, u64)> = Vec::new(); // (chunk_id, len)
+    let mut referenced: BTreeSet<u64> = BTreeSet::new();
+    let mut intervals = 0u64;
+    let mut addresses = 0u64;
+    let mut imitated: Vec<u64> = Vec::new();
+    while let Some(rec) = IntervalRecord::read(&mut info)? {
+        intervals += 1;
+        match rec {
+            IntervalRecord::NewChunk { chunk_id, len } => {
+                declared.push((chunk_id, len));
+                referenced.insert(chunk_id);
+                addresses += len;
+            }
+            IntervalRecord::Imitate { chunk_id, .. } => {
+                referenced.insert(chunk_id);
+                imitated.push(chunk_id);
+            }
+        }
+    }
+
+    // Decode every referenced chunk once, checking declared lengths.
+    let mut actual_len: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for &id in &referenced {
+        let path = dir.join(format::chunk_file_name(id));
+        let file = BufReader::new(File::open(&path).map_err(|e| {
+            AtcError::Format(format!("referenced chunk file {} missing: {e}", path.display()))
+        })?);
+        let mut stream = CodecReader::new(file, Arc::clone(codec));
+        let mut n = 0u64;
+        while let Some(frame) = format::read_frame(&mut stream)? {
+            n += frame.len() as u64;
+        }
+        actual_len.insert(id, n);
+    }
+    for &(id, len) in &declared {
+        let actual = actual_len.get(&id).copied().unwrap_or(0);
+        if actual != len {
+            return Err(AtcError::Format(format!(
+                "chunk {id} holds {actual} addresses, record declares {len}"
+            )));
+        }
+    }
+    for id in imitated {
+        addresses += actual_len.get(&id).copied().unwrap_or(0);
+    }
+
+    // Orphan scan: chunk files on disk that nothing references.
+    let mut orphan_chunks = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if let Some(id_str) = name
+            .strip_prefix("chunk-")
+            .and_then(|s| s.strip_suffix(".atc"))
+        {
+            if let Ok(id) = id_str.parse::<u64>() {
+                if !referenced.contains(&id) {
+                    orphan_chunks.push(name);
+                }
+            }
+        }
+    }
+    orphan_chunks.sort();
+
+    Ok(VerifyReport {
+        mode: meta.mode.clone(),
+        addresses,
+        intervals,
+        chunks: referenced.len() as u64,
+        orphan_chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lossy::LossyConfig;
+    use crate::writer::{AtcOptions, AtcWriter, Mode};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("atc-verify-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn verifies_lossless() {
+        let dir = tmp("ll");
+        let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.code_all((0..5000u64).map(|i| i * 3)).unwrap();
+        w.finish().unwrap();
+        let r = verify(&dir).unwrap();
+        assert_eq!(r.addresses, 5000);
+        assert_eq!(r.mode, "lossless");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verifies_lossy_with_imitations() {
+        let dir = tmp("ly");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(LossyConfig {
+                interval_len: 200,
+                ..LossyConfig::default()
+            }),
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 50,
+            },
+        )
+        .unwrap();
+        for _ in 0..5 {
+            w.code_all((0..200u64).map(|i| i * 64)).unwrap();
+        }
+        w.finish().unwrap();
+        let r = verify(&dir).unwrap();
+        assert_eq!(r.addresses, 1000);
+        assert_eq!(r.intervals, 5);
+        assert_eq!(r.chunks, 1);
+        assert!(r.orphan_chunks.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_count_mismatch() {
+        let dir = tmp("count");
+        let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.code_all([1u64, 2, 3]).unwrap();
+        w.finish().unwrap();
+        let meta_path = dir.join("meta");
+        let text = std::fs::read_to_string(&meta_path).unwrap();
+        std::fs::write(&meta_path, text.replace("count=3", "count=4")).unwrap();
+        assert!(verify(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reports_orphan_chunks() {
+        let dir = tmp("orphan");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(LossyConfig {
+                interval_len: 100,
+                ..LossyConfig::default()
+            }),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 50,
+            },
+        )
+        .unwrap();
+        w.code_all((0..100u64).map(|i| i * 64)).unwrap();
+        w.finish().unwrap();
+        // Drop in an unreferenced chunk file (valid name, plausible bytes).
+        std::fs::copy(dir.join("chunk-000000.atc"), dir.join("chunk-000042.atc")).unwrap();
+        let r = verify(&dir).unwrap();
+        assert_eq!(r.orphan_chunks, vec!["chunk-000042.atc".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_missing_chunk() {
+        let dir = tmp("missing");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(LossyConfig {
+                interval_len: 100,
+                ..LossyConfig::default()
+            }),
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 50,
+            },
+        )
+        .unwrap();
+        w.code_all((0..100u64).map(|i| i * 64)).unwrap();
+        w.finish().unwrap();
+        std::fs::remove_file(dir.join("chunk-000000.atc")).unwrap();
+        assert!(verify(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,496 @@
+//! Streaming ATC compression (the original tool's `atc_open('c'|'k') /
+//! atc_code / atc_close`).
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use atc_codec::{codec_by_name, Codec, CodecWriter};
+
+use crate::error::{AtcError, Result};
+use crate::format::{self, IntervalRecord, Meta, FORMAT_VERSION};
+use crate::lossy::{Classification, LossyConfig, PhaseClassifier};
+
+/// Compression mode, mirroring the original tool's `'c'` / `'k'` open modes.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Lossless: bytesort + back-end codec only (`'c'`).
+    Lossless,
+    /// Lossy: phase-based interval imitation (`'k'`), with the given
+    /// parameters. `Mode::Lossy(LossyConfig::default())` reproduces the
+    /// paper's settings.
+    Lossy(LossyConfig),
+}
+
+/// Tuning knobs shared by both modes.
+#[derive(Debug, Clone)]
+pub struct AtcOptions {
+    /// Back-end codec name (`"bzip"`, `"lz"`, `"store"`); the analogue of
+    /// the compressor command string passed to the original `atc_open`.
+    pub codec: String,
+    /// Bytesort buffer size `B` in addresses (the paper evaluates 1 M and
+    /// 10 M).
+    pub buffer: usize,
+}
+
+impl Default for AtcOptions {
+    /// `bzip` back end with a 1 M-address buffer — the configuration the
+    /// paper uses for lossy chunks ("all chunks are compressed with the
+    /// bytesort method … using a buffer size of 1 million addresses").
+    fn default() -> Self {
+        Self {
+            codec: "bzip".into(),
+            buffer: 1_000_000,
+        }
+    }
+}
+
+/// Statistics returned by [`AtcWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtcStats {
+    /// Addresses compressed.
+    pub count: u64,
+    /// Intervals processed (lossy mode; 0 in lossless mode).
+    pub intervals: u64,
+    /// Chunks stored on disk.
+    pub chunks: u64,
+    /// Intervals recorded as imitations.
+    pub imitations: u64,
+    /// Total size of the output directory in bytes.
+    pub compressed_bytes: u64,
+}
+
+impl AtcStats {
+    /// Average compressed bits per address (the paper's BPA metric).
+    pub fn bits_per_address(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.compressed_bytes as f64 * 8.0 / self.count as f64
+        }
+    }
+
+    /// Compression ratio versus raw 8-byte addresses.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            (self.count * 8) as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// A streaming ATC compressor writing a trace directory.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use atc_core::{AtcWriter, Mode};
+///
+/// let dir = std::env::temp_dir().join("atc-writer-doc");
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut w = AtcWriter::create(&dir, Mode::Lossless)?;
+/// for a in 0..100u64 {
+///     w.code(a * 64)?;
+/// }
+/// let stats = w.finish()?;
+/// assert_eq!(stats.count, 100);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AtcWriter {
+    dir: PathBuf,
+    codec: Arc<dyn Codec>,
+    codec_name: String,
+    buffer: usize,
+    count: u64,
+    state: State,
+}
+
+#[derive(Debug)]
+enum State {
+    Lossless {
+        out: CodecWriter<BufWriter<File>>,
+        buf: Vec<u64>,
+    },
+    Lossy {
+        classifier: PhaseClassifier,
+        interval: Vec<u64>,
+        info: CodecWriter<BufWriter<File>>,
+        next_chunk_id: u64,
+        intervals: u64,
+        imitations: u64,
+    },
+}
+
+impl AtcWriter {
+    /// Creates a trace directory with default options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created, already contains a trace,
+    /// or the options are invalid.
+    pub fn create<P: AsRef<Path>>(dir: P, mode: Mode) -> Result<Self> {
+        Self::with_options(dir, mode, AtcOptions::default())
+    }
+
+    /// Creates a trace directory with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created, already contains a trace,
+    /// the codec name is unknown, `buffer` is zero, or the lossy
+    /// configuration is invalid.
+    pub fn with_options<P: AsRef<Path>>(dir: P, mode: Mode, options: AtcOptions) -> Result<Self> {
+        if options.buffer == 0 {
+            return Err(AtcError::Format("buffer size must be positive".into()));
+        }
+        let codec: Arc<dyn Codec> = Arc::from(
+            codec_by_name(&options.codec)
+                .ok_or_else(|| AtcError::Format(format!("unknown codec {:?}", options.codec)))?,
+        );
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if dir.join(format::META_FILE).exists() {
+            return Err(AtcError::Format(format!(
+                "directory {} already contains an ATC trace",
+                dir.display()
+            )));
+        }
+
+        let state = match mode {
+            Mode::Lossless => {
+                let file = BufWriter::new(File::create(dir.join(format::DATA_FILE))?);
+                State::Lossless {
+                    out: CodecWriter::new(file, Arc::clone(&codec)),
+                    buf: Vec::with_capacity(options.buffer.min(1 << 24)),
+                }
+            }
+            Mode::Lossy(cfg) => {
+                cfg.validate().map_err(AtcError::Format)?;
+                let file = BufWriter::new(File::create(dir.join(format::INFO_FILE))?);
+                State::Lossy {
+                    interval: Vec::with_capacity(cfg.interval_len.min(1 << 24)),
+                    classifier: PhaseClassifier::new(cfg),
+                    info: CodecWriter::new(file, Arc::clone(&codec)),
+                    next_chunk_id: 0,
+                    intervals: 0,
+                    imitations: 0,
+                }
+            }
+        };
+        Ok(Self {
+            dir,
+            codec,
+            codec_name: options.codec,
+            buffer: options.buffer,
+            count: 0,
+            state,
+        })
+    }
+
+    /// Compresses one 64-bit value (the original `atc_code`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and codec errors.
+    pub fn code(&mut self, value: u64) -> Result<()> {
+        self.count += 1;
+        let interval_len = self.interval_len();
+        let buffer = self.buffer;
+        match &mut self.state {
+            State::Lossless { out, buf } => {
+                buf.push(value);
+                if buf.len() == buffer {
+                    format::write_frame(out, buf)?;
+                    buf.clear();
+                }
+                Ok(())
+            }
+            State::Lossy { interval, .. } => {
+                interval.push(value);
+                if interval.len() == interval_len {
+                    self.end_interval()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Compresses every value from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`AtcWriter::code`].
+    pub fn code_all<I: IntoIterator<Item = u64>>(&mut self, values: I) -> Result<()> {
+        for v in values {
+            self.code(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of addresses accepted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn interval_len(&self) -> usize {
+        match &self.state {
+            State::Lossy { classifier, .. } => classifier.config().interval_len,
+            State::Lossless { .. } => usize::MAX,
+        }
+    }
+
+    /// Finishes the interval currently buffered (lossy mode only).
+    fn end_interval(&mut self) -> Result<()> {
+        // Take the interval buffer out of the state to appease borrows.
+        let State::Lossy {
+            classifier,
+            interval,
+            info,
+            next_chunk_id,
+            intervals,
+            imitations,
+        } = &mut self.state
+        else {
+            unreachable!("end_interval is only called in lossy mode");
+        };
+        if interval.is_empty() {
+            return Ok(());
+        }
+        *intervals += 1;
+        let full = interval.len() == classifier.config().interval_len;
+        let classification = if full {
+            classifier.classify(interval, *next_chunk_id)
+        } else {
+            // Final partial interval: always stored (imitating with a chunk
+            // of different length would change the trace length).
+            Classification::NewChunk
+        };
+        match classification {
+            Classification::NewChunk => {
+                let id = *next_chunk_id;
+                *next_chunk_id += 1;
+                let path = self.dir.join(format::chunk_file_name(id));
+                let file = BufWriter::new(File::create(path)?);
+                let mut out = CodecWriter::new(file, Arc::clone(&self.codec));
+                for chunk in interval.chunks(self.buffer) {
+                    format::write_frame(&mut out, chunk)?;
+                }
+                out.finish()?;
+                IntervalRecord::NewChunk {
+                    chunk_id: id,
+                    len: interval.len() as u64,
+                }
+                .write(info)?;
+            }
+            Classification::Imitate {
+                chunk_id,
+                translations,
+                ..
+            } => {
+                *imitations += 1;
+                IntervalRecord::Imitate {
+                    chunk_id,
+                    translations,
+                }
+                .write(info)?;
+            }
+        }
+        interval.clear();
+        Ok(())
+    }
+
+    /// Flushes buffered data, writes the `meta` header, and returns the
+    /// compression statistics (the original `atc_close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and codec errors.
+    pub fn finish(mut self) -> Result<AtcStats> {
+        let (intervals, chunks, imitations, interval_len, threshold) = match &mut self.state {
+            State::Lossless { .. } => (0, 0, 0, 0u64, 0.0),
+            State::Lossy { .. } => {
+                self.end_interval()?;
+                let State::Lossy {
+                    intervals,
+                    next_chunk_id,
+                    imitations,
+                    classifier,
+                    ..
+                } = &self.state
+                else {
+                    unreachable!();
+                };
+                (
+                    *intervals,
+                    *next_chunk_id,
+                    *imitations,
+                    classifier.config().interval_len as u64,
+                    classifier.config().threshold,
+                )
+            }
+        };
+
+        match self.state {
+            State::Lossless { mut out, buf } => {
+                if !buf.is_empty() {
+                    format::write_frame(&mut out, &buf)?;
+                }
+                out.finish()?;
+            }
+            State::Lossy { info, .. } => {
+                info.finish()?;
+            }
+        }
+
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            mode: if interval_len == 0 { "lossless" } else { "lossy" }.into(),
+            codec: self.codec_name.clone(),
+            buffer: self.buffer as u64,
+            interval_len,
+            threshold,
+            count: self.count,
+            chunks,
+        };
+        fs::write(self.dir.join(format::META_FILE), meta.to_text())?;
+
+        let compressed_bytes = dir_size(&self.dir)?;
+        Ok(AtcStats {
+            count: self.count,
+            intervals,
+            chunks,
+            imitations,
+            compressed_bytes,
+        })
+    }
+}
+
+/// Total size in bytes of all files directly inside `dir`.
+pub(crate) fn dir_size(dir: &Path) -> Result<u64> {
+    let mut total = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            total += entry.metadata()?.len();
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atc-writer-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lossless_creates_layout() {
+        let dir = tmp("layout");
+        let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.code_all((0..1000u64).map(|i| i * 64)).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.count, 1000);
+        assert!(dir.join("meta").exists());
+        assert!(dir.join("data.atc").exists());
+        assert!(stats.compressed_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_creates_chunks_and_info() {
+        let dir = tmp("lossy");
+        let cfg = LossyConfig {
+            interval_len: 100,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 64,
+            },
+        )
+        .unwrap();
+        // 5 identical intervals: 1 chunk + 4 imitations.
+        for _ in 0..5 {
+            w.code_all((0..100u64).map(|i| i * 64)).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.count, 500);
+        assert_eq!(stats.intervals, 5);
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.imitations, 4);
+        assert!(dir.join("chunk-000000.atc").exists());
+        assert!(dir.join("info.atc").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refuses_double_create() {
+        let dir = tmp("double");
+        let w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        w.finish().unwrap();
+        assert!(AtcWriter::create(&dir, Mode::Lossless).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let dir = tmp("badopt");
+        assert!(AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "nope".into(),
+                buffer: 10
+            }
+        )
+        .is_err());
+        assert!(AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 0
+            }
+        )
+        .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_bpa() {
+        let s = AtcStats {
+            count: 1000,
+            intervals: 0,
+            chunks: 0,
+            imitations: 0,
+            compressed_bytes: 250,
+        };
+        assert!((s.bits_per_address() - 2.0).abs() < 1e-12);
+        assert!((s.ratio() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let dir = tmp("empty");
+        let w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.bits_per_address(), 0.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! # atc-tcgen — TCgen/VPC-class baseline compressor
+//!
+//! The paper compares bytesort against "a VPC-like compressor/decompressor
+//! generated with TCgen" using the specification
+//! `DFCM3[2], FCM3[3], FCM2[3], FCM1[3]` with 2^20-line second-level tables
+//! and a bzip2 back end (§4.2, Table 1). TCgen itself is a code generator;
+//! this crate implements the compressor that specification describes:
+//!
+//! * a [`PredictorBank`] of FCM (value) and DFCM (delta) predictors with
+//!   MRU-ordered lines,
+//! * a [`Tcgen`] encoder that replaces predicted values with one-byte slot
+//!   codes and escapes mispredictions into a literal stream,
+//! * both streams piped through an [`atc_codec::Codec`] back end.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use atc_codec::Bzip;
+//! use atc_tcgen::{Tcgen, TcgenConfig};
+//!
+//! let tc = Tcgen::new(TcgenConfig::default(), Arc::new(Bzip::default()));
+//! let trace: Vec<u64> = (0..1000u64).map(|i| i * 64).collect();
+//! let packed = tc.compress(&trace);
+//! assert_eq!(tc.decompress(&packed).unwrap(), trace);
+//! ```
+
+mod compressor;
+mod predictor;
+
+pub use compressor::{Tcgen, TcgenConfig, TcgenError};
+pub use predictor::{PredictorBank, NUM_CODES};

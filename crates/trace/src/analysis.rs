@@ -1,0 +1,222 @@
+//! Trace analysis: the quantities that explain *why* a trace compresses the
+//! way it does.
+//!
+//! The paper's narrative ties compressibility to trace structure — byte
+//! columns with low entropy compress once unshuffled (§4.1), stationary
+//! traces collapse under phase detection (§5), footprint drives the myopic
+//! interval problem. This module computes those diagnostics:
+//!
+//! * [`footprint`] — distinct blocks touched;
+//! * [`working_set_curve`] — distinct blocks per fixed window, the signal
+//!   online phase detection keys on;
+//! * [`column_entropies`] — Shannon entropy of each byte column, an upper
+//!   bound intuition for what byte-level compressors can achieve;
+//! * [`delta_profile`] — how concentrated successive address deltas are,
+//!   the quantity stride/DFCM predictors exploit.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_trace::analysis;
+//!
+//! let stream: Vec<u64> = (0..1000u64).collect();
+//! assert_eq!(analysis::footprint(&stream), 1000);
+//! let d = analysis::delta_profile(&stream, 4);
+//! assert_eq!(d.top[0], (1, 999)); // one delta explains everything
+//! ```
+
+use std::collections::HashMap;
+
+/// Number of distinct values in the trace.
+pub fn footprint(trace: &[u64]) -> usize {
+    let mut v: Vec<u64> = trace.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// Distinct values per consecutive window of `window` addresses.
+///
+/// A flat curve means a stationary trace (lossy-friendly); a jagged or
+/// drifting curve signals phase changes or churn.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn working_set_curve(trace: &[u64], window: usize) -> Vec<usize> {
+    assert!(window > 0, "window must be positive");
+    trace.chunks(window).map(footprint).collect()
+}
+
+/// Shannon entropy (bits per symbol) of each byte column, most-significant
+/// first.
+///
+/// Cache-filtered address traces typically show near-zero entropy in the
+/// high columns (the paper's null top bits and region bytes) and high
+/// entropy only near the bottom — which is why unshuffling the columns
+/// helps a byte-level compressor so much.
+pub fn column_entropies(trace: &[u64]) -> [f64; 8] {
+    let mut counts = [[0u64; 256]; 8];
+    for &a in trace {
+        for (j, col) in counts.iter_mut().enumerate() {
+            col[((a >> (8 * (7 - j))) & 0xFF) as usize] += 1;
+        }
+    }
+    let n = trace.len() as f64;
+    std::array::from_fn(|j| {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        let h: f64 = counts[j]
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        if h <= 0.0 {
+            0.0 // avoid -0.0 for single-valued columns
+        } else {
+            h
+        }
+    })
+}
+
+/// Summary of successive-delta concentration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaProfile {
+    /// The `k` most frequent deltas with their counts, descending.
+    pub top: Vec<(i64, u64)>,
+    /// Total number of deltas (`trace.len() - 1`).
+    pub total: u64,
+    /// Fraction of deltas covered by `top`.
+    pub coverage: f64,
+}
+
+/// Computes the `k` most frequent successive deltas.
+///
+/// High coverage by few deltas means stride predictors (and the DFCM side
+/// of TCgen, and C/DC's delta correlation) will do well.
+pub fn delta_profile(trace: &[u64], k: usize) -> DeltaProfile {
+    let mut counts: HashMap<i64, u64> = HashMap::new();
+    for w in trace.windows(2) {
+        *counts.entry(w[1].wrapping_sub(w[0]) as i64).or_default() += 1;
+    }
+    let total = trace.len().saturating_sub(1) as u64;
+    let mut top: Vec<(i64, u64)> = counts.into_iter().collect();
+    top.sort_by_key(|&(d, c)| (std::cmp::Reverse(c), d));
+    top.truncate(k);
+    let covered: u64 = top.iter().map(|&(_, c)| c).sum();
+    DeltaProfile {
+        top,
+        total,
+        coverage: if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        },
+    }
+}
+
+/// Stationarity score in `[0, 1]`: mean pairwise similarity of per-window
+/// footprints (1 = every window touches the same number of distinct blocks).
+///
+/// A cheap scalar proxy for "how much will lossy phase compression gain" —
+/// the paper's stable traces (e.g. 458.sjeng) score near 1, the unstable
+/// ones (403.gcc, 447.dealII) lower.
+pub fn stationarity(trace: &[u64], window: usize) -> f64 {
+    let curve = working_set_curve(trace, window);
+    if curve.len() < 2 {
+        return 1.0;
+    }
+    let mean = curve.iter().sum::<usize>() as f64 / curve.len() as f64;
+    if mean == 0.0 {
+        return 1.0;
+    }
+    let var = curve
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / curve.len() as f64;
+    // Coefficient-of-variation mapped into (0, 1].
+    1.0 / (1.0 + var.sqrt() / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_counts_distinct() {
+        assert_eq!(footprint(&[]), 0);
+        assert_eq!(footprint(&[5, 5, 5]), 1);
+        assert_eq!(footprint(&[1, 2, 3, 2, 1]), 3);
+    }
+
+    #[test]
+    fn working_set_windows() {
+        let trace = [1u64, 1, 2, 2, 3, 4];
+        assert_eq!(working_set_curve(&trace, 2), vec![1, 1, 2]);
+        assert_eq!(working_set_curve(&trace, 4), vec![2, 2]);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Constant trace: zero entropy everywhere.
+        let e = column_entropies(&[0xAAAA_AAAA; 100]);
+        assert!(e.iter().all(|&x| x == 0.0));
+        // Uniform low byte: 8 bits in the last column, 0 elsewhere.
+        let trace: Vec<u64> = (0..256u64).collect();
+        let e = column_entropies(&trace);
+        assert!((e[7] - 8.0).abs() < 1e-9, "low column {e:?}");
+        assert!(e[..7].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn entropy_empty() {
+        assert_eq!(column_entropies(&[]), [0.0; 8]);
+    }
+
+    #[test]
+    fn delta_profile_stride() {
+        let trace: Vec<u64> = (0..100u64).map(|i| i * 64).collect();
+        let d = delta_profile(&trace, 3);
+        assert_eq!(d.top[0], (64, 99));
+        assert!((d.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_profile_negative_deltas() {
+        let trace = [100u64, 50, 100, 50, 100];
+        let d = delta_profile(&trace, 2);
+        assert_eq!(d.total, 4);
+        // Both +50 and -50 occur twice; ordering ties break by delta value.
+        assert_eq!(d.top.len(), 2);
+        assert!(d.top.iter().any(|&(x, c)| x == -50 && c == 2));
+        assert!(d.top.iter().any(|&(x, c)| x == 50 && c == 2));
+    }
+
+    #[test]
+    fn stationarity_detects_stability() {
+        // Stationary: repeating the same window pattern.
+        let stable: Vec<u64> = (0..10_000u64).map(|i| i % 64).collect();
+        // Drifting: footprint grows then shrinks per window.
+        let drifting: Vec<u64> = (0..10_000u64)
+            .map(|i| if (i / 1000) % 2 == 0 { i % 4 } else { i })
+            .collect();
+        let s1 = stationarity(&stable, 1000);
+        let s2 = stationarity(&drifting, 1000);
+        assert!(s1 > s2, "stable {s1} must exceed drifting {s2}");
+        assert!(s1 > 0.99);
+    }
+
+    #[test]
+    fn stationarity_degenerate() {
+        assert_eq!(stationarity(&[], 10), 1.0);
+        assert_eq!(stationarity(&[1, 2, 3], 10), 1.0);
+    }
+}

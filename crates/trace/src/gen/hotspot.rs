@@ -1,0 +1,122 @@
+//! Skewed-popularity access over multiple regions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Access, BLOCK_BYTES};
+
+/// Accesses `regions` separate regions with geometrically decaying
+/// popularity; accesses within a region are uniform random.
+///
+/// Models heap-object workloads with hot/cold structure (444.namd,
+/// 400.perlbench class): stationary overall (lossy-friendly) but with a
+/// non-trivial address distribution across several byte columns.
+///
+/// # Examples
+///
+/// ```
+/// use atc_trace::gen::Hotspot;
+///
+/// let g = Hotspot::new(0x2000_0000, 8, 1 << 12, 0.5, 11);
+/// assert_eq!(g.take(10).count(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    base: u64,
+    regions: u64,
+    region_blocks: u64,
+    /// Probability of choosing region 0; each next region is `decay` times
+    /// less likely.
+    p0: f64,
+    decay: f64,
+    rng: StdRng,
+}
+
+impl Hotspot {
+    /// Creates a generator over `regions` regions of `region_blocks` blocks,
+    /// spaced contiguously from `base`. `decay` in (0,1): popularity ratio
+    /// between consecutive regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`, `region_blocks == 0`, or `decay` is not in
+    /// (0, 1].
+    pub fn new(base: u64, regions: u64, region_blocks: u64, decay: f64, seed: u64) -> Self {
+        assert!(regions > 0 && region_blocks > 0);
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+        // Normalize: p0 * (1 + d + d^2 + ...) = 1 over `regions` terms.
+        let geo_sum = if (decay - 1.0).abs() < 1e-12 {
+            regions as f64
+        } else {
+            (1.0 - decay.powi(regions as i32)) / (1.0 - decay)
+        };
+        Self {
+            base,
+            regions,
+            region_blocks,
+            p0: 1.0 / geo_sum,
+            decay,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick_region(&mut self) -> u64 {
+        let mut x: f64 = self.rng.random();
+        let mut p = self.p0;
+        for r in 0..self.regions {
+            if x < p || r == self.regions - 1 {
+                return r;
+            }
+            x -= p;
+            p *= self.decay;
+        }
+        self.regions - 1
+    }
+}
+
+impl Iterator for Hotspot {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let r = self.pick_region();
+        let b = self.rng.random_range(0..self.region_blocks);
+        let addr = self.base + (r * self.region_blocks + b) * BLOCK_BYTES;
+        Some(Access::read(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_zero_is_hottest() {
+        let mut counts = vec![0u64; 4];
+        let region_blocks = 64u64;
+        for a in Hotspot::new(0, 4, region_blocks, 0.4, 3).take(20_000) {
+            let r = a.addr / (region_blocks * BLOCK_BYTES);
+            counts[r as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn addresses_in_bounds() {
+        let total = 4 * 64 * BLOCK_BYTES;
+        for a in Hotspot::new(1 << 30, 4, 64, 0.5, 1).take(5000) {
+            assert!(a.addr >= 1 << 30 && a.addr < (1 << 30) + total);
+        }
+    }
+
+    #[test]
+    fn uniform_decay_accepted() {
+        let mut counts = vec![0u64; 2];
+        for a in Hotspot::new(0, 2, 16, 1.0, 2).take(10_000) {
+            counts[(a.addr / (16 * BLOCK_BYTES)) as usize] += 1;
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Probabilistic interleave of sub-behaviours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Access, Workload};
+
+/// Interleaves several workloads, drawing each access from workload `i`
+/// with probability `weight[i] / Σ weights`.
+///
+/// Real benchmarks mix behaviours at instruction granularity (code fetches
+/// + a streaming array + a pointer-chased structure); `Mix` reproduces that
+/// fine-grained interleaving, which is what makes cache-filtered traces
+/// only piecewise regular.
+///
+/// # Examples
+///
+/// ```
+/// use atc_trace::gen::{Mix, Stream};
+///
+/// let m = Mix::new(
+///     vec![
+///         (3.0, Box::new(Stream::new(0, 1 << 20, 64)) as _),
+///         (1.0, Box::new(Stream::new(1 << 40, 1 << 20, 64)) as _),
+///     ],
+///     123,
+/// );
+/// assert_eq!(m.take(10).count(), 10);
+/// ```
+pub struct Mix {
+    parts: Vec<(f64, Workload)>,
+    total_weight: f64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mix")
+            .field("parts", &self.parts.len())
+            .field("total_weight", &self.total_weight)
+            .finish()
+    }
+}
+
+impl Mix {
+    /// Creates a weighted mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any weight is not strictly positive.
+    pub fn new(parts: Vec<(f64, Workload)>, seed: u64) -> Self {
+        assert!(!parts.is_empty(), "need at least one component");
+        assert!(
+            parts.iter().all(|(w, _)| *w > 0.0),
+            "weights must be positive"
+        );
+        let total_weight = parts.iter().map(|(w, _)| w).sum();
+        Self {
+            parts,
+            total_weight,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for Mix {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let mut x: f64 = self.rng.random::<f64>() * self.total_weight;
+        let last = self.parts.len() - 1;
+        for (i, (w, wl)) in self.parts.iter_mut().enumerate() {
+            if x < *w || i == last {
+                return wl.next();
+            }
+            x -= *w;
+        }
+        unreachable!("loop always returns on the last component")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Stream;
+
+    #[test]
+    fn respects_weights() {
+        let m = Mix::new(
+            vec![
+                (9.0, Box::new(Stream::new(0, 1 << 20, 64)) as _),
+                (1.0, Box::new(Stream::new(1 << 40, 1 << 20, 64)) as _),
+            ],
+            7,
+        );
+        let n = 20_000;
+        let hot = m.take(n).filter(|a| a.addr < (1 << 40)).count();
+        let frac = hot as f64 / n as f64;
+        assert!((0.85..0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = || {
+            Mix::new(
+                vec![
+                    (1.0, Box::new(Stream::new(0, 1 << 16, 64)) as _),
+                    (1.0, Box::new(Stream::new(1 << 30, 1 << 16, 64)) as _),
+                ],
+                99,
+            )
+        };
+        let a: Vec<u64> = build().take(500).map(|x| x.addr).collect();
+        let b: Vec<u64> = build().take(500).map(|x| x.addr).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic memory-behaviour generators.
+//!
+//! Each generator is an infinite, deterministic `Iterator<Item = Access>`;
+//! randomized generators take an explicit seed so traces are reproducible.
+//! They model the classic memory-access archetypes the paper's SPEC subset
+//! exhibits:
+//!
+//! | Generator | Behaviour | SPEC archetypes |
+//! |---|---|---|
+//! | [`Stream`] | sequential sweeps over a big array | libquantum, lbm, milc |
+//! | [`MultiStream`] | several concurrent sequential streams | bwaves, zeusmp |
+//! | [`Strided`] | constant-stride walk (column sweeps) | soplex, hmmer |
+//! | [`LoopNest`] | row-major 2-D nest with optional tiling | h264ref, zeusmp |
+//! | [`PointerChase`] | random-permutation cycle traversal | mcf, omnetpp, astar |
+//! | [`RandomAccess`] | uniform random over a working set | sjeng, gobmk |
+//! | [`Hotspot`] | skewed (geometric) region popularity | namd, perlbench |
+//! | [`CodeLoop`] | instruction-fetch loops with call/branch mix | all (I-stream) |
+//! | [`Phased`] | time-multiplexed sub-behaviours with region shifts | gcc, dealII, lbm |
+//! | [`Mix`] | probabilistic interleave of sub-behaviours | most benchmarks |
+
+mod code;
+mod hotspot;
+mod mix;
+mod phased;
+mod pointer;
+mod random;
+mod stream;
+mod writes;
+
+pub use code::CodeLoop;
+pub use hotspot::Hotspot;
+pub use mix::Mix;
+pub use phased::{Phase, Phased};
+pub use pointer::PointerChase;
+pub use random::RandomAccess;
+pub use stream::{LoopNest, MultiStream, Stream, Strided};
+pub use writes::WriteShare;

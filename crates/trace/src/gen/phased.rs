@@ -1,0 +1,135 @@
+//! Phase-structured workloads.
+
+use crate::{Access, Workload};
+
+/// One phase: a generator plus how many accesses it runs before the next
+/// phase takes over.
+pub struct Phase {
+    /// The behaviour active during this phase.
+    pub workload: Workload,
+    /// Number of accesses the phase emits per activation.
+    pub len: u64,
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase").field("len", &self.len).finish()
+    }
+}
+
+impl Phase {
+    /// Creates a phase running `workload` for `len` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(workload: Workload, len: u64) -> Self {
+        assert!(len > 0, "phase length must be positive");
+        Self { workload, len }
+    }
+}
+
+/// Cycles through a list of phases.
+///
+/// Phase state is *persistent*: when a phase re-activates it resumes where
+/// it left off, like a real program returning to a computation kernel. This
+/// is the structure the paper's lossy compressor exploits — recurring
+/// intervals with matching sorted byte-histograms (§5) — and, with
+/// disjoint per-phase regions, the structure that byte translation must
+/// bridge.
+///
+/// # Examples
+///
+/// ```
+/// use atc_trace::gen::{Phase, Phased, Stream};
+///
+/// let phased = Phased::new(vec![
+///     Phase::new(Box::new(Stream::new(0, 1 << 20, 64)), 100),
+///     Phase::new(Box::new(Stream::new(1 << 30, 1 << 20, 64)), 100),
+/// ]);
+/// let addrs: Vec<u64> = phased.take(250).map(|a| a.addr).collect();
+/// assert!(addrs[0] < (1 << 30));
+/// assert!(addrs[100] >= (1 << 30));
+/// assert!(addrs[200] < (1 << 30)); // back to phase 0, resumed
+/// ```
+#[derive(Debug)]
+pub struct Phased {
+    phases: Vec<Phase>,
+    cur: usize,
+    emitted_in_phase: u64,
+}
+
+impl Phased {
+    /// Creates a cyclic phase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        Self {
+            phases,
+            cur: 0,
+            emitted_in_phase: 0,
+        }
+    }
+
+    /// Index of the currently active phase.
+    pub fn current_phase(&self) -> usize {
+        self.cur
+    }
+}
+
+impl Iterator for Phased {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.emitted_in_phase == self.phases[self.cur].len {
+            self.emitted_in_phase = 0;
+            self.cur = (self.cur + 1) % self.phases.len();
+        }
+        self.emitted_in_phase += 1;
+        self.phases[self.cur].workload.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Stream;
+
+    fn stream(base: u64) -> Workload {
+        Box::new(Stream::new(base, 1 << 16, 64))
+    }
+
+    #[test]
+    fn cycles_between_phases() {
+        let p = Phased::new(vec![
+            Phase::new(stream(0), 10),
+            Phase::new(stream(1 << 40), 5),
+        ]);
+        let addrs: Vec<u64> = p.take(30).map(|a| a.addr).collect();
+        assert!(addrs[..10].iter().all(|&a| a < (1 << 40)));
+        assert!(addrs[10..15].iter().all(|&a| a >= (1 << 40)));
+        assert!(addrs[15..25].iter().all(|&a| a < (1 << 40)));
+    }
+
+    #[test]
+    fn phase_state_persists() {
+        let p = Phased::new(vec![
+            Phase::new(stream(0), 3),
+            Phase::new(stream(1 << 40), 1),
+        ]);
+        let addrs: Vec<u64> = p.take(8).map(|a| a.addr).collect();
+        // Phase 0 resumes at offset 3*64 after phase 1 interleaves.
+        assert_eq!(addrs[4], 3 * 64);
+    }
+
+    #[test]
+    fn single_phase_is_transparent() {
+        let p = Phased::new(vec![Phase::new(stream(0), 7)]);
+        let direct: Vec<u64> = Stream::new(0, 1 << 16, 64).take(20).map(|a| a.addr).collect();
+        let phased: Vec<u64> = p.take(20).map(|a| a.addr).collect();
+        assert_eq!(direct, phased);
+    }
+}

@@ -1,0 +1,268 @@
+//! Sequential, strided, multi-stream and loop-nest generators.
+
+use crate::Access;
+
+/// Sequential sweep over a region, wrapping at the end.
+///
+/// Models streaming kernels (STREAM triad, stencil sweeps): the cache
+/// filters almost everything except one compulsory/capacity miss per block,
+/// so the filtered trace is near-arithmetic and compresses extremely well —
+/// the paper's 410/433/462/470 class.
+///
+/// # Examples
+///
+/// ```
+/// use atc_trace::gen::Stream;
+///
+/// let mut s = Stream::new(0, 128, 64);
+/// let a: Vec<u64> = s.by_ref().take(3).map(|x| x.addr).collect();
+/// assert_eq!(a, vec![0, 64, 0]); // wraps after region_bytes
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stream {
+    base: u64,
+    region_bytes: u64,
+    step: u64,
+    offset: u64,
+}
+
+impl Stream {
+    /// Creates a sweep starting at `base`, wrapping every `region_bytes`,
+    /// advancing `step` bytes per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes == 0` or `step == 0`.
+    pub fn new(base: u64, region_bytes: u64, step: u64) -> Self {
+        assert!(region_bytes > 0 && step > 0);
+        Self {
+            base,
+            region_bytes,
+            step,
+            offset: 0,
+        }
+    }
+}
+
+impl Iterator for Stream {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let a = Access::read(self.base + self.offset);
+        self.offset += self.step;
+        if self.offset >= self.region_bytes {
+            self.offset = 0;
+        }
+        Some(a)
+    }
+}
+
+/// Constant-stride walk (stride may exceed the block size), wrapping.
+///
+/// With stride > 64 B every access touches a new block, so the *filtered*
+/// trace is a clean arithmetic progression — matrix column sweeps
+/// (450.soplex-like behaviour).
+#[derive(Debug, Clone)]
+pub struct Strided {
+    base: u64,
+    region_bytes: u64,
+    stride: u64,
+    offset: u64,
+    /// Lap counter: each wrap shifts the start by one element so successive
+    /// laps touch different cache sets, like a column-major sweep.
+    lap: u64,
+    lap_shift: u64,
+}
+
+impl Strided {
+    /// Creates a strided walk.
+    ///
+    /// `lap_shift` is added to the start offset after each wrap (0 keeps
+    /// laps identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes == 0` or `stride == 0`.
+    pub fn new(base: u64, region_bytes: u64, stride: u64, lap_shift: u64) -> Self {
+        assert!(region_bytes > 0 && stride > 0);
+        Self {
+            base,
+            region_bytes,
+            stride,
+            offset: 0,
+            lap: 0,
+            lap_shift,
+        }
+    }
+}
+
+impl Iterator for Strided {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let start = (self.lap * self.lap_shift) % self.stride.max(1);
+        let a = Access::read(self.base + (start + self.offset) % self.region_bytes);
+        self.offset += self.stride;
+        if self.offset >= self.region_bytes {
+            self.offset = 0;
+            self.lap += 1;
+        }
+        Some(a)
+    }
+}
+
+/// Several concurrent sequential streams, visited round-robin.
+///
+/// Models multi-array kernels (`a[i] = b[i] + c[i]`): the filtered trace
+/// interleaves several arithmetic progressions (the paper's 410.bwaves /
+/// 434.zeusmp class).
+#[derive(Debug, Clone)]
+pub struct MultiStream {
+    streams: Vec<Stream>,
+    next: usize,
+}
+
+impl MultiStream {
+    /// Creates `n` streams of `region_bytes` each, spaced `gap_bytes` apart
+    /// starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(base: u64, n: usize, region_bytes: u64, gap_bytes: u64, step: u64) -> Self {
+        assert!(n > 0, "need at least one stream");
+        let streams = (0..n as u64)
+            .map(|i| Stream::new(base + i * gap_bytes, region_bytes, step))
+            .collect();
+        Self { streams, next: 0 }
+    }
+}
+
+impl Iterator for MultiStream {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let a = self.streams[self.next].next();
+        self.next = (self.next + 1) % self.streams.len();
+        a
+    }
+}
+
+/// Row-major 2-D loop nest with optional tiling, repeated forever.
+///
+/// Models dense-matrix and image/video kernels (464.h264ref-like): the
+/// filtered trace is piecewise-arithmetic with a period of one frame/matrix.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    base: u64,
+    rows: u64,
+    cols: u64,
+    elem: u64,
+    row_pitch: u64,
+    tile: u64,
+    /// (tile_row, tile_col, row_in_tile, col_in_tile) cursor.
+    cursor: (u64, u64, u64, u64),
+}
+
+impl LoopNest {
+    /// Creates a nest over a `rows x cols` array of `elem`-byte elements
+    /// with `row_pitch` bytes between row starts. `tile` of 0 disables
+    /// tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `cols`, or `elem` is zero.
+    pub fn new(base: u64, rows: u64, cols: u64, elem: u64, row_pitch: u64, tile: u64) -> Self {
+        assert!(rows > 0 && cols > 0 && elem > 0);
+        let tile = if tile == 0 { rows.max(cols) } else { tile };
+        Self {
+            base,
+            rows,
+            cols,
+            elem,
+            row_pitch,
+            tile,
+            cursor: (0, 0, 0, 0),
+        }
+    }
+}
+
+impl Iterator for LoopNest {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let (tr, tc, r, c) = self.cursor;
+        let row = tr * self.tile + r;
+        let col = tc * self.tile + c;
+        let addr = self.base + row * self.row_pitch + col * self.elem;
+
+        // Advance: col-in-tile, row-in-tile, tile-col, tile-row.
+        let tiles_r = self.rows.div_ceil(self.tile);
+        let tiles_c = self.cols.div_ceil(self.tile);
+        let tile_rows = self.tile.min(self.rows - tr * self.tile);
+        let tile_cols = self.tile.min(self.cols - tc * self.tile);
+        let mut next = (tr, tc, r, c + 1);
+        if next.3 >= tile_cols {
+            next = (tr, tc, r + 1, 0);
+            if next.2 >= tile_rows {
+                next = (tr, tc + 1, 0, 0);
+                if next.1 >= tiles_c {
+                    next = (tr + 1, 0, 0, 0);
+                    if next.0 >= tiles_r {
+                        next = (0, 0, 0, 0);
+                    }
+                }
+            }
+        }
+        self.cursor = next;
+        Some(Access::read(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_wraps() {
+        let addrs: Vec<u64> = Stream::new(100, 192, 64).take(5).map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![100, 164, 228, 100, 164]);
+    }
+
+    #[test]
+    fn multistream_interleaves() {
+        let addrs: Vec<u64> = MultiStream::new(0, 2, 1024, 4096, 64)
+            .take(4)
+            .map(|a| a.addr)
+            .collect();
+        assert_eq!(addrs, vec![0, 4096, 64, 4160]);
+    }
+
+    #[test]
+    fn strided_covers_region() {
+        let g = Strided::new(0, 640, 128, 0);
+        let addrs: Vec<u64> = g.take(5).map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 128, 256, 384, 512]);
+    }
+
+    #[test]
+    fn loopnest_row_major_untitled() {
+        let g = LoopNest::new(0, 2, 3, 8, 100, 0);
+        let addrs: Vec<u64> = g.take(7).map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 8, 16, 100, 108, 116, 0]);
+    }
+
+    #[test]
+    fn loopnest_tiled_visits_all() {
+        use std::collections::HashSet;
+        let g = LoopNest::new(0, 4, 4, 1, 4, 2);
+        let seen: HashSet<u64> = g.take(16).map(|a| a.addr).collect();
+        assert_eq!(seen.len(), 16, "one pass must touch all 16 elements");
+    }
+
+    #[test]
+    fn infinite_iterators() {
+        assert_eq!(Stream::new(0, 64, 64).take(1000).count(), 1000);
+        assert_eq!(LoopNest::new(0, 2, 2, 8, 16, 0).take(1000).count(), 1000);
+    }
+}

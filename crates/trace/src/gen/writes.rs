@@ -1,0 +1,109 @@
+//! Adapter turning a share of data reads into writes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Access, AccessKind, Workload};
+
+/// Wraps a workload, converting a random `fraction` of its data reads into
+/// data writes.
+///
+/// Generators model *where* a workload touches memory; store/load balance
+/// is orthogonal, so it lives in this adapter. Writes matter only to the
+/// dirty bits of the filtering cache — they mark which evictions become the
+/// tagged write-back records of the paper's §2 trace format.
+///
+/// # Examples
+///
+/// ```
+/// use atc_trace::gen::{Stream, WriteShare};
+/// use atc_trace::AccessKind;
+///
+/// let w = WriteShare::new(Box::new(Stream::new(0, 1 << 20, 8)), 0.5, 7);
+/// let kinds: Vec<AccessKind> = w.take(100).map(|a| a.kind).collect();
+/// assert!(kinds.contains(&AccessKind::DataWrite));
+/// assert!(kinds.contains(&AccessKind::DataRead));
+/// ```
+pub struct WriteShare {
+    inner: Workload,
+    fraction: f64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for WriteShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteShare")
+            .field("fraction", &self.fraction)
+            .finish()
+    }
+}
+
+impl WriteShare {
+    /// Creates the adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn new(inner: Workload, fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "write fraction must be in [0, 1]"
+        );
+        Self {
+            inner,
+            fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for WriteShare {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let mut a = self.inner.next()?;
+        if a.kind == AccessKind::DataRead && self.rng.random::<f64>() < self.fraction {
+            a.kind = AccessKind::DataWrite;
+        }
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CodeLoop, Stream};
+
+    #[test]
+    fn converts_roughly_the_requested_share() {
+        let w = WriteShare::new(Box::new(Stream::new(0, 1 << 20, 8)), 0.3, 1);
+        let n = 10_000;
+        let writes = w.take(n).filter(|a| a.kind == AccessKind::DataWrite).count();
+        let frac = writes as f64 / n as f64;
+        assert!((0.25..0.35).contains(&frac), "write share {frac}");
+    }
+
+    #[test]
+    fn never_touches_instruction_fetches() {
+        let w = WriteShare::new(Box::new(CodeLoop::new(0, 4, 512, 2)), 1.0, 3);
+        assert!(w.take(1000).all(|a| a.kind == AccessKind::InstrFetch));
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let base: Vec<_> = Stream::new(0, 1 << 16, 8).take(500).collect();
+        let adapted: Vec<_> =
+            WriteShare::new(Box::new(Stream::new(0, 1 << 16, 8)), 0.0, 9).take(500).collect();
+        assert_eq!(base, adapted);
+    }
+
+    #[test]
+    fn addresses_unchanged() {
+        let base: Vec<u64> = Stream::new(0, 1 << 16, 8).take(500).map(|a| a.addr).collect();
+        let adapted: Vec<u64> = WriteShare::new(Box::new(Stream::new(0, 1 << 16, 8)), 0.7, 9)
+            .take(500)
+            .map(|a| a.addr)
+            .collect();
+        assert_eq!(base, adapted);
+    }
+}

@@ -1,0 +1,143 @@
+//! Raw trace I/O: sequences of little-endian 64-bit values.
+//!
+//! This is the paper's input format: "the simplest format that an address
+//! trace can have: just sequences of 64-bit values" (§2). Files produced
+//! here are what `bin2atc` consumes and `atc2bin` emits.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `values` to `path` as little-endian u64s.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// atc_trace::io::write_trace("trace.bin", &[1, 2, 3])?;
+/// assert_eq!(atc_trace::io::read_trace("trace.bin")?, vec![1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<P: AsRef<Path>>(path: P, values: &[u64]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a whole trace file written by [`write_trace`].
+///
+/// # Errors
+///
+/// Fails on I/O errors or if the file length is not a multiple of 8.
+pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Vec<u64>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace file length is not a multiple of 8",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+/// Streams u64 values out of any reader.
+///
+/// Yields `Err` once on a trailing partial value, then stops.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: R,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a byte reader.
+    pub fn new(inner: R) -> Self {
+        Self { inner, done: false }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<u64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut buf = [0u8; 8];
+        let mut filled = 0;
+        while filled < 8 {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    self.done = true;
+                    return if filled == 0 {
+                        None
+                    } else {
+                        Some(Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "trailing partial 64-bit value",
+                        )))
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        Some(Ok(u64::from_le_bytes(buf)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("atc_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let values = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        write_trace(&path, &values).unwrap();
+        assert_eq!(read_trace(&path).unwrap(), values);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_streams() {
+        let mut bytes = Vec::new();
+        for v in [5u64, 6, 7] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let vals: Vec<u64> = TraceReader::new(&bytes[..]).map(|r| r.unwrap()).collect();
+        assert_eq!(vals, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn partial_value_is_error() {
+        let bytes = [1u8, 2, 3]; // not a multiple of 8
+        let mut it = TraceReader::new(&bytes[..]);
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut it = TraceReader::new(&[][..]);
+        assert!(it.next().is_none());
+    }
+}

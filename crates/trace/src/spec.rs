@@ -1,0 +1,484 @@
+//! Named workload profiles standing in for the paper's SPEC CPU2006 subset.
+//!
+//! The paper evaluates on 22 SPEC CPU2006 benchmarks traced with Pin
+//! (x86-64, all basic blocks and memory instructions). SPEC binaries and
+//! inputs are proprietary, so each benchmark is replaced by a synthetic
+//! profile engineered to land in the same qualitative class the paper's
+//! results reveal for it:
+//!
+//! * *streaming* traces (410, 433, 462, 470) compress to well under 1 bit
+//!   per address;
+//! * *pointer-chasing / random* traces (429, 458, 401) are nearly
+//!   incompressible losslessly but collapse under lossy phase compression
+//!   because they are stationary;
+//! * *unstable* traces (403, 447) resist lossy compression because interval
+//!   signatures keep changing;
+//! * the rest are mixtures in between.
+//!
+//! Profiles are deterministic per seed, so every experiment is exactly
+//! reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! let p = atc_trace::spec::profile("429.mcf").unwrap();
+//! let accesses: Vec<_> = p.workload(1).take(1000).collect();
+//! assert_eq!(accesses.len(), 1000);
+//! ```
+
+use crate::gen::{
+    CodeLoop, Hotspot, LoopNest, Mix, Phase, Phased, PointerChase, RandomAccess, MultiStream,
+    Stream, Strided,
+};
+use crate::Workload;
+
+/// Qualitative compressibility class (from the paper's measured behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Near-arithmetic filtered trace; sub-bit BPA.
+    Streaming,
+    /// Dominated by random or pointer-chasing accesses; high lossless BPA,
+    /// large lossy gain (stationary).
+    Irregular,
+    /// Phase signatures keep changing; small lossy gain.
+    Unstable,
+    /// In-between mixtures.
+    Mixed,
+}
+
+/// A named synthetic benchmark profile.
+pub struct Profile {
+    name: &'static str,
+    class: Class,
+    builder: fn(u64) -> Workload,
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profile")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+impl Profile {
+    /// Benchmark name, e.g. `"429.mcf"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Three-digit SPEC number prefix, e.g. `"429"`.
+    pub fn number(&self) -> &'static str {
+        &self.name[..3]
+    }
+
+    /// Qualitative class.
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Instantiates the profile's access stream with a seed.
+    ///
+    /// The same `(profile, seed)` pair always yields the same trace.
+    pub fn workload(&self, seed: u64) -> Workload {
+        (self.builder)(seed)
+    }
+}
+
+// Region base addresses. Distinct bases per component keep code, heap and
+// array spaces apart like a real process image; all stay below 2^42 so
+// block addresses have null top bits.
+const TEXT: u64 = 0x0000_0040_0000; // 4 MiB: program text
+const HEAP: u64 = 0x0001_0000_0000;
+const ARR1: u64 = 0x0010_0000_0000;
+const ARR2: u64 = 0x0020_0000_0000;
+const ARR3: u64 = 0x0030_0000_0000;
+const STACKISH: u64 = 0x007F_0000_0000;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn code(seed: u64, functions: u64, func_bytes: u64) -> Workload {
+    Box::new(CodeLoop::new(TEXT, functions, func_bytes, seed))
+}
+
+/// 400.perlbench: large interpreted code footprint + hot hash/heap objects.
+fn b400(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, code(seed, 96, 1536)), // ~144 KB text > L1I
+            (2.0, Box::new(Hotspot::new(HEAP, 12, 1 * KB, 0.75, seed ^ 1))),
+            (1.0, Box::new(Stream::new(ARR1, 2 * MB, 8))),
+        ],
+        seed ^ 2,
+    ))
+}
+
+/// 401.bzip2: block-sorting compressor: streaming source + random dictionary.
+fn b401(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (2.0, Box::new(Stream::new(ARR1, 8 * MB, 8))),
+            (3.0, Box::new(RandomAccess::new(HEAP, 6 * KB, seed ^ 3))),
+            (1.0, code(seed, 12, 1024)),
+        ],
+        seed ^ 4,
+    ))
+}
+
+/// 403.gcc: compiler passes: many short, distinct, drifting phases.
+fn b403(seed: u64) -> Workload {
+    let mut phases = Vec::new();
+    // Eleven structurally different behaviours over eleven regions with
+    // coprime-ish lengths: interval signatures rarely repeat.
+    for (i, len) in [170_000u64, 230_000, 130_000, 310_000, 190_000, 110_000, 270_000,
+        150_000, 350_000, 210_000, 250_000]
+    .iter()
+    .enumerate()
+    {
+        let base = ARR1 + (i as u64) * 0x0001_0000_0000;
+        let wl: Workload = match i % 5 {
+            0 => Box::new(Strided::new(base, (3 + i as u64) * MB, 192 + 64 * i as u64, 64)),
+            1 => Box::new(RandomAccess::new(base, (8 + 4 * i as u64) * KB, seed ^ i as u64)),
+            2 => Box::new(Hotspot::new(base, 8 + i as u64, KB, 0.7, seed ^ (i as u64) << 3)),
+            3 => Box::new(LoopNest::new(base, 96 + i as u64 * 32, 512, 8, 8 * KB, 0)),
+            _ => Box::new(PointerChase::new(base, (32 + 16 * i as u64) * KB, seed ^ 0x55 ^ i as u64)),
+        };
+        phases.push(Phase::new(wl, *len));
+    }
+    let data: Workload = Box::new(Phased::new(phases));
+    Box::new(Mix::new(
+        vec![(2.0, code(seed, 128, 2048)), (3.0, data)], // 256 KB text
+        seed ^ 6,
+    ))
+}
+
+/// 410.bwaves: block tridiagonal solver: several big array streams.
+fn b410(seed: u64) -> Workload {
+    let _ = seed;
+    Box::new(Mix::new(
+        vec![
+            (8.0, Box::new(MultiStream::new(ARR1, 5, 24 * MB, 0x0001_0000_0000, 8))),
+            (1.0, code(seed, 4, 512)),
+        ],
+        seed ^ 7,
+    ))
+}
+
+/// 429.mcf: network simplex: pointer chasing over a huge arc array.
+fn b429(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (5.0, Box::new(PointerChase::new(HEAP, 64 * KB, seed ^ 8))), // 4 MB of blocks
+            (1.0, Box::new(Stream::new(ARR1, 4 * MB, 8))),
+            (1.0, code(seed, 6, 768)),
+        ],
+        seed ^ 9,
+    ))
+}
+
+/// 433.milc: lattice QCD: long unit-stride sweeps.
+fn b433(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (9.0, Box::new(MultiStream::new(ARR1, 3, 32 * MB, 0x0001_0000_0000, 16))),
+            (1.0, code(seed, 4, 512)),
+        ],
+        seed ^ 10,
+    ))
+}
+
+/// 434.zeusmp: astrophysics stencil: loop nests with row strides.
+fn b434(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (4.0, Box::new(LoopNest::new(ARR1, 512, 2048, 8, 32 * KB, 0))),
+            (3.0, Box::new(MultiStream::new(ARR2, 4, 8 * MB, 0x0001_0000_0000, 8))),
+            (1.0, code(seed, 6, 1024)),
+        ],
+        seed ^ 11,
+    ))
+}
+
+/// 435.gromacs: molecular dynamics: neighbour lists (stationary random).
+fn b435(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, Box::new(RandomAccess::new(HEAP, 3 * KB, seed ^ 12))),
+            (2.0, Box::new(PointerChase::new(ARR1, 24 * KB, seed ^ 13))),
+            (1.0, Box::new(Stream::new(ARR2, 4 * MB, 8))),
+            (1.0, code(seed, 8, 1024)),
+        ],
+        seed ^ 14,
+    ))
+}
+
+/// 444.namd: molecular dynamics: hot patch lists.
+fn b444(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (4.0, Box::new(Hotspot::new(HEAP, 12, 512, 0.75, seed ^ 15))),
+            (2.0, Box::new(LoopNest::new(ARR1, 256, 1024, 16, 16 * KB, 8))),
+            (1.0, code(seed, 10, 1024)),
+        ],
+        seed ^ 16,
+    ))
+}
+
+/// 445.gobmk: game tree search: random board accesses + big code.
+fn b445(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, Box::new(RandomAccess::new(HEAP, 4 * KB, seed ^ 17))),
+            (2.0, Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 18))),
+            (2.0, code(seed, 64, 1536)), // 96 KB text
+        ],
+        seed ^ 19,
+    ))
+}
+
+/// 447.dealII: adaptive FEM: drifting sparse structures (unstable).
+fn b447(seed: u64) -> Workload {
+    let mut phases = Vec::new();
+    for (i, len) in [90_000u64, 140_000, 200_000, 120_000, 260_000, 160_000, 100_000,
+        300_000, 180_000]
+    .iter()
+    .enumerate()
+    {
+        let base = ARR2 + (i as u64) * 0x0000_4000_0000;
+        let wl: Workload = match i % 3 {
+            0 => Box::new(Strided::new(base, (2 + i as u64) * MB, 128 + 32 * i as u64, 96)),
+            1 => Box::new(PointerChase::new(base, (24 + 8 * i as u64) * KB, seed ^ 20 ^ i as u64)),
+            _ => Box::new(Hotspot::new(base, 6 + i as u64, 2 * KB, 0.6, seed ^ 21 ^ i as u64)),
+        };
+        phases.push(Phase::new(wl, *len));
+    }
+    let data: Workload = Box::new(Phased::new(phases));
+    Box::new(Mix::new(vec![(1.0, code(seed, 48, 1536)), (3.0, data)], seed ^ 22))
+}
+
+/// 450.soplex: simplex LP: column sweeps (strided) + pricing scans.
+fn b450(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, Box::new(Strided::new(ARR1, 16 * MB, 4 * KB, 8))),
+            (2.0, Box::new(Stream::new(ARR2, 8 * MB, 8))),
+            (1.0, Box::new(RandomAccess::new(HEAP, 16 * KB, seed ^ 23))),
+            (1.0, code(seed, 10, 1024)),
+        ],
+        seed ^ 24,
+    ))
+}
+
+/// 453.povray: ray tracer: tiny working set, periodic misses.
+fn b453(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (4.0, Box::new(Stream::new(ARR1, 96 * KB, 8))),
+            (2.0, Box::new(Strided::new(HEAP, 512 * KB, 256, 0))),
+            (1.0, code(seed, 20, 1024)),
+        ],
+        seed ^ 26,
+    ))
+}
+
+/// 456.hmmer: profile HMM: regular dynamic-programming sweeps.
+fn b456(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (5.0, Box::new(LoopNest::new(ARR1, 128, 8192, 4, 32 * KB, 0))),
+            (2.0, Box::new(Stream::new(ARR2, 2 * MB, 8))),
+            (1.0, code(seed, 4, 768)),
+        ],
+        seed ^ 27,
+    ))
+}
+
+/// 458.sjeng: chess: transposition-table lookups (stationary random).
+fn b458(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (5.0, Box::new(RandomAccess::new(HEAP, 16 * KB, seed ^ 28))), // 1 MB table
+            (1.0, Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 29))),
+            (2.0, code(seed, 40, 1536)), // 60 KB text
+        ],
+        seed ^ 30,
+    ))
+}
+
+/// 462.libquantum: quantum simulation: one pure stream.
+fn b462(seed: u64) -> Workload {
+    let _ = seed;
+    Box::new(Mix::new(
+        vec![
+            (19.0, Box::new(Stream::new(ARR1, 32 * MB, 8))),
+            (1.0, code(seed, 2, 256)),
+        ],
+        seed ^ 31,
+    ))
+}
+
+/// 464.h264ref: video encoder: frame nests + motion-search locality.
+fn b464(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (5.0, Box::new(LoopNest::new(ARR1, 1088, 1920, 1, 2 * KB, 16))),
+            (1.0, Box::new(Hotspot::new(ARR3, 8, 512, 0.7, seed ^ 32))),
+            (1.0, code(seed, 24, 1024)),
+        ],
+        seed ^ 33,
+    ))
+}
+
+/// 470.lbm: lattice Boltzmann: time steps sweep shifted lattice copies.
+///
+/// The phase structure (identical sweeps over four disjoint regions) is the
+/// byte-translation showcase used by the paper's Figure 4.
+fn b470(seed: u64) -> Workload {
+    let mut phases = Vec::new();
+    for i in 0u64..4 {
+        let base = ARR1 + i * 0x0004_0000_0000;
+        phases.push(Phase::new(
+            Box::new(Stream::new(base, 24 * MB, 8)) as Workload,
+            3_000_000,
+        ));
+    }
+    let data: Workload = Box::new(Phased::new(phases));
+    Box::new(Mix::new(vec![(19.0, data), (1.0, code(seed, 2, 256))], seed ^ 34))
+}
+
+/// 471.omnetpp: discrete event simulation: heap churn + event lists.
+fn b471(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, Box::new(PointerChase::new(HEAP, 64 * KB, seed ^ 35))),
+            (2.0, Box::new(Hotspot::new(ARR1, 10, 512, 0.75, seed ^ 36))),
+            (1.0, Box::new(Stream::new(ARR2, 2 * MB, 8))),
+            (1.0, code(seed, 32, 1024)),
+        ],
+        seed ^ 37,
+    ))
+}
+
+/// 473.astar: path finding: pointer chasing over the graph + open list.
+fn b473(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (4.0, Box::new(PointerChase::new(ARR1, 48 * KB, seed ^ 38))), // 3 MB graph
+            (2.0, Box::new(RandomAccess::new(HEAP, 4 * KB, seed ^ 39))),
+            (1.0, code(seed, 8, 768)),
+        ],
+        seed ^ 40,
+    ))
+}
+
+/// 482.sphinx3: speech recognition: acoustic-model streaming + lexicon.
+fn b482(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (7.0, Box::new(Stream::new(ARR1, 16 * MB, 8))),
+            (2.0, Box::new(Hotspot::new(ARR2, 8, 1 * KB, 0.7, seed ^ 41))),
+            (1.0, code(seed, 12, 1024)),
+        ],
+        seed ^ 42,
+    ))
+}
+
+/// 483.xalancbmk: XSLT: DOM pointer chasing + very large code.
+fn b483(seed: u64) -> Workload {
+    Box::new(Mix::new(
+        vec![
+            (3.0, Box::new(PointerChase::new(HEAP, 32 * KB, seed ^ 43))),
+            (1.0, Box::new(Hotspot::new(ARR1, 8, 512, 0.7, seed ^ 44))),
+            (3.0, code(seed, 96, 2048)), // 192 KB text
+        ],
+        seed ^ 45,
+    ))
+}
+
+/// All 22 profiles, in the paper's Table 1 order.
+pub fn profiles() -> &'static [Profile] {
+    const PROFILES: &[Profile] = &[
+        Profile { name: "400.perlbench", class: Class::Mixed, builder: b400 },
+        Profile { name: "401.bzip2", class: Class::Irregular, builder: b401 },
+        Profile { name: "403.gcc", class: Class::Unstable, builder: b403 },
+        Profile { name: "410.bwaves", class: Class::Streaming, builder: b410 },
+        Profile { name: "429.mcf", class: Class::Irregular, builder: b429 },
+        Profile { name: "433.milc", class: Class::Streaming, builder: b433 },
+        Profile { name: "434.zeusmp", class: Class::Mixed, builder: b434 },
+        Profile { name: "435.gromacs", class: Class::Irregular, builder: b435 },
+        Profile { name: "444.namd", class: Class::Mixed, builder: b444 },
+        Profile { name: "445.gobmk", class: Class::Irregular, builder: b445 },
+        Profile { name: "447.dealII", class: Class::Unstable, builder: b447 },
+        Profile { name: "450.soplex", class: Class::Mixed, builder: b450 },
+        Profile { name: "453.povray", class: Class::Streaming, builder: b453 },
+        Profile { name: "456.hmmer", class: Class::Mixed, builder: b456 },
+        Profile { name: "458.sjeng", class: Class::Irregular, builder: b458 },
+        Profile { name: "462.libquantum", class: Class::Streaming, builder: b462 },
+        Profile { name: "464.h264ref", class: Class::Mixed, builder: b464 },
+        Profile { name: "470.lbm", class: Class::Streaming, builder: b470 },
+        Profile { name: "471.omnetpp", class: Class::Mixed, builder: b471 },
+        Profile { name: "473.astar", class: Class::Irregular, builder: b473 },
+        Profile { name: "482.sphinx3", class: Class::Mixed, builder: b482 },
+        Profile { name: "483.xalancbmk", class: Class::Mixed, builder: b483 },
+    ];
+    PROFILES
+}
+
+/// Looks up a profile by full name (`"429.mcf"`) or number (`"429"`).
+pub fn profile(name: &str) -> Option<&'static Profile> {
+    profiles()
+        .iter()
+        .find(|p| p.name == name || p.number() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_profiles() {
+        assert_eq!(profiles().len(), 22);
+    }
+
+    #[test]
+    fn lookup_by_name_and_number() {
+        assert_eq!(profile("429.mcf").unwrap().name(), "429.mcf");
+        assert_eq!(profile("429").unwrap().name(), "429.mcf");
+        assert!(profile("999.nope").is_none());
+    }
+
+    #[test]
+    fn all_profiles_generate() {
+        for p in profiles() {
+            let n = p.workload(7).take(10_000).count();
+            assert_eq!(n, 10_000, "{} must be infinite", p.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for p in profiles() {
+            let a: Vec<u64> = p.workload(3).take(2000).map(|x| x.addr).collect();
+            let b: Vec<u64> = p.workload(3).take(2000).map(|x| x.addr).collect();
+            assert_eq!(a, b, "{} must be deterministic", p.name());
+        }
+    }
+
+    #[test]
+    fn addresses_below_2_pow_58() {
+        for p in profiles() {
+            for a in p.workload(1).take(5000) {
+                assert!(a.addr < 1 << 58, "{}: {:#x}", p.name(), a.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_cover_all_variants() {
+        use std::collections::HashSet;
+        let classes: HashSet<_> = profiles().iter().map(|p| format!("{:?}", p.class())).collect();
+        assert_eq!(classes.len(), 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! `atc2bin` — the paper's Figure 7 program: decompress an ATC trace
+//! directory to raw 64-bit values on stdout.
+//!
+//! ```text
+//! cargo run --release --example atc2bin -- foobar | wc -c
+//! ```
+
+use std::error::Error;
+use std::io::Write;
+
+use atc::core::AtcReader;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .ok_or("usage: atc2bin <dir>")?;
+    let mut r = AtcReader::open(&dir)?;
+    let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+    // The Figure 7 loop: atc_decode until it reports end of trace.
+    while let Some(v) = r.decode()? {
+        stdout.write_all(&v.to_le_bytes())?;
+    }
+    stdout.flush()?;
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `atcstat` — inspect and verify an ATC trace directory.
+//!
+//! Prints the header, walks the whole container (every checksum, every
+//! chunk reference), and reports size breakdown and compression ratio.
+//!
+//! ```text
+//! cargo run --release --example atcstat -- foobar
+//! ```
+
+use std::error::Error;
+
+use atc::core::verify;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::args().nth(1).ok_or("usage: atcstat <dir>")?;
+    let dir = std::path::PathBuf::from(dir);
+
+    let meta_text = std::fs::read_to_string(dir.join("meta"))?;
+    println!("header:");
+    for line in meta_text.lines() {
+        println!("  {line}");
+    }
+
+    let report = verify(&dir)?;
+    println!("\nverification: OK");
+    println!("  mode:       {}", report.mode);
+    println!("  addresses:  {}", report.addresses);
+    if report.mode == "lossy" {
+        println!("  intervals:  {}", report.intervals);
+        println!("  chunks:     {}", report.chunks);
+        if !report.orphan_chunks.is_empty() {
+            println!("  orphans:    {:?}", report.orphan_chunks);
+        }
+    }
+
+    let mut total = 0u64;
+    let mut files: Vec<(String, u64)> = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            let len = entry.metadata()?.len();
+            total += len;
+            files.push((entry.file_name().to_string_lossy().into_owned(), len));
+        }
+    }
+    files.sort();
+    println!("\nfiles:");
+    for (name, len) in &files {
+        println!("  {len:>12} {name}");
+    }
+    println!("  {total:>12} total");
+    if report.addresses > 0 {
+        println!(
+            "\n{:.3} bits per address ({:.1}x vs raw 64-bit values)",
+            total as f64 * 8.0 / report.addresses as f64,
+            report.addresses as f64 * 8.0 / total as f64
+        );
+    }
+    Ok(())
+}

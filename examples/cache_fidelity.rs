@@ -1,0 +1,76 @@
+//! Cache-fidelity study: does a lossy-compressed trace predict the same
+//! cache behaviour as the exact trace?
+//!
+//! A miniature of the paper's Figure 3: simulate LRU caches of several
+//! geometries on both traces and compare miss-ratio curves side by side.
+//!
+//! ```text
+//! cargo run --release --example cache_fidelity -- [profile] [len]
+//! ```
+
+use std::error::Error;
+
+use atc::cache::{CacheFilter, StackSim};
+use atc::core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+use atc::trace::spec;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_name = args.first().map(String::as_str).unwrap_or("458.sjeng");
+    let len: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(400_000);
+
+    let profile = spec::profile(profile_name).ok_or("unknown profile")?;
+    println!("profile: {} ({:?}), {len} filtered addresses", profile.name(), profile.class());
+
+    let mut filter = CacheFilter::paper();
+    let exact: Vec<u64> = filter.filter(profile.workload(7)).take(len).collect();
+
+    // Lossy roundtrip with the paper's ratios: L = len/100, B = L/10.
+    let scratch = std::env::temp_dir().join("atc-cache-fidelity");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let interval = (len / 100).max(1);
+    let mut w = AtcWriter::with_options(
+        &scratch,
+        Mode::Lossy(LossyConfig {
+            interval_len: interval,
+            ..LossyConfig::default()
+        }),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: (interval / 10).max(1),
+        },
+    )?;
+    w.code_all(exact.iter().copied())?;
+    let stats = w.finish()?;
+    println!(
+        "lossy: {:.3} bits/address, {} chunks / {} intervals\n",
+        stats.bits_per_address(),
+        stats.chunks,
+        stats.intervals
+    );
+    let approx = AtcReader::open(&scratch)?.decode_all()?;
+
+    println!(
+        "{:>6} {:>6} | {:>10} {:>10} {:>8}",
+        "sets", "ways", "exact", "approx", "delta"
+    );
+    let mut worst = 0.0f64;
+    for sets in [256usize, 1024, 4096] {
+        let mut sim_e = StackSim::new(sets, 16);
+        sim_e.run(exact.iter().copied());
+        let mut sim_a = StackSim::new(sets, 16);
+        sim_a.run(approx.iter().copied());
+        for ways in [1usize, 2, 4, 8, 16] {
+            let e = sim_e.miss_ratio(ways);
+            let a = sim_a.miss_ratio(ways);
+            worst = worst.max((e - a).abs());
+            println!(
+                "{sets:>6} {ways:>6} | {e:>10.4} {a:>10.4} {:>8.4}",
+                (e - a).abs()
+            );
+        }
+    }
+    println!("\nlargest miss-ratio deviation: {worst:.4}");
+    std::fs::remove_dir_all(&scratch)?;
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the whole pipeline in one page.
+//!
+//! Generates a synthetic workload, cache-filters it the way the paper's Pin
+//! tool does, compresses the filtered trace with ATC in both modes, and
+//! decompresses it back.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+
+use atc::cache::CacheFilter;
+use atc::core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+use atc::trace::spec;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A workload: the libquantum-like streaming profile.
+    let profile = spec::profile("462.libquantum").expect("known profile");
+    println!("workload: {} ({:?})", profile.name(), profile.class());
+
+    // 2. Cache-filter it: 32 KB 4-way LRU L1I+L1D, 64-byte blocks.
+    let mut filter = CacheFilter::paper();
+    let trace: Vec<u64> = filter.filter(profile.workload(42)).take(200_000).collect();
+    println!(
+        "filtered {} accesses down to {} block addresses (miss ratio {:.1}%)",
+        filter.accesses(),
+        trace.len(),
+        filter.miss_ratio() * 100.0
+    );
+
+    let scratch = std::env::temp_dir().join("atc-quickstart");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // 3a. Lossless compression (mode 'c' in the original tool).
+    let lossless_dir = scratch.join("lossless");
+    let mut w = AtcWriter::create(&lossless_dir, Mode::Lossless)?;
+    w.code_all(trace.iter().copied())?;
+    let stats = w.finish()?;
+    println!(
+        "lossless: {:.3} bits/address ({} bytes for {} addresses)",
+        stats.bits_per_address(),
+        stats.compressed_bytes,
+        stats.count
+    );
+
+    // 3b. Lossy compression (mode 'k'): intervals of 2000 addresses,
+    // threshold 0.1 (the paper's epsilon).
+    let lossy_dir = scratch.join("lossy");
+    let cfg = LossyConfig {
+        interval_len: 2000,
+        ..LossyConfig::default()
+    };
+    let mut w = AtcWriter::with_options(
+        &lossy_dir,
+        Mode::Lossy(cfg),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: 200,
+        },
+    )?;
+    w.code_all(trace.iter().copied())?;
+    let stats = w.finish()?;
+    println!(
+        "lossy:    {:.3} bits/address ({} chunks, {} imitations over {} intervals)",
+        stats.bits_per_address(),
+        stats.chunks,
+        stats.imitations,
+        stats.intervals
+    );
+
+    // 4. Decompress and verify.
+    let mut r = AtcReader::open(&lossless_dir)?;
+    let exact = r.decode_all()?;
+    assert_eq!(exact, trace, "lossless mode is exact");
+    println!("lossless decode verified: {} addresses identical", exact.len());
+
+    let mut r = AtcReader::open(&lossy_dir)?;
+    let approx = r.decode_all()?;
+    assert_eq!(approx.len(), trace.len());
+    let same = approx.iter().zip(&trace).filter(|(a, b)| a == b).count();
+    println!(
+        "lossy decode: same length, {:.1}% of addresses identical \
+         (the rest are translated imitations)",
+        same as f64 / trace.len() as f64 * 100.0
+    );
+
+    std::fs::remove_dir_all(&scratch)?;
+    Ok(())
+}

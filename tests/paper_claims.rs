@@ -1,0 +1,180 @@
+//! The paper's headline claims as executable assertions, at test scale.
+//!
+//! These are deliberately coarse (factor-level) checks: they pin the
+//! *direction and rough magnitude* of each claim so a regression that
+//! silently destroys an effect (not just its exact value) fails CI.
+
+use atc::codec::{Bzip, Codec};
+use atc::core::bytesort::{bytesort_forward, unshuffle};
+use atc::core::{AtcOptions, AtcWriter, LossyConfig, Mode};
+
+fn bytes_of(cols: &[Vec<u8>]) -> Vec<u8> {
+    cols.iter().flat_map(|c| c.iter().copied()).collect()
+}
+
+/// §4.1: on a trace interleaving two regions with identical internal
+/// patterns, bytesort exposes the repetition that unshuffling alone leaves
+/// hidden, and both beat raw byte compression.
+#[test]
+fn claim_bytesort_beats_unshuffle_on_region_interleave() {
+    // The paper's F2/A1 example, scaled up: two regions with identical
+    // pattern structure, interleaved 2:1.
+    let mut addrs = Vec::new();
+    let mut k = 0u64;
+    for i in 0..60_000u64 {
+        let pattern = (i * 37) % 50_021; // shared irregular pattern
+        addrs.push(0x00F2_0000_0000 + pattern * 64);
+        if i % 2 == 1 {
+            addrs.push(0x00A1_0000_0000 + ((k * 37) % 50_021) * 64);
+            k += 1;
+        }
+    }
+    let codec = Bzip::default();
+    let raw: Vec<u8> = addrs.iter().flat_map(|a| a.to_le_bytes()).collect();
+    let c_raw = codec.compress(&raw).len();
+    let c_us = codec.compress(&bytes_of(&unshuffle(&addrs))).len();
+    let c_bs = codec.compress(&bytes_of(&bytesort_forward(&addrs))).len();
+    assert!(
+        c_us < c_raw,
+        "unshuffle must beat raw here: {c_us} vs {c_raw}"
+    );
+    assert!(
+        (c_bs as f64) < c_us as f64 * 0.9,
+        "bytesort must beat unshuffle by >10%: {c_bs} vs {c_us}"
+    );
+}
+
+/// §5 + Figure 8: a stationary random-value trace compresses by ~the
+/// number of intervals per chunk under lossy mode, despite being
+/// incompressible losslessly.
+#[test]
+fn claim_lossy_ratio_tracks_interval_count_on_random() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 100_000usize;
+    let values: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+
+    let dir = std::env::temp_dir().join(format!("atc-claim8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(LossyConfig {
+            interval_len: n / 10,
+            ..LossyConfig::default()
+        }),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: n / 100,
+        },
+    )
+    .unwrap();
+    w.code_all(values.iter().copied()).unwrap();
+    let stats = w.finish().unwrap();
+    assert_eq!(stats.chunks, 1, "all intervals must look alike");
+    let ratio = stats.ratio();
+    assert!(
+        (8.0..=11.0).contains(&ratio),
+        "expected ~10x (one chunk for 10 intervals), got {ratio:.2}x"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// §5's motivating example: random accesses over N blocks; a cache with
+/// C <= N tags has hit ratio ~ C/N — and the *lossy* trace must reproduce
+/// it (this is the myopic-interval problem when it goes right).
+#[test]
+fn claim_lossy_preserves_c_over_n_hit_ratio() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n_blocks = 2048u64;
+    let mut rng = StdRng::seed_from_u64(2);
+    let exact: Vec<u64> = (0..200_000).map(|_| rng.random_range(0..n_blocks)).collect();
+
+    let dir = std::env::temp_dir().join(format!("atc-claim-cn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(LossyConfig {
+            interval_len: 20_000,
+            ..LossyConfig::default()
+        }),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: 2_000,
+        },
+    )
+    .unwrap();
+    w.code_all(exact.iter().copied()).unwrap();
+    w.finish().unwrap();
+    let approx = atc::core::AtcReader::open(&dir).unwrap().decode_all().unwrap();
+
+    for c in [256usize, 1024] {
+        let mut sim = atc::cache::StackSim::new(1, c);
+        sim.run(approx.iter().copied());
+        let expected_miss = 1.0 - c as f64 / n_blocks as f64;
+        let got = sim.miss_ratio(c);
+        assert!(
+            (got - expected_miss).abs() < 0.05,
+            "C={c}: lossy trace miss ratio {got:.3}, theory {expected_miss:.3}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// §6: lossless mode "is completely safe" on arbitrary 64-bit values —
+/// spot-check with a decidedly non-address-like stream through every codec.
+#[test]
+fn claim_lossless_mode_is_safe_for_any_values() {
+    let values: Vec<u64> = (0..30_000u64)
+        .map(|i| i.wrapping_mul(0xDEAD_BEEF_CAFE_F00D).rotate_left((i % 64) as u32))
+        .collect();
+    for codec in ["bzip", "lz", "store"] {
+        let dir = std::env::temp_dir().join(format!(
+            "atc-claim-safe-{codec}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: codec.into(),
+                buffer: 7_777,
+            },
+        )
+        .unwrap();
+        w.code_all(values.iter().copied()).unwrap();
+        w.finish().unwrap();
+        let out = atc::core::AtcReader::open(&dir).unwrap().decode_all().unwrap();
+        assert_eq!(out, values, "codec {codec}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Table 2's direction: bytesort's inverse transform is cheap relative to
+/// the byte-level codec (the paper: bzip2 is ~65% of decompression time).
+#[test]
+fn claim_inverse_bytesort_cheaper_than_codec() {
+    use std::time::Instant;
+    let addrs: Vec<u64> = (0..500_000u64)
+        .map(|i| 0x4000_0000 + (i % 70_001) * 64)
+        .collect();
+    let cols = bytesort_forward(&addrs);
+    let stream = bytes_of(&cols);
+    let codec = Bzip::default();
+    let packed = codec.compress(&stream);
+
+    let t0 = Instant::now();
+    let _ = codec.decompress(&packed).unwrap();
+    let codec_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let _ = atc::core::bytesort::bytesort_inverse(&cols).unwrap();
+    let inverse_time = t1.elapsed();
+
+    assert!(
+        inverse_time < codec_time,
+        "inverse bytesort ({inverse_time:?}) should be cheaper than the codec ({codec_time:?})"
+    );
+}

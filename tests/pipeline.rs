@@ -1,0 +1,197 @@
+//! End-to-end integration: workload generation → cache filtering → ATC
+//! compression → decompression → simulation fidelity.
+
+use atc::cache::{CacheFilter, StackSim};
+use atc::core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+use atc::prefetch::{CdcConfig, CdcPredictor};
+use atc::trace::spec;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("atc-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_profile_lossless_roundtrips() {
+    for p in spec::profiles() {
+        let trace = filtered_trace(p.workload(11), 20_000);
+        let dir = scratch(&format!("ll-{}", p.number()));
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 3_000,
+            },
+        )
+        .unwrap();
+        w.code_all(trace.iter().copied()).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.count, trace.len() as u64);
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert_eq!(r.decode_all().unwrap(), trace, "{}", p.name());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn every_profile_lossy_preserves_length_and_histograms() {
+    use atc::core::hist::ByteHistograms;
+    for p in spec::profiles() {
+        let trace = filtered_trace(p.workload(13), 30_000);
+        let dir = scratch(&format!("ly-{}", p.number()));
+        let interval = 1000;
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(LossyConfig {
+                interval_len: interval,
+                ..LossyConfig::default()
+            }),
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 500,
+            },
+        )
+        .unwrap();
+        w.code_all(trace.iter().copied()).unwrap();
+        let stats = w.finish().unwrap();
+        assert!(stats.chunks >= 1);
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        let approx = r.decode_all().unwrap();
+        assert_eq!(approx.len(), trace.len(), "{}", p.name());
+
+        // Interval-level invariant: every reconstructed interval's *sorted*
+        // histograms are within ~2*eps of the exact interval's (eps to match
+        // the chunk + the approximation introduced by translation).
+        for (i, (e, a)) in trace
+            .chunks(interval)
+            .zip(approx.chunks(interval))
+            .enumerate()
+        {
+            if e.len() < interval {
+                break;
+            }
+            let d = ByteHistograms::from_addrs(e)
+                .sorted()
+                .distance(&ByteHistograms::from_addrs(a).sorted());
+            assert!(
+                d <= 0.2 + 1e-9,
+                "{} interval {i}: sorted-histogram distance {d}",
+                p.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn lossy_miss_ratio_fidelity_on_stationary_random() {
+    // The paper's §5 motivating case: random accesses over N blocks.
+    // The lossy trace must predict hit ratio ~ C/N for a C-tag cache.
+    let p = spec::profile("458.sjeng").unwrap();
+    let exact = filtered_trace(p.workload(7), 100_000);
+    let dir = scratch("sjeng-fid");
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(LossyConfig {
+            interval_len: 1000,
+            ..LossyConfig::default()
+        }),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: 100,
+        },
+    )
+    .unwrap();
+    w.code_all(exact.iter().copied()).unwrap();
+    let stats = w.finish().unwrap();
+    // Stationary trace: almost all intervals imitate.
+    assert!(
+        stats.imitations * 10 >= stats.intervals * 8,
+        "expected mostly imitations, got {stats:?}"
+    );
+    let approx = AtcReader::open(&dir).unwrap().decode_all().unwrap();
+
+    for sets in [256usize, 1024] {
+        let mut se = StackSim::new(sets, 16);
+        se.run(exact.iter().copied());
+        let mut sa = StackSim::new(sets, 16);
+        sa.run(approx.iter().copied());
+        for ways in [1, 4, 16] {
+            let (e, a) = (se.miss_ratio(ways), sa.miss_ratio(ways));
+            assert!(
+                (e - a).abs() < 0.05,
+                "sets={sets} ways={ways}: exact {e} vs approx {a}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cdc_predictor_fidelity() {
+    // Figure 5's invariant at test scale: the C/DC outcome mix on the lossy
+    // trace resembles the exact one.
+    let p = spec::profile("456.hmmer").unwrap();
+    let exact = filtered_trace(p.workload(3), 60_000);
+    let dir = scratch("cdc-fid");
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossy(LossyConfig {
+            interval_len: 600,
+            ..LossyConfig::default()
+        }),
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: 60,
+        },
+    )
+    .unwrap();
+    w.code_all(exact.iter().copied()).unwrap();
+    w.finish().unwrap();
+    let approx = AtcReader::open(&dir).unwrap().decode_all().unwrap();
+
+    let run = |t: &[u64]| {
+        let mut pred = CdcPredictor::new(CdcConfig::paper());
+        pred.run(t.iter().copied())
+    };
+    let (se, sa) = (run(&exact), run(&approx));
+    assert!(
+        (se.correct_fraction() - sa.correct_fraction()).abs() < 0.15,
+        "exact {se:?} vs lossy {sa:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn filter_then_compress_interleaves_i_and_d() {
+    // The trace format interleaves instruction and data misses in access
+    // order; both must survive the compression roundtrip.
+    let p = spec::profile("445.gobmk").unwrap();
+    let mut filter = CacheFilter::paper();
+    let trace: Vec<u64> = filter.filter(p.workload(5)).take(10_000).collect();
+    // Code lives at TEXT (low addresses), data far above: both present.
+    let code_blocks = trace.iter().filter(|&&b| b < (1 << 20)).count();
+    let data_blocks = trace.len() - code_blocks;
+    assert!(code_blocks > 100, "expected I-misses, got {code_blocks}");
+    assert!(data_blocks > 100, "expected D-misses, got {data_blocks}");
+
+    let dir = scratch("interleave");
+    let mut w = AtcWriter::create(&dir, Mode::Lossless).unwrap();
+    w.code_all(trace.iter().copied()).unwrap();
+    w.finish().unwrap();
+    assert_eq!(AtcReader::open(&dir).unwrap().decode_all().unwrap(), trace);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Wraps `atc::cache::filtered_trace` for workload iterators.
+fn filtered_trace(
+    workload: atc::trace::Workload,
+    n: usize,
+) -> Vec<u64> {
+    let mut filter = CacheFilter::paper();
+    filter.filter(workload).take(n).collect()
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the public API: round-trip identities and
+//! structural invariants that must hold for *arbitrary* inputs, not just
+//! the well-behaved traces the experiments use.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use atc::core::bytesort::{bytesort_forward, bytesort_inverse, unshuffle, unshuffle_inverse};
+use atc::core::hist::{translate_addr, ByteHistograms, Translation};
+use atc::core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
+
+fn scratch(tag: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "atc-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bytesort_roundtrip(addrs in vec(any::<u64>(), 0..2000)) {
+        let cols = bytesort_forward(&addrs);
+        prop_assert_eq!(bytesort_inverse(&cols).unwrap(), addrs);
+    }
+
+    #[test]
+    fn unshuffle_roundtrip(addrs in vec(any::<u64>(), 0..2000)) {
+        let cols = unshuffle(&addrs);
+        prop_assert_eq!(unshuffle_inverse(&cols).unwrap(), addrs);
+    }
+
+    #[test]
+    fn bytesort_is_column_permutation(addrs in vec(any::<u64>(), 1..500)) {
+        // Every output column is a permutation of the corresponding input
+        // byte column (sorting reorders, never alters, bytes).
+        let cols = bytesort_forward(&addrs);
+        for (j, col) in cols.iter().enumerate() {
+            let mut expect: Vec<u8> =
+                addrs.iter().map(|&a| (a >> (8 * (7 - j))) as u8).collect();
+            let mut got = col.clone();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "column {}", j);
+        }
+    }
+
+    #[test]
+    fn histogram_distance_properties(
+        a in vec(any::<u64>(), 1..500),
+        b in vec(any::<u64>(), 1..500),
+    ) {
+        let sa = ByteHistograms::from_addrs(&a).sorted();
+        let sb = ByteHistograms::from_addrs(&b).sorted();
+        let dab = sa.distance(&sb);
+        let dba = sb.distance(&sa);
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=2.0).contains(&dab), "bounds: {}", dab);
+        prop_assert_eq!(sa.distance(&sa), 0.0, "identity");
+    }
+
+    #[test]
+    fn translations_are_permutations(
+        a in vec(any::<u64>(), 1..300),
+        b in vec(any::<u64>(), 1..300),
+    ) {
+        let sa = ByteHistograms::from_addrs(&a).sorted();
+        let sb = ByteHistograms::from_addrs(&b).sorted();
+        for j in 0..8 {
+            let t = Translation::between(sa.permutation(j), sb.permutation(j));
+            prop_assert!(Translation::from_table(*t.table()).is_some());
+        }
+    }
+
+    #[test]
+    fn translation_preserves_distinctness(
+        addrs in vec(any::<u64>(), 1..300),
+        other in vec(any::<u64>(), 1..300),
+    ) {
+        // Byte translation maps distinct addresses to distinct addresses
+        // (the paper: "permutations t[j] map each unique address of
+        // interval A to a unique address").
+        let sa = ByteHistograms::from_addrs(&addrs).sorted();
+        let sb = ByteHistograms::from_addrs(&other).sorted();
+        let mut translations: [Option<Translation>; 8] = Default::default();
+        for (j, slot) in translations.iter_mut().enumerate() {
+            *slot = Some(Translation::between(sa.permutation(j), sb.permutation(j)));
+        }
+        let mut uniq_in: Vec<u64> = addrs.clone();
+        uniq_in.sort_unstable();
+        uniq_in.dedup();
+        let mut uniq_out: Vec<u64> = addrs
+            .iter()
+            .map(|&x| translate_addr(x, &translations))
+            .collect();
+        uniq_out.sort_unstable();
+        uniq_out.dedup();
+        prop_assert_eq!(uniq_in.len(), uniq_out.len());
+    }
+
+    #[test]
+    fn atc_lossless_roundtrip_arbitrary_values(
+        values in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let dir = scratch(seed);
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions { codec: "bzip".into(), buffer },
+        ).unwrap();
+        w.code_all(values.iter().copied()).unwrap();
+        w.finish().unwrap();
+        let mut r = AtcReader::open(&dir).unwrap();
+        let out = r.decode_all().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn atc_lossy_preserves_length(
+        values in vec(any::<u64>(), 0..3000),
+        interval in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let dir = scratch(seed.wrapping_add(1));
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(LossyConfig {
+                interval_len: interval,
+                ..LossyConfig::default()
+            }),
+            AtcOptions { codec: "bzip".into(), buffer: (interval / 2).max(1) },
+        ).unwrap();
+        w.code_all(values.iter().copied()).unwrap();
+        let stats = w.finish().unwrap();
+        prop_assert_eq!(stats.count, values.len() as u64);
+        let mut r = AtcReader::open(&dir).unwrap();
+        let out = r.decode_all().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(out.len(), values.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tcgen_roundtrip_arbitrary(values in vec(any::<u64>(), 0..2000)) {
+        use std::sync::Arc;
+        let tc = atc::tcgen::Tcgen::new(
+            atc::tcgen::TcgenConfig { table_lines: 256 },
+            Arc::new(atc::codec::Bzip::default()),
+        );
+        let packed = tc.compress(&values);
+        prop_assert_eq!(tc.decompress(&packed).unwrap(), values);
+    }
+
+    #[test]
+    fn stack_sim_matches_cache(
+        blocks in vec(0u64..5000, 1..2000),
+        sets_log in 0usize..6,
+        ways in 1usize..8,
+    ) {
+        use atc::cache::{Cache, CacheConfig, StackSim};
+        let sets = 1 << sets_log;
+        let mut sim = StackSim::new(sets, 8);
+        sim.run(blocks.iter().copied());
+        let mut cache = Cache::new(CacheConfig { sets, ways, block_shift: 6 });
+        for &b in &blocks {
+            cache.access_block(b);
+        }
+        prop_assert!((sim.miss_ratio(ways) - cache.miss_ratio()).abs() < 1e-9);
+    }
+}
