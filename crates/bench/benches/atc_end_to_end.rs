@@ -4,7 +4,7 @@
 //! Backs the headline claims: lossless ratio (Table 1) and lossy ratio
 //! (Table 3 / Figure 8) at the container level, including all framing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use atc_bench::workloads::filtered_trace;
@@ -44,6 +44,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     AtcOptions {
                         codec: "bzip".into(),
                         buffer: n / 1000,
+                        threads: 1,
                     },
                 )
                 .unwrap();
@@ -63,6 +64,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer: n / 1000,
+                threads: 1,
             },
         )
         .unwrap();
@@ -79,5 +81,87 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// Thread-count axis through the full container on the bzip backend: the
+/// acceptance bar for the parallel pipeline is >= 2x compression
+/// throughput at 4 threads vs 1.
+fn bench_end_to_end_threads(c: &mut Criterion) {
+    use atc_core::ReadOptions;
+
+    let mut g = c.benchmark_group("atc_end_to_end_threads");
+    g.sample_size(10);
+    let n = 2_000_000usize;
+    let p = spec::profile("482.sphinx3").unwrap();
+    let trace = filtered_trace(p, n, 7);
+    g.throughput(Throughput::Elements(n as u64));
+
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("compress_lossless", threads),
+            &trace,
+            |b, t| {
+                // Directory teardown/creation happens in setup, outside
+                // the timed routine — the number this bench produces is
+                // the compression axis the >=2x acceptance bar is about.
+                b.iter_batched(
+                    || {
+                        let dir = scratch(&format!("mt-{threads}"));
+                        let _ = std::fs::remove_dir_all(&dir);
+                        dir
+                    },
+                    |dir| {
+                        let mut w = AtcWriter::with_options(
+                            &dir,
+                            Mode::Lossless,
+                            AtcOptions {
+                                codec: "bzip".into(),
+                                buffer: 100_000,
+                                threads,
+                            },
+                        )
+                        .unwrap();
+                        w.code_all(t.iter().copied()).unwrap();
+                        black_box(w.finish().unwrap())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        let _ = std::fs::remove_dir_all(scratch(&format!("mt-{threads}")));
+    }
+
+    // Decode side: one directory, read back at each thread count.
+    let dir = scratch("mt-dec");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = AtcWriter::with_options(
+        &dir,
+        Mode::Lossless,
+        AtcOptions {
+            codec: "bzip".into(),
+            buffer: 100_000,
+            threads: 4,
+        },
+    )
+    .unwrap();
+    w.code_all(trace.iter().copied()).unwrap();
+    w.finish().unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(BenchmarkId::new("decompress_lossless", threads), |b| {
+            b.iter(|| {
+                let mut r = AtcReader::open_with(
+                    &dir,
+                    ReadOptions {
+                        threads,
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap();
+                black_box(r.decode_all().unwrap().len())
+            });
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_end_to_end_threads);
 criterion_main!(benches);

@@ -36,9 +36,13 @@ fn bench_bytesort(c: &mut Criterion) {
             b.iter(|| black_box(unshuffle(black_box(a))));
         });
         let ucols = unshuffle(&addrs);
-        g.bench_with_input(BenchmarkId::new("unshuffle_inverse", n), &ucols, |b, cols| {
-            b.iter(|| black_box(unshuffle_inverse(black_box(cols)).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("unshuffle_inverse", n),
+            &ucols,
+            |b, cols| {
+                b.iter(|| black_box(unshuffle_inverse(black_box(cols)).unwrap()));
+            },
+        );
     }
     g.finish();
 }

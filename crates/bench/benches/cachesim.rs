@@ -44,15 +44,19 @@ fn bench_stack_sim(c: &mut Criterion) {
             });
         });
     }
-    g.bench_with_input(BenchmarkId::new("explicit_lru_4way", 128), &trace, |b, t| {
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::paper_l1());
-            for &a in t {
-                cache.access_block(a);
-            }
-            black_box(cache.miss_ratio())
-        });
-    });
+    g.bench_with_input(
+        BenchmarkId::new("explicit_lru_4way", 128),
+        &trace,
+        |b, t| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::paper_l1());
+                for &a in t {
+                    cache.access_block(a);
+                }
+                black_box(cache.miss_ratio())
+            });
+        },
+    );
     g.finish();
 }
 

@@ -13,10 +13,10 @@ use atc_codec::{Bzip, Codec, Lz, Store};
 fn structured(n: usize) -> Vec<u8> {
     (0..n)
         .map(|i| match i * 8 / n {
-            0..=3 => 0u8,                    // high columns: zeros
-            4 => 0xF2,                       // region byte
-            5 => (i / 256) as u8,            // slow counter
-            _ => (i % 251) as u8,            // fast counter
+            0..=3 => 0u8,         // high columns: zeros
+            4 => 0xF2,            // region byte
+            5 => (i / 256) as u8, // slow counter
+            _ => (i % 251) as u8, // fast counter
         })
         .collect()
 }
@@ -45,6 +45,59 @@ fn bench_codecs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread-count axis for the bzip backend over a multi-block input: the
+/// 900 kB blocks are independent, so compression/decompression should
+/// scale with threads while emitting byte-identical streams.
+fn bench_bzip_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bzip_threads");
+    g.sample_size(10);
+    let n = 8 << 20; // ~9 default-size blocks
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+
+    let serial = Bzip::default();
+    let packed = serial.compress(&data);
+    for threads in [1usize, 2, 4, 8] {
+        let codec = Bzip::with_threads(threads);
+        g.bench_with_input(BenchmarkId::new("compress", threads), &data, |b, d| {
+            b.iter(|| black_box(codec.compress(black_box(d))));
+        });
+        g.bench_with_input(BenchmarkId::new("decompress", threads), &packed, |b, p| {
+            b.iter(|| black_box(codec.decompress(black_box(p)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+/// Thread-count axis for the streaming writer: segments compress on the
+/// worker pool while the producer keeps feeding.
+fn bench_parallel_writer(c: &mut Criterion) {
+    use atc_codec::ParallelCodecWriter;
+    use std::io::Write;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("parallel_writer");
+    g.sample_size(10);
+    let n = 8 << 20;
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("bzip", threads), &data, |b, d| {
+            let codec: Arc<dyn Codec> = Arc::new(Bzip::default());
+            b.iter(|| {
+                let mut w = ParallelCodecWriter::new(
+                    Vec::with_capacity(1 << 20),
+                    Arc::clone(&codec),
+                    threads,
+                );
+                w.write_all(black_box(d)).unwrap();
+                black_box(w.finish().unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_bwt(c: &mut Criterion) {
     let mut g = c.benchmark_group("bwt");
     g.sample_size(10);
@@ -61,5 +114,11 @@ fn bench_bwt(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_bwt);
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_bzip_threads,
+    bench_parallel_writer,
+    bench_bwt
+);
 criterion_main!(benches);

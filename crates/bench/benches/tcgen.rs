@@ -15,7 +15,12 @@ fn bench_tcgen(c: &mut Criterion) {
     g.sample_size(10);
     let n = 200_000usize;
     let codec = Arc::new(atc_codec::Bzip::default());
-    let tc = Tcgen::new(TcgenConfig { table_lines: 1 << 14 }, codec);
+    let tc = Tcgen::new(
+        TcgenConfig {
+            table_lines: 1 << 14,
+        },
+        codec,
+    );
 
     for name in ["462.libquantum", "429.mcf"] {
         let p = spec::profile(name).unwrap();

@@ -50,8 +50,7 @@ fn main() {
                 let mut s = StackSim::new(*sets, 16);
                 s.run(approx.iter().copied());
                 for ways in [1usize, 2, 4, 8, 16] {
-                    worst = worst
-                        .max((sims_exact[i].miss_ratio(ways) - s.miss_ratio(ways)).abs());
+                    worst = worst.max((sims_exact[i].miss_ratio(ways) - s.miss_ratio(ways)).abs());
                 }
             }
             println!(

@@ -41,6 +41,7 @@ fn main() {
         AtcOptions {
             codec: "bzip".into(),
             buffer,
+            threads: 1,
         },
     )
     .expect("create trace dir");

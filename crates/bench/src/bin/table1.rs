@@ -1,8 +1,9 @@
 //! Table 1 — bits per address for five lossless pipelines over the 22
 //! SPEC-like traces.
 //!
-//! Columns (as in the paper): `bz2` = codec alone, `us` = byte-unshuffling
-//! + codec, `tcg` = TCgen-class predictor compressor (memory matched to the
+//! Columns (as in the paper): `bz2` = codec alone, `us` =
+//! byte-unshuffling + codec, `tcg` = TCgen-class predictor compressor
+//! (memory matched to the
 //! big bytesort), `bs1` = bytesort with B = trace/100 (the paper's 1 M over
 //! 100 M), `bs10` = bytesort with B = trace/10 (the paper's 10 M).
 //!

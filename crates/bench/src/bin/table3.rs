@@ -9,7 +9,9 @@
 //! cargo run -p atc-bench --release --bin table3 [-- --len 2000000 --quick]
 //! ```
 
-use atc_bench::workloads::{bpa, compress_transformed, default_codec, filtered_trace, Args, Scale, Transform};
+use atc_bench::workloads::{
+    bpa, compress_transformed, default_codec, filtered_trace, Args, Scale, Transform,
+};
 use atc_core::{AtcOptions, AtcWriter, LossyConfig, Mode};
 use atc_trace::spec::profiles;
 
@@ -24,7 +26,9 @@ fn main() {
     let threshold = args.get_or("threshold", 0.1);
 
     println!("# Table 3 — bits per address, lossless vs lossy");
-    println!("# trace length = {len} (paper: 1 B); L = {interval} (paper: 10 M); eps = {threshold}");
+    println!(
+        "# trace length = {len} (paper: 1 B); L = {interval} (paper: 10 M); eps = {threshold}"
+    );
     println!("# lossless = bytesort with B = {buffer} (paper: 1 M)");
     println!();
     println!(
@@ -40,8 +44,7 @@ fn main() {
     for p in profiles() {
         let trace = filtered_trace(p, len, scale.seed);
 
-        let c_lossless =
-            compress_transformed(&trace, Transform::Bytesort, buffer, codec.as_ref());
+        let c_lossless = compress_transformed(&trace, Transform::Bytesort, buffer, codec.as_ref());
         let bpa_lossless = bpa(c_lossless.len(), trace.len());
 
         let dir = tmp.join(p.number());
@@ -57,6 +60,7 @@ fn main() {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer,
+                threads: 1,
             },
         )
         .expect("create trace dir");

@@ -130,14 +130,12 @@ pub fn decompress_transformed(
                 }
             }
             Transform::Unshuffle => {
-                let cols: Vec<Vec<u8>> =
-                    (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
+                let cols: Vec<Vec<u8>> = (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
                 out.extend(bytesort::unshuffle_inverse(&cols).expect("valid columns"));
                 cur = &cur[n * 8..];
             }
             Transform::Bytesort => {
-                let cols: Vec<Vec<u8>> =
-                    (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
+                let cols: Vec<Vec<u8>> = (0..8).map(|j| cur[j * n..(j + 1) * n].to_vec()).collect();
                 out.extend(bytesort::bytesort_inverse(&cols).expect("valid columns"));
                 cur = &cur[n * 8..];
             }
@@ -257,10 +255,7 @@ pub fn lossy_roundtrip(
     use atc_core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "atc-lossy-roundtrip-{}-{id}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("atc-lossy-roundtrip-{}-{id}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = LossyConfig {
         interval_len,
@@ -274,6 +269,7 @@ pub fn lossy_roundtrip(
         AtcOptions {
             codec: "bzip".into(),
             buffer,
+            threads: 1,
         },
     )
     .expect("create scratch trace dir");
@@ -281,7 +277,11 @@ pub fn lossy_roundtrip(
     let stats = w.finish().expect("finish");
     let mut r = AtcReader::open(&dir).expect("reopen");
     let approx = r.decode_all().expect("decompress");
-    assert_eq!(approx.len(), trace.len(), "lossy must preserve trace length");
+    assert_eq!(
+        approx.len(),
+        trace.len(),
+        "lossy must preserve trace length"
+    );
     let _ = std::fs::remove_dir_all(&dir);
     (approx, stats)
 }

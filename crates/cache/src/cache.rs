@@ -308,7 +308,13 @@ mod tests {
         let mut c = tiny(1, 1);
         // Clean fill, clean eviction: no writeback.
         let r = c.access(1, false);
-        assert_eq!(r, AccessResult { hit: false, writeback: None });
+        assert_eq!(
+            r,
+            AccessResult {
+                hit: false,
+                writeback: None
+            }
+        );
         let r = c.access(2, false);
         assert_eq!(r.writeback, None);
         // Dirty fill, then eviction: writeback of the dirty block.

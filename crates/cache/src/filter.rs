@@ -276,9 +276,9 @@ mod tests {
         let mut f = CacheFilter::new(CacheConfig::paper_l1(), cfg);
         f.set_emit_writebacks(true);
         let accesses = vec![
-            Access::write(0),   // miss, fills dirty
-            Access::read(64),   // miss, evicts dirty block 0 -> writeback
-            Access::read(128),  // miss, clean eviction
+            Access::write(0),  // miss, fills dirty
+            Access::read(64),  // miss, evicts dirty block 0 -> writeback
+            Access::read(128), // miss, clean eviction
         ];
         let out: Vec<u64> = f.filter(accesses).collect();
         assert_eq!(out, vec![0, 1, WRITEBACK_BIT, 2]);

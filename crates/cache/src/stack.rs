@@ -43,7 +43,10 @@ impl StackSim {
     ///
     /// Panics if `sets` is not a positive power of two or `max_assoc == 0`.
     pub fn new(sets: usize, max_assoc: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(max_assoc > 0, "max_assoc must be positive");
         Self {
             sets,
@@ -133,7 +136,9 @@ mod tests {
         let mut x: u64 = 1;
         let trace: Vec<u64> = (0..20_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 40) % 4096
             })
             .collect();
@@ -169,7 +174,10 @@ mod tests {
         }
         let curve = sim.miss_curve();
         for w in curve.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "miss ratio must not increase with ways");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "miss ratio must not increase with ways"
+            );
         }
     }
 

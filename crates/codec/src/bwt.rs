@@ -45,12 +45,30 @@ impl std::error::Error for BwtError {}
 /// the row, among the `data.len() + 1` sorted rotations, whose last column
 /// entry is the sentinel.
 pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, u32) {
+    let mut scratch = crate::sais::SaisScratch::new();
+    let mut out = Vec::new();
+    let primary = bwt_forward_in(data, &mut scratch, &mut out);
+    (out, primary)
+}
+
+/// [`bwt_forward`] writing the last column into a reused buffer, with the
+/// suffix-array construction running in reused `scratch`.
+///
+/// `out` is cleared first; the returned value is the `primary` index. Block
+/// loops (the bzip codec) call this once per block without re-allocating
+/// the O(n) transform buffers.
+pub fn bwt_forward_in(
+    data: &[u8],
+    scratch: &mut crate::sais::SaisScratch,
+    out: &mut Vec<u8>,
+) -> u32 {
     let n = data.len();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), 0);
+        return 0;
     }
-    let sa = crate::sais::suffix_array(data);
-    let mut out = Vec::with_capacity(n);
+    let sa = crate::sais::suffix_array_in(data, scratch);
+    out.reserve(n);
     // Row 0 is the rotation starting at the sentinel; its last column entry
     // is the final byte of `data`.
     out.push(data[n - 1]);
@@ -66,7 +84,7 @@ pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, u32) {
     }
     debug_assert_eq!(out.len(), n);
     debug_assert!(primary >= 1);
-    (out, primary)
+    primary
 }
 
 /// Inverts the BWT.
@@ -108,14 +126,14 @@ pub fn bwt_inverse(last_col: &[u8], primary: u32) -> Result<Vec<u8>, BwtError> {
     // LF mapping for every full-column row.
     let mut lf = vec![0u32; n + 1];
     let mut occ = [0u32; 257];
-    for row in 0..=n {
+    for (row, lf_row) in lf.iter_mut().enumerate() {
         let sym: usize = if row == p {
             0
         } else {
             let i = if row < p { row } else { row - 1 };
             last_col[i] as usize + 1
         };
-        lf[row] = c_lt[sym] + occ[sym];
+        *lf_row = c_lt[sym] + occ[sym];
         occ[sym] += 1;
     }
 

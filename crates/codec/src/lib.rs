@@ -36,6 +36,7 @@ mod error;
 pub mod huffman;
 mod lz;
 pub mod mtf;
+mod parallel;
 pub mod rle;
 pub mod sais;
 mod store;
@@ -45,6 +46,7 @@ pub mod varint;
 pub use bzip::{Bzip, DEFAULT_BLOCK_SIZE};
 pub use error::CodecError;
 pub use lz::Lz;
+pub use parallel::{ParallelCodecWriter, ReadaheadReader, WorkerPool};
 pub use store::Store;
 pub use stream::{CodecReader, CodecWriter, DEFAULT_SEGMENT_SIZE};
 

@@ -19,8 +19,16 @@
 /// The alphabet starts as the identity permutation of byte values; each input
 /// byte is replaced by its current list index and moved to the front.
 pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    mtf_encode_into(data, &mut out);
+    out
+}
+
+/// [`mtf_encode`] appending into a reused, cleared output buffer.
+pub fn mtf_encode_into(data: &[u8], out: &mut Vec<u8>) {
     let mut alphabet: [u8; 256] = std::array::from_fn(|i| i as u8);
-    let mut out = Vec::with_capacity(data.len());
+    out.clear();
+    out.reserve(data.len());
     for &b in data {
         let idx = alphabet
             .iter()
@@ -31,7 +39,6 @@ pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
         alphabet.copy_within(0..idx as usize, 1);
         alphabet[0] = b;
     }
-    out
 }
 
 /// Inverts [`mtf_encode`].

@@ -1,0 +1,747 @@
+//! Parallel streaming adapters: a worker-pool [`ParallelCodecWriter`] and a
+//! readahead [`ReadaheadReader`], both producing/consuming exactly the
+//! [`CodecWriter`](crate::CodecWriter) stream format.
+//!
+//! The serial [`CodecWriter`](crate::CodecWriter) compresses every segment
+//! on the producer thread, so compression throughput caps trace-generation
+//! throughput. [`ParallelCodecWriter`] instead hands full segments to a
+//! bounded pool of worker threads and writes the `varint(len) ++ block`
+//! frames back **in submission order**, so the on-disk format is
+//! byte-identical to the serial writer at every thread count — existing
+//! readers work unchanged. This is the shape proven by rr's
+//! `CompressedWriter`: independent blocks, ordered reassembly, bounded
+//! in-flight buffering for backpressure.
+//!
+//! [`ReadaheadReader`] mirrors it on the consume side: a background thread
+//! reads framed segments and decompresses batches of them in parallel,
+//! handing decompressed segments to the consumer through a bounded
+//! channel, in order.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//! use atc_codec::{Bzip, Codec, CodecReader, ParallelCodecWriter};
+//!
+//! let codec: Arc<dyn Codec> = Arc::new(Bzip::default());
+//! let mut w = ParallelCodecWriter::new(Vec::new(), Arc::clone(&codec), 4);
+//! w.write_all(b"stream me from four workers")?;
+//! let file = w.finish()?;
+//!
+//! // The serial reader decodes the parallel writer's output.
+//! let mut r = CodecReader::new(&file[..], codec);
+//! let mut back = String::new();
+//! r.read_to_string(&mut back)?;
+//! assert_eq!(back, "stream me from four workers");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::CodecError;
+use crate::stream::DEFAULT_SEGMENT_SIZE;
+use crate::varint;
+use crate::Codec;
+
+/// Upper bound on segments queued or in flight per worker.
+///
+/// Bounds memory to roughly `2 * threads * segment_size` raw bytes while
+/// keeping every worker busy (one segment compressing, one queued).
+const IN_FLIGHT_PER_WORKER: usize = 2;
+
+/// A `Write` adapter that compresses segments on a bounded worker pool.
+///
+/// Produces the exact byte stream of the serial
+/// [`CodecWriter`](crate::CodecWriter): segments framed as
+/// `varint(compressed_len) ++ compressed bytes`, terminated by a
+/// zero-length varint, emitted in submission order. `threads <= 1` runs
+/// inline on the caller thread with no pool at all (today's serial path).
+///
+/// Call [`ParallelCodecWriter::finish`] to drain the pool, write the
+/// end-of-stream marker, and recover the inner writer; dropping without
+/// `finish` leaves the stream unterminated (readers will report
+/// truncation), exactly like the serial writer.
+#[derive(Debug)]
+pub struct ParallelCodecWriter<W: Write> {
+    inner: W,
+    codec: Arc<dyn Codec>,
+    buf: Vec<u8>,
+    segment_size: usize,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    pool: Option<Pool>,
+    /// Sequence number of the next segment to submit.
+    next_seq: u64,
+    /// Sequence number of the next segment to write to `inner`.
+    next_write: u64,
+    /// Compressed segments that arrived ahead of their turn.
+    done: BTreeMap<u64, Vec<u8>>,
+    /// Segments submitted but not yet written out.
+    in_flight: usize,
+    /// First inner-writer error; once set, every later call fails with
+    /// it. A failed frame write may have landed partially, so retrying
+    /// would silently corrupt the stream — fail fast instead.
+    poisoned: Option<(io::ErrorKind, String)>,
+}
+
+/// A bounded pool of named worker threads consuming jobs from one queue.
+///
+/// This is the worker-pool substrate shared by the compression adapters
+/// here and the container layer's chunk pool (and available to future
+/// sharding/async backends): N threads pull jobs from a shared bounded
+/// queue, holding the queue lock only to pull — never while working.
+/// Dropping (or [`WorkerPool::join`]ing) the pool closes the queue; each
+/// worker finishes its queued jobs and exits.
+pub struct WorkerPool<J> {
+    jobs: Option<SyncSender<J>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J> std::fmt::Debug for WorkerPool<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `threads` workers (named `{name}-{i}`) running `handler` on
+    /// every job; at most `queue_cap` jobs wait in the queue
+    /// (backpressure: `submit` blocks past that).
+    pub fn spawn<F>(threads: usize, queue_cap: usize, name: &str, handler: F) -> Self
+    where
+        F: Fn(J) + Clone + Send + 'static,
+    {
+        let (jobs, job_rx) = mpsc::sync_channel::<J>(queue_cap.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let job_rx = Arc::clone(&job_rx);
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to pull the next job, never
+                        // while working on it.
+                        let job = job_rx.lock().expect("job queue poisoned").recv();
+                        let Ok(job) = job else { break };
+                        handler(job);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            jobs: Some(jobs),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job, blocking if `queue_cap` jobs are already waiting.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if every worker has died (panicked).
+    pub fn submit(&self, job: J) -> Result<(), mpsc::SendError<J>> {
+        self.jobs
+            .as_ref()
+            .expect("jobs sender lives until drop")
+            .send(job)
+    }
+
+    /// Closes the queue without joining: workers finish the queued jobs
+    /// and exit. Use when results must still be collected from a side
+    /// channel before the pool is dropped.
+    pub fn close(&mut self) {
+        self.jobs.take();
+    }
+
+    /// Closes the queue and waits for the workers to drain it.
+    ///
+    /// # Errors
+    ///
+    /// Reports the panic payload of the first worker that panicked.
+    pub fn join(mut self) -> std::thread::Result<()> {
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            worker.join()?;
+        }
+        Ok(())
+    }
+}
+
+impl<J> Drop for WorkerPool<J> {
+    /// Closes the job queue and reaps the workers; queued jobs still run.
+    fn drop(&mut self) {
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Pool {
+    workers: WorkerPool<(u64, Vec<u8>)>,
+    results: Receiver<(u64, Vec<u8>)>,
+}
+
+impl Pool {
+    fn spawn(codec: &Arc<dyn Codec>, threads: usize) -> Self {
+        let (result_tx, results) = mpsc::channel();
+        let codec = Arc::clone(codec);
+        let workers = WorkerPool::spawn(
+            threads,
+            threads * IN_FLIGHT_PER_WORKER,
+            "atc-codec-compress",
+            move |(seq, data): (u64, Vec<u8>)| {
+                let packed = codec.compress(&data);
+                // The writer may already be dropped; an unfinished stream
+                // is unterminated either way, so a dead receiver is fine.
+                let _ = result_tx.send((seq, packed));
+            },
+        );
+        Self { workers, results }
+    }
+}
+
+impl<W: Write> ParallelCodecWriter<W> {
+    /// Creates a writer with the default segment size and `threads`
+    /// compression workers (`0`/`1` = inline serial).
+    pub fn new(inner: W, codec: Arc<dyn Codec>, threads: usize) -> Self {
+        Self::with_segment_size(inner, codec, DEFAULT_SEGMENT_SIZE, threads)
+    }
+
+    /// Creates a writer compressing every `segment_size` raw bytes on a
+    /// pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is zero.
+    pub fn with_segment_size(
+        inner: W,
+        codec: Arc<dyn Codec>,
+        segment_size: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(segment_size > 0, "segment size must be positive");
+        let pool = (threads > 1).then(|| Pool::spawn(&codec, threads));
+        Self {
+            inner,
+            codec,
+            buf: Vec::with_capacity(segment_size.min(1 << 22)),
+            segment_size,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            pool,
+            next_seq: 0,
+            next_write: 0,
+            done: BTreeMap::new(),
+            in_flight: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Fails if a previous frame write errored (the stream may hold a
+    /// partial frame, so no further writes can be trusted).
+    fn check_poisoned(&self) -> io::Result<()> {
+        match &self.poisoned {
+            Some((kind, msg)) => Err(io::Error::new(*kind, msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Raw bytes accepted so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Compressed bytes emitted so far (excluding data still buffered or
+    /// in flight on the pool).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+
+    /// Number of worker threads (0 = inline serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.workers.threads())
+    }
+
+    fn write_frame(&mut self, packed: &[u8]) -> io::Result<()> {
+        // Header and payload as two writes (like the serial CodecWriter):
+        // no copy of the compressed bytes on the one thread serializing
+        // all output. Partial landings are handled by the poison latch.
+        let mut header = [0u8; 10];
+        let mut cursor = &mut header[..];
+        varint::write_u64(&mut cursor, packed.len() as u64)?;
+        let header_len = 10 - cursor.len();
+        let result = self
+            .inner
+            .write_all(&header[..header_len])
+            .and_then(|()| self.inner.write_all(packed));
+        if let Err(e) = result {
+            self.poisoned = Some((e.kind(), e.to_string()));
+            return Err(e);
+        }
+        self.compressed_bytes += (header_len + packed.len()) as u64;
+        Ok(())
+    }
+
+    /// Writes every completed segment that is next in line.
+    fn drain_ready(&mut self) -> io::Result<()> {
+        while let Some(packed) = self.done.remove(&self.next_write) {
+            if let Err(e) = self.write_frame(&packed) {
+                // Keep the accounting consistent (no deadlock waiting for
+                // a result that was already consumed); the poison latch
+                // set by write_frame stops any further writes.
+                self.done.insert(self.next_write, packed);
+                return Err(e);
+            }
+            self.next_write += 1;
+            self.in_flight -= 1;
+        }
+        Ok(())
+    }
+
+    /// Receives one completed segment from the pool, blocking.
+    fn recv_one(&mut self) -> io::Result<()> {
+        let pool = self.pool.as_ref().expect("recv_one requires a pool");
+        match pool.results.recv() {
+            Ok((seq, packed)) => {
+                self.done.insert(seq, packed);
+                Ok(())
+            }
+            Err(_) => Err(io::Error::other("compression worker pool died")),
+        }
+    }
+
+    fn flush_segment(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.pool.is_none() {
+            // Inline serial path: identical to CodecWriter.
+            let packed = self.codec.compress(&self.buf);
+            self.buf.clear();
+            return self.write_frame(&packed);
+        }
+
+        // Backpressure: cap segments in flight so memory stays bounded
+        // even when compression is slower than production. Drain before
+        // blocking on the pool: after a transient write error the
+        // next-in-line frame sits in `done` with no pool result left to
+        // wait for, and recv_one would block forever.
+        let max_in_flight = self.threads() * IN_FLIGHT_PER_WORKER;
+        while self.in_flight >= max_in_flight {
+            self.drain_ready()?;
+            if self.in_flight < max_in_flight {
+                break;
+            }
+            self.recv_one()?;
+        }
+
+        let segment = std::mem::replace(
+            &mut self.buf,
+            Vec::with_capacity(self.segment_size.min(1 << 22)),
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pool = self.pool.as_ref().expect("pool checked above");
+        pool.workers
+            .submit((seq, segment))
+            .map_err(|_| io::Error::other("compression worker pool died"))?;
+        self.in_flight += 1;
+
+        // Opportunistically collect finished segments without blocking.
+        while let Ok((seq, packed)) = self
+            .pool
+            .as_ref()
+            .expect("pool checked above")
+            .results
+            .try_recv()
+        {
+            self.done.insert(seq, packed);
+        }
+        self.drain_ready()
+    }
+
+    /// Flushes the final segment, drains the pool, writes the
+    /// end-of-stream marker, and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer and pool failures.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.check_poisoned()?;
+        self.flush_segment()?;
+        if let Some(pool) = &mut self.pool {
+            // Closing the job queue lets workers exit as they go idle.
+            pool.workers.close();
+        }
+        while self.in_flight > 0 {
+            // Same ordering as the backpressure loop: retry anything
+            // already buffered in `done` before blocking on the pool.
+            self.drain_ready()?;
+            if self.in_flight == 0 {
+                break;
+            }
+            self.recv_one()?;
+        }
+        debug_assert!(self.done.is_empty());
+        self.pool.take(); // joins the (now idle) workers
+        let mut eos = Vec::with_capacity(1);
+        varint::write_u64(&mut eos, 0)?;
+        self.inner.write_all(&eos)?;
+        self.compressed_bytes += eos.len() as u64;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ParallelCodecWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.check_poisoned()?;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = self.segment_size - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == self.segment_size {
+                self.flush_segment()?;
+            }
+        }
+        self.raw_bytes += data.len() as u64;
+        Ok(data.len())
+    }
+
+    /// Flushes the inner writer only. Buffered raw bytes are *not* forced
+    /// into a short segment, and in-flight segments keep compressing; both
+    /// are emitted by [`ParallelCodecWriter::finish`].
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter that decompresses a codec stream on a background
+/// thread, `threads` segments at a time.
+///
+/// Consumes the exact stream format of
+/// [`CodecWriter`](crate::CodecWriter) / [`ParallelCodecWriter`]. A feeder
+/// thread reads framed segments, decompresses batches of up to `threads`
+/// segments in parallel (scoped threads), and hands the decompressed
+/// segments to the consumer through a bounded channel — so `decode`-style
+/// consumers overlap file I/O + decompression with their own work.
+#[derive(Debug)]
+pub struct ReadaheadReader {
+    rx: Option<Receiver<io::Result<Vec<u8>>>>,
+    feeder: Option<JoinHandle<()>>,
+    current: Vec<u8>,
+    pos: usize,
+    /// First error seen, replayed on every subsequent read (matching the
+    /// serial `CodecReader`, which keeps erroring rather than turning a
+    /// poisoned stream into a clean EOF).
+    error: Option<(io::ErrorKind, String)>,
+}
+
+impl ReadaheadReader {
+    /// Spawns the readahead pipeline over a terminated codec stream.
+    ///
+    /// `threads` is the per-batch decompression parallelism (`0`/`1` =
+    /// one segment at a time, still overlapped with the consumer).
+    pub fn new<R: Read + Send + 'static>(inner: R, codec: Arc<dyn Codec>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::sync_channel(threads * IN_FLIGHT_PER_WORKER);
+        let feeder = std::thread::Builder::new()
+            .name("atc-codec-readahead".into())
+            .spawn(move || feed(inner, codec, threads, tx))
+            .expect("spawn readahead thread");
+        Self {
+            rx: Some(rx),
+            feeder: Some(feeder),
+            current: Vec::new(),
+            pos: 0,
+            error: None,
+        }
+    }
+
+    fn refill(&mut self) -> io::Result<bool> {
+        if let Some((kind, msg)) = &self.error {
+            return Err(io::Error::new(*kind, msg.clone()));
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(false);
+        };
+        match rx.recv() {
+            Ok(Ok(segment)) => {
+                debug_assert!(!segment.is_empty());
+                self.current = segment;
+                self.pos = 0;
+                Ok(true)
+            }
+            Ok(Err(e)) => {
+                self.error = Some((e.kind(), e.to_string()));
+                self.shutdown();
+                Err(e)
+            }
+            Err(_) => {
+                // Feeder finished cleanly after the end-of-stream marker.
+                self.shutdown();
+                Ok(false)
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.rx.take();
+        if let Some(feeder) = self.feeder.take() {
+            let _ = feeder.join();
+        }
+    }
+}
+
+/// Feeder-thread body: frame, batch, decompress in parallel, emit in order.
+fn feed<R: Read>(
+    mut inner: R,
+    codec: Arc<dyn Codec>,
+    threads: usize,
+    tx: SyncSender<io::Result<Vec<u8>>>,
+) {
+    loop {
+        // Read up to `threads` packed segments sequentially.
+        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(threads);
+        let mut end = false;
+        while batch.len() < threads {
+            let seg_len = match varint::read_u64(&mut inner) {
+                Ok(n) => n as usize,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            };
+            if seg_len == 0 {
+                end = true;
+                break;
+            }
+            let mut packed = vec![0u8; seg_len];
+            if let Err(e) = inner.read_exact(&mut packed) {
+                let _ = tx.send(Err(e));
+                return;
+            }
+            batch.push(packed);
+        }
+
+        // Decompress the batch in parallel, preserving order.
+        let results: Vec<Result<Vec<u8>, CodecError>> = if batch.len() <= 1 {
+            batch.iter().map(|p| codec.decompress(p)).collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|packed| {
+                        let codec = &codec;
+                        s.spawn(move || codec.decompress(packed))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("decompression worker panicked"))
+                    .collect()
+            })
+        };
+
+        for result in results {
+            let send = match result {
+                Ok(segment) if segment.is_empty() => {
+                    // A zero-raw-byte segment is never written; treat as
+                    // corrupt (mirrors the serial CodecReader).
+                    Err(io::Error::from(CodecError::Corrupt("empty segment".into())))
+                }
+                Ok(segment) => Ok(segment),
+                Err(e) => Err(io::Error::from(e)),
+            };
+            let failed = send.is_err();
+            if tx.send(send).is_err() || failed {
+                return; // consumer dropped, or stream is poisoned
+            }
+        }
+        if end {
+            return;
+        }
+    }
+}
+
+impl Read for ReadaheadReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.pos == self.current.len() {
+            if !self.refill()? {
+                return Ok(0);
+            }
+        }
+        let n = (self.current.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.current[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Drop for ReadaheadReader {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bzip, CodecReader, CodecWriter, Lz, Store};
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn output_byte_identical_to_serial() {
+        let data = sample(300_000);
+        for threads in [0usize, 1, 2, 4, 8] {
+            let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(4096));
+            let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 10_000);
+            serial.write_all(&data).unwrap();
+            let expect = serial.finish().unwrap();
+
+            let mut parallel = ParallelCodecWriter::with_segment_size(
+                Vec::new(),
+                Arc::clone(&codec),
+                10_000,
+                threads,
+            );
+            parallel.write_all(&data).unwrap();
+            let got = parallel.finish().unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_serial_reader() {
+        let data = sample(120_000);
+        for codec in [
+            Arc::new(Store) as Arc<dyn Codec>,
+            Arc::new(Lz::default()),
+            Arc::new(Bzip::with_block_size(2048)),
+        ] {
+            let mut w =
+                ParallelCodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 7000, 4);
+            w.write_all(&data).unwrap();
+            let file = w.finish().unwrap();
+            let mut r = CodecReader::new(&file[..], codec);
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, data);
+        }
+    }
+
+    #[test]
+    fn readahead_reads_serial_stream() {
+        let data = sample(200_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 9000);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut r = ReadaheadReader::new(
+                std::io::Cursor::new(file.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, data, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let w = ParallelCodecWriter::new(Vec::new(), Arc::clone(&codec), 4);
+        let file = w.finish().unwrap();
+        let mut r = ReadaheadReader::new(std::io::Cursor::new(file), codec, 4);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn readahead_reports_truncation() {
+        let mut file = Vec::new();
+        varint::write_u64(&mut file, 4).unwrap();
+        file.extend_from_slice(b"da"); // segment promises 4, delivers 2
+        let mut r = ReadaheadReader::new(
+            std::io::Cursor::new(file),
+            Arc::new(Store) as Arc<dyn Codec>,
+            2,
+        );
+        let mut back = Vec::new();
+        assert!(r.read_to_end(&mut back).is_err());
+        // The error persists: further reads must not look like clean EOF.
+        let mut byte = [0u8; 1];
+        assert!(r.read(&mut byte).is_err());
+        assert!(r.read(&mut byte).is_err());
+    }
+
+    #[test]
+    fn worker_pool_runs_all_jobs_and_joins() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let pool = WorkerPool::spawn(3, 2, "test-pool", move |n: usize| {
+            h.fetch_add(n, Ordering::SeqCst);
+        });
+        assert_eq!(pool.threads(), 3);
+        for n in 0..100usize {
+            pool.submit(n).unwrap();
+        }
+        pool.join().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn drop_without_finish_reaps_workers() {
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), codec, 4096, 4);
+        w.write_all(&sample(100_000)).unwrap();
+        drop(w); // must not hang or leak threads
+    }
+
+    #[test]
+    fn byte_counters_match_serial() {
+        let data = sample(50_000);
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 8192);
+        serial.write_all(&data).unwrap();
+
+        let mut parallel =
+            ParallelCodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 8192, 3);
+        parallel.write_all(&data).unwrap();
+        assert_eq!(parallel.raw_bytes(), 50_000);
+        let serial_len = serial.finish().unwrap().len();
+        let parallel_out = parallel.finish().unwrap();
+        assert_eq!(parallel_out.len(), serial_len);
+    }
+}

@@ -55,7 +55,7 @@ impl std::error::Error for RleError {}
 fn push_run(out: &mut Vec<usize>, mut n: u64) {
     debug_assert!(n > 0);
     while n > 0 {
-        if (n - 1) % 2 == 0 {
+        if (n - 1).is_multiple_of(2) {
             out.push(RUNA);
             n = (n - 1) / 2;
         } else {
@@ -67,24 +67,31 @@ fn push_run(out: &mut Vec<usize>, mut n: u64) {
 
 /// Encodes MTF output into the RUNA/RUNB symbol alphabet, appending `EOB`.
 pub fn rle_encode(mtf: &[u8]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(mtf.len() / 2 + 16);
+    let mut out = Vec::new();
+    rle_encode_into(mtf, &mut out);
+    out
+}
+
+/// [`rle_encode`] appending into a reused, cleared output buffer.
+pub fn rle_encode_into(mtf: &[u8], out: &mut Vec<usize>) {
+    out.clear();
+    out.reserve(mtf.len() / 2 + 16);
     let mut zero_run: u64 = 0;
     for &b in mtf {
         if b == 0 {
             zero_run += 1;
         } else {
             if zero_run > 0 {
-                push_run(&mut out, zero_run);
+                push_run(out, zero_run);
                 zero_run = 0;
             }
             out.push(b as usize + 1);
         }
     }
     if zero_run > 0 {
-        push_run(&mut out, zero_run);
+        push_run(out, zero_run);
     }
     out.push(EOB);
-    out
 }
 
 /// Decodes a RUNA/RUNB symbol stream back to MTF bytes.
@@ -196,6 +203,9 @@ mod tests {
     fn errors() {
         assert_eq!(rle_decode(&[5]), Err(RleError::MissingEob));
         assert_eq!(rle_decode(&[EOB, 5]), Err(RleError::TrailingData));
-        assert_eq!(rle_decode(&[EOB + 1]), Err(RleError::InvalidSymbol(EOB + 1)));
+        assert_eq!(
+            rle_decode(&[EOB + 1]),
+            Err(RleError::InvalidSymbol(EOB + 1))
+        );
     }
 }

@@ -18,6 +18,26 @@
 
 const EMPTY: u32 = u32::MAX;
 
+/// Reusable buffers for [`suffix_array_in`].
+///
+/// The top-level widened text and suffix-array buffers dominate SA-IS
+/// allocation cost (8 bytes per input byte each); holding them in scratch
+/// lets a block loop construct many suffix arrays without re-allocating.
+#[derive(Debug, Default)]
+pub struct SaisScratch {
+    /// Widened input with the explicit sentinel appended.
+    s: Vec<u32>,
+    /// Suffix-array output buffer (including the sentinel row).
+    sa: Vec<u32>,
+}
+
+impl SaisScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Builds the suffix array of `text`.
 ///
 /// Suffixes are compared with the usual convention that a proper prefix
@@ -28,33 +48,56 @@ const EMPTY: u32 = u32::MAX;
 ///
 /// Panics if `text.len() >= u32::MAX as usize`.
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let mut scratch = SaisScratch::new();
+    suffix_array_in(text, &mut scratch).to_vec()
+}
+
+/// Builds the suffix array of `text` into reusable `scratch` buffers.
+///
+/// Same result as [`suffix_array`]; the returned slice borrows from
+/// `scratch` and is valid until its next use.
+///
+/// # Panics
+///
+/// Panics if `text.len() >= u32::MAX as usize`.
+pub fn suffix_array_in<'a>(text: &[u8], scratch: &'a mut SaisScratch) -> &'a [u32] {
     assert!(
         text.len() < u32::MAX as usize,
         "input too large for 32-bit suffix array"
     );
     if text.is_empty() {
-        return Vec::new();
+        return &[];
     }
     // Shift bytes by +1 so value 0 is free for the explicit sentinel.
-    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
-    s.extend(text.iter().map(|&b| b as u32 + 1));
-    s.push(0);
-    let sa = sais(&s, 257);
+    scratch.s.clear();
+    scratch.s.reserve(text.len() + 1);
+    scratch.s.extend(text.iter().map(|&b| b as u32 + 1));
+    scratch.s.push(0);
+    sais_into(&scratch.s, 257, &mut scratch.sa);
     // Drop the sentinel suffix (always first).
-    debug_assert_eq!(sa[0] as usize, text.len());
-    sa[1..].to_vec()
+    debug_assert_eq!(scratch.sa[0] as usize, text.len());
+    &scratch.sa[1..]
 }
 
 /// SA-IS over a u32 string `s` that ends with a unique smallest sentinel 0.
 /// `k` is the alphabet size (all values < k).
 fn sais(s: &[u32], k: usize) -> Vec<u32> {
+    let mut sa = Vec::new();
+    sais_into(s, k, &mut sa);
+    sa
+}
+
+/// [`sais`] writing into a caller-provided (reused) output buffer.
+fn sais_into(s: &[u32], k: usize, sa: &mut Vec<u32>) {
     let n = s.len();
     debug_assert!(n > 0 && s[n - 1] == 0);
     debug_assert!(s[..n - 1].iter().all(|&c| c > 0 && (c as usize) < k));
-    let mut sa = vec![EMPTY; n];
+    sa.clear();
+    sa.resize(n, EMPTY);
+    let sa = &mut sa[..];
     if n == 1 {
         sa[0] = 0;
-        return sa;
+        return;
     }
 
     // --- Classify suffixes: S-type (true) / L-type (false). ---
@@ -72,8 +115,8 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
     }
 
     // --- Pass 1: sort LMS substrings by induced sorting. ---
-    place_lms_in_tails(s, &mut sa, &bucket, &is_s);
-    induce(s, &mut sa, &bucket, &is_s);
+    place_lms_in_tails(s, sa, &bucket, &is_s);
+    induce(s, sa, &bucket, &is_s);
 
     // Compact the LMS suffixes in their current (LMS-substring-sorted) order.
     let n_lms = (1..n).filter(|&i| is_lms(i)).count();
@@ -129,9 +172,8 @@ fn sais(s: &[u32], k: usize) -> Vec<u32> {
         tails[c] -= 1;
         sa[tails[c] as usize] = p;
     }
-    induce(s, &mut sa, &bucket, &is_s);
+    induce(s, sa, &bucket, &is_s);
     debug_assert!(sa.iter().all(|&p| p != EMPTY));
-    sa
 }
 
 /// Exclusive end offset of each character bucket.
@@ -281,7 +323,9 @@ mod tests {
         let mut x: u64 = 0x12345;
         let mut text = Vec::with_capacity(2000);
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             text.push((x >> 33) as u8);
         }
         check(&text);

@@ -229,8 +229,11 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let codecs: [Arc<dyn Codec>; 3] =
-            [Arc::new(Store), Arc::new(Bzip::default()), Arc::new(Lz::default())];
+        let codecs: [Arc<dyn Codec>; 3] = [
+            Arc::new(Store),
+            Arc::new(Bzip::default()),
+            Arc::new(Lz::default()),
+        ];
         for codec in codecs {
             roundtrip(codec, b"", 4096);
         }

@@ -12,7 +12,7 @@ use atc_codec::bwt::{bwt_forward, bwt_inverse};
 use atc_codec::mtf::{mtf_decode, mtf_encode};
 use atc_codec::rle::{rle_decode, rle_encode};
 use atc_codec::sais::suffix_array;
-use atc_codec::{Bzip, Codec, CodecReader, CodecWriter, Lz, Store};
+use atc_codec::{Bzip, Codec, CodecReader, CodecWriter, Lz, ParallelCodecWriter, Store};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -97,5 +97,80 @@ proptest! {
         let c = Store;
         prop_assert_eq!(c.compress(&data), data.clone());
         prop_assert_eq!(c.decompress(&data).unwrap(), data);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The parallel writer must produce streams the *serial* reader
+    // decompresses byte-identically, at every thread count and segment
+    // size — the on-disk format never depends on the writer's threading.
+    #[test]
+    fn parallel_writer_decodes_identically_via_serial_reader(
+        data in vec(any::<u8>(), 0..20_000),
+        segment in 1usize..4096,
+    ) {
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut serial =
+            CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), segment);
+        serial.write_all(&data).unwrap();
+        let serial_file = serial.finish().unwrap();
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut w = ParallelCodecWriter::with_segment_size(
+                Vec::new(),
+                Arc::clone(&codec),
+                segment,
+                threads,
+            );
+            w.write_all(&data).unwrap();
+            let file = w.finish().unwrap();
+            // Byte-identical stream, not merely an equivalent one.
+            prop_assert_eq!(&file, &serial_file, "stream bytes, threads={}", threads);
+
+            let mut r = CodecReader::new(&file[..], Arc::clone(&codec));
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            prop_assert_eq!(&back, &data, "decoded bytes, threads={}", threads);
+        }
+    }
+
+    // Multi-block Bzip parallelism: parallel decompress must round-trip
+    // serial compress output and vice versa (and the compressed bytes
+    // must be identical in both directions).
+    #[test]
+    fn parallel_bzip_interoperates_with_serial(
+        data in vec(any::<u8>(), 0..24_000),
+        threads in 2usize..9,
+    ) {
+        let serial = Bzip::with_block_size(1024); // force many blocks
+        let parallel = Bzip::with_block_size(1024).threads(threads);
+
+        let packed_serial = serial.compress(&data);
+        let packed_parallel = parallel.compress(&data);
+        prop_assert_eq!(&packed_serial, &packed_parallel, "compressed bytes");
+
+        // serial compress -> parallel decompress
+        prop_assert_eq!(&parallel.decompress(&packed_serial).unwrap(), &data);
+        // parallel compress -> serial decompress
+        prop_assert_eq!(&serial.decompress(&packed_parallel).unwrap(), &data);
+    }
+
+    #[test]
+    fn parallel_bzip_rejects_corruption_like_serial(
+        data in vec(any::<u8>(), 2048..8192),
+        flip_bit in 0usize..64,
+    ) {
+        let parallel = Bzip::with_block_size(1024).threads(4);
+        let mut packed = parallel.compress(&data);
+        let pos = packed.len() - 1 - (flip_bit / 8) % packed.len().min(64);
+        packed[pos] ^= 1 << (flip_bit % 8);
+        let serial = Bzip::with_block_size(1024);
+        // Whatever the serial codec says, the parallel one must agree.
+        prop_assert_eq!(
+            serial.decompress(&packed).is_err(),
+            parallel.decompress(&packed).is_err()
+        );
     }
 }

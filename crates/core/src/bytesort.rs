@@ -195,7 +195,7 @@ pub fn columns_to_bytes(cols: &[Vec<u8>]) -> Vec<u8> {
 ///
 /// Returns [`AtcError::Format`] if `bytes.len()` is not a multiple of eight.
 pub fn bytes_to_columns(bytes: &[u8]) -> Result<Vec<Vec<u8>>, AtcError> {
-    if bytes.len() % COLUMNS != 0 {
+    if !bytes.len().is_multiple_of(COLUMNS) {
         return Err(AtcError::Format(format!(
             "column stream length {} is not a multiple of {COLUMNS}",
             bytes.len()
@@ -232,9 +232,22 @@ mod tests {
         // Figure 1: sixteen 32-bit addresses (here zero-extended to 64 bits
         // in the low half so the high 4 columns are all zero).
         let addrs: Vec<u64> = vec![
-            0x0000_0000, 0xFF00_0007, 0x0001_C000, 0xFF00_0006, 0x0001_8000, 0xFF00_0005,
-            0x0001_4000, 0xFF00_0004, 0x0001_0000, 0xFF00_0003, 0x0000_C000, 0xFF00_0002,
-            0x0000_8000, 0xFF00_0001, 0x0000_4000, 0xFF00_0000,
+            0x0000_0000,
+            0xFF00_0007,
+            0x0001_C000,
+            0xFF00_0006,
+            0x0001_8000,
+            0xFF00_0005,
+            0x0001_4000,
+            0xFF00_0004,
+            0x0001_0000,
+            0xFF00_0003,
+            0x0000_C000,
+            0xFF00_0002,
+            0x0000_8000,
+            0xFF00_0001,
+            0x0000_4000,
+            0xFF00_0000,
         ];
         let cols = bytesort_forward(&addrs);
         // Columns 0..4 (bytes 7..4 of the 64-bit values) are all zero.
@@ -294,7 +307,9 @@ mod tests {
         let mut x: u64 = 0xABCD;
         let addrs: Vec<u64> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x
             })
             .collect();

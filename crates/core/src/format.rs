@@ -128,8 +128,7 @@ impl IntervalRecord {
                 let chunk_id = varint::read_u64(r)?;
                 let mut mask = [0u8; 1];
                 r.read_exact(&mut mask)?;
-                let mut translations: Box<[Option<Translation>; COLUMNS]> =
-                    Box::new(Default::default());
+                let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::default();
                 for j in 0..COLUMNS {
                     if mask[0] & (1 << j) != 0 {
                         let mut table = [0u8; 256];
@@ -341,7 +340,7 @@ mod tests {
 
     #[test]
     fn record_roundtrip_imitate() {
-        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::new(Default::default());
+        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::default();
         let mut table = [0u8; 256];
         for (i, t) in table.iter_mut().enumerate() {
             *t = (i as u8).wrapping_add(1);

@@ -250,7 +250,8 @@ mod tests {
     fn distance_is_metric_like() {
         let a = ByteHistograms::from_addrs(&(0..100u64).collect::<Vec<_>>()).sorted();
         let b = ByteHistograms::from_addrs(&(50..150u64).collect::<Vec<_>>()).sorted();
-        let c = ByteHistograms::from_addrs(&(0..100u64).map(|i| i * 3).collect::<Vec<_>>()).sorted();
+        let c =
+            ByteHistograms::from_addrs(&(0..100u64).map(|i| i * 3).collect::<Vec<_>>()).sorted();
         // Identity.
         assert_eq!(a.distance(&a), 0.0);
         // Symmetry.
@@ -296,7 +297,10 @@ mod tests {
         // Translating A's addresses reproduces B exactly on byte 1.
         let mut translations: [Option<Translation>; COLUMNS] = Default::default();
         translations[1] = Some(t);
-        let translated: Vec<u64> = a.iter().map(|&x| translate_addr(x, &translations)).collect();
+        let translated: Vec<u64> = a
+            .iter()
+            .map(|&x| translate_addr(x, &translations))
+            .collect();
         assert_eq!(translated, b);
     }
 

@@ -58,6 +58,6 @@ mod writer;
 
 pub use error::{AtcError, Result};
 pub use lossy::{Classification, LossyConfig, PhaseClassifier};
-pub use reader::{AtcReader, Values, DEFAULT_CHUNK_CACHE};
+pub use reader::{AtcReader, ReadOptions, Values, DEFAULT_CHUNK_CACHE};
 pub use verify::{verify, VerifyReport};
 pub use writer::{AtcOptions, AtcStats, AtcWriter, Mode};

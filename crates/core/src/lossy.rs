@@ -167,7 +167,7 @@ impl PhaseClassifier {
                 let translations = if self.config.byte_translation {
                     self.build_translations(entry, &hists, &sorted)
                 } else {
-                    Box::new(Default::default())
+                    Box::default()
                 };
                 return Classification::Imitate {
                     chunk_id: entry.id,
@@ -191,7 +191,7 @@ impl PhaseClassifier {
         hists: &ByteHistograms,
         sorted: &SortedHistograms,
     ) -> Box<[Option<Translation>; COLUMNS]> {
-        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::new(Default::default());
+        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::default();
         for j in 0..COLUMNS {
             if entry.hists.column_distance(hists, j) > self.config.threshold {
                 let t = Translation::between(entry.sorted.permutation(j), sorted.permutation(j));
@@ -264,8 +264,10 @@ mod tests {
         c.classify(&a, 0);
         match c.classify(&b, 1) {
             Classification::Imitate { translations, .. } => {
-                let translated: Vec<u64> =
-                    a.iter().map(|&x| translate_addr(x, &translations)).collect();
+                let translated: Vec<u64> = a
+                    .iter()
+                    .map(|&x| translate_addr(x, &translations))
+                    .collect();
                 assert_eq!(translated, b, "imitation must be perfect here");
             }
             other => panic!("expected imitation, got {other:?}"),
@@ -293,7 +295,9 @@ mod tests {
         c.classify(&narrow, 1);
         // The same narrow shape in a disjoint region (identical sorted
         // histograms, different raw ones) must imitate chunk 1, not chunk 0.
-        let narrow2: Vec<u64> = (0..500).flat_map(|i| [i + (7 << 32), i + (7 << 32)]).collect();
+        let narrow2: Vec<u64> = (0..500)
+            .flat_map(|i| [i + (7 << 32), i + (7 << 32)])
+            .collect();
         match c.classify(&narrow2, 2) {
             Classification::Imitate { chunk_id, .. } => assert_eq!(chunk_id, 1),
             other => panic!("expected imitation, got {other:?}"),

@@ -3,11 +3,11 @@
 
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use atc_codec::{codec_by_name, Codec, CodecReader};
+use atc_codec::{codec_by_name, Codec, CodecReader, ReadaheadReader};
 
 use crate::error::{AtcError, Result};
 use crate::format::{self, IntervalRecord, Meta};
@@ -18,6 +18,59 @@ use crate::hist::{translate_addr, Translation, COLUMNS};
 /// Runs of imitations of the same chunk then decode at translate speed
 /// without re-reading the chunk file.
 pub const DEFAULT_CHUNK_CACHE: usize = 8;
+
+/// Tuning knobs for [`AtcReader::open_with`].
+#[derive(Debug, Clone)]
+pub struct ReadOptions {
+    /// Decompressed chunks kept in memory (see [`DEFAULT_CHUNK_CACHE`]).
+    pub chunk_cache: usize,
+    /// Decompression worker threads. `0`/`1` decode on the calling thread
+    /// (the original behavior); `n > 1` reads payload streams through a
+    /// background readahead pipeline that decompresses up to `n` segments
+    /// concurrently, so `decode`/`decode_all` overlap decompression with
+    /// the consumer. Works on any trace — the on-disk format does not
+    /// record thread counts.
+    pub threads: usize,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        Self {
+            chunk_cache: DEFAULT_CHUNK_CACHE,
+            threads: 1,
+        }
+    }
+}
+
+/// A payload stream: decoded inline or through the readahead pipeline.
+#[derive(Debug)]
+enum SegmentStream {
+    Serial(CodecReader<BufReader<File>>),
+    Readahead(ReadaheadReader),
+}
+
+impl SegmentStream {
+    /// Opens a payload stream; open failures keep their `io::Error` (so
+    /// callers can still distinguish e.g. `NotFound`) — wrap with context
+    /// at the call site where useful.
+    fn open(path: &Path, codec: &Arc<dyn Codec>, threads: usize) -> std::io::Result<Self> {
+        let file = BufReader::new(File::open(path)?);
+        Ok(if threads > 1 {
+            Self::Readahead(ReadaheadReader::new(file, Arc::clone(codec), threads))
+        } else {
+            Self::Serial(CodecReader::new(file, Arc::clone(codec)))
+        })
+    }
+}
+
+impl Read for SegmentStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Serial(r) => r.read(buf),
+            Self::Readahead(r) => r.read(buf),
+        }
+    }
+}
 
 /// A streaming ATC decompressor over a trace directory.
 ///
@@ -57,7 +110,7 @@ pub struct AtcReader {
 #[derive(Debug)]
 enum State {
     Lossless {
-        stream: CodecReader<BufReader<File>>,
+        stream: SegmentStream,
     },
     Lossy {
         info: CodecReader<BufReader<File>>,
@@ -73,7 +126,7 @@ impl AtcReader {
     /// Fails if the directory, `meta` file, or payload files are missing or
     /// malformed, or the recorded codec is unknown.
     pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
-        Self::with_chunk_cache(dir, DEFAULT_CHUNK_CACHE)
+        Self::open_with(dir, ReadOptions::default())
     }
 
     /// Opens a trace directory with an explicit chunk-cache capacity.
@@ -82,6 +135,22 @@ impl AtcReader {
     ///
     /// Same failure modes as [`AtcReader::open`].
     pub fn with_chunk_cache<P: AsRef<Path>>(dir: P, chunk_cache: usize) -> Result<Self> {
+        Self::open_with(
+            dir,
+            ReadOptions {
+                chunk_cache,
+                ..ReadOptions::default()
+            },
+        )
+    }
+
+    /// Opens a trace directory with explicit [`ReadOptions`] (chunk cache
+    /// capacity and decompression thread count).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AtcReader::open`].
+    pub fn open_with<P: AsRef<Path>>(dir: P, options: ReadOptions) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let meta_text = std::fs::read_to_string(dir.join(format::META_FILE)).map_err(|e| {
             AtcError::Format(format!(
@@ -95,18 +164,18 @@ impl AtcReader {
             codec_by_name(&meta.codec)
                 .ok_or_else(|| AtcError::Format(format!("unknown codec {:?}", meta.codec)))?,
         );
+        let threads = options.threads.max(1);
         let state = match meta.mode.as_str() {
-            "lossless" => {
-                let file = BufReader::new(File::open(dir.join(format::DATA_FILE))?);
-                State::Lossless {
-                    stream: CodecReader::new(file, Arc::clone(&codec)),
-                }
-            }
+            "lossless" => State::Lossless {
+                stream: SegmentStream::open(&dir.join(format::DATA_FILE), &codec, threads)?,
+            },
             "lossy" => {
                 let file = BufReader::new(File::open(dir.join(format::INFO_FILE))?);
                 State::Lossy {
+                    // The interval trace is tiny — always decoded inline;
+                    // `threads` accelerates the chunk-file loads instead.
                     info: CodecReader::new(file, Arc::clone(&codec)),
-                    cache: ChunkCache::new(chunk_cache.max(1)),
+                    cache: ChunkCache::new(options.chunk_cache.max(1), threads),
                 }
             }
             other => {
@@ -232,14 +301,17 @@ impl Iterator for Values<'_> {
 #[derive(Debug)]
 struct ChunkCache {
     capacity: usize,
+    /// Decompression threads for chunk loads (1 = inline).
+    threads: usize,
     /// Most recently used last.
     entries: Vec<(u64, Arc<Vec<u64>>)>,
 }
 
 impl ChunkCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, threads: usize) -> Self {
         Self {
             capacity,
+            threads,
             entries: Vec::new(),
         }
     }
@@ -252,10 +324,9 @@ impl ChunkCache {
             return Ok(addrs);
         }
         let path = dir.join(format::chunk_file_name(id));
-        let file = BufReader::new(File::open(&path).map_err(|e| {
+        let mut stream = SegmentStream::open(&path, codec, self.threads).map_err(|e| {
             AtcError::Format(format!("cannot open chunk file {}: {e}", path.display()))
-        })?);
-        let mut stream = CodecReader::new(file, Arc::clone(codec));
+        })?;
         let mut addrs = Vec::new();
         while let Some(frame) = format::read_frame(&mut stream)? {
             addrs.extend(frame);
@@ -290,7 +361,8 @@ mod tests {
             Mode::Lossless,
             AtcOptions {
                 codec: "bzip".into(),
-                buffer: 1000, // 3 frames: 1000 + 1000 + 500
+                buffer: 1000, // 3 frames: 1000 + 1000 + 500,
+                threads: 1,
             },
         )
         .unwrap();
@@ -318,6 +390,7 @@ mod tests {
             AtcOptions {
                 codec: "store".into(),
                 buffer: 128,
+                threads: 1,
             },
         )
         .unwrap();
@@ -351,6 +424,7 @@ mod tests {
             AtcOptions {
                 codec: "store".into(),
                 buffer: 256,
+                threads: 1,
             },
         )
         .unwrap();
@@ -382,6 +456,7 @@ mod tests {
             AtcOptions {
                 codec: "store".into(),
                 buffer: 50,
+                threads: 1,
             },
         )
         .unwrap();
@@ -413,6 +488,102 @@ mod tests {
     #[test]
     fn open_missing_dir_fails() {
         assert!(AtcReader::open("/nonexistent/atc/dir").is_err());
+    }
+
+    #[test]
+    fn threaded_lossless_writer_is_byte_identical_and_readable() {
+        let addrs: Vec<u64> = (0..30_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
+        let write = |threads: usize| {
+            let dir = tmp(&format!("mt-lossless-{threads}"));
+            let mut w = AtcWriter::with_options(
+                &dir,
+                Mode::Lossless,
+                AtcOptions {
+                    codec: "bzip".into(),
+                    buffer: 1000,
+                    threads,
+                },
+            )
+            .unwrap();
+            w.code_all(addrs.iter().copied()).unwrap();
+            w.finish().unwrap();
+            dir
+        };
+        let serial_dir = write(1);
+        let serial_data = std::fs::read(serial_dir.join(format::DATA_FILE)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let dir = write(threads);
+            let data = std::fs::read(dir.join(format::DATA_FILE)).unwrap();
+            assert_eq!(data, serial_data, "threads={threads}");
+            // Cross-read: serial reader on threaded output and vice versa.
+            let mut serial_read = AtcReader::open(&dir).unwrap();
+            assert_eq!(serial_read.decode_all().unwrap(), addrs);
+            let mut threaded_read = AtcReader::open_with(
+                &dir,
+                ReadOptions {
+                    threads,
+                    ..ReadOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(threaded_read.decode_all().unwrap(), addrs);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::remove_dir_all(&serial_dir).unwrap();
+    }
+
+    #[test]
+    fn threaded_lossy_roundtrip_matches_serial() {
+        let cfg = || LossyConfig {
+            interval_len: 500,
+            ..LossyConfig::default()
+        };
+        // Distinct regions per lap force several stored chunks, exercising
+        // the background chunk pool.
+        let mut addrs = Vec::new();
+        for lap in 0..20u64 {
+            for i in 0..500u64 {
+                addrs.push(((lap % 5) << 32) + i * 64 + (lap / 5));
+            }
+        }
+        let write = |threads: usize| {
+            let dir = tmp(&format!("mt-lossy-{threads}"));
+            let mut w = AtcWriter::with_options(
+                &dir,
+                Mode::Lossy(cfg()),
+                AtcOptions {
+                    codec: "bzip".into(),
+                    buffer: 200,
+                    threads,
+                },
+            )
+            .unwrap();
+            w.code_all(addrs.iter().copied()).unwrap();
+            let stats = w.finish().unwrap();
+            (dir, stats)
+        };
+        let (serial_dir, serial_stats) = write(1);
+        let mut serial_out = AtcReader::open(&serial_dir).unwrap();
+        let expect = serial_out.decode_all().unwrap();
+        assert_eq!(expect.len(), addrs.len());
+        for threads in [2usize, 4] {
+            let (dir, stats) = write(threads);
+            assert_eq!(stats.chunks, serial_stats.chunks, "threads={threads}");
+            assert_eq!(stats.imitations, serial_stats.imitations);
+            let mut r = AtcReader::open_with(
+                &dir,
+                ReadOptions {
+                    threads,
+                    ..ReadOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.decode_all().unwrap(), expect, "threads={threads}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::remove_dir_all(&serial_dir).unwrap();
     }
 
     #[test]

@@ -137,7 +137,10 @@ fn verify_lossy(dir: &Path, meta: &Meta, codec: &Arc<dyn Codec>) -> Result<Verif
     for &id in &referenced {
         let path = dir.join(format::chunk_file_name(id));
         let file = BufReader::new(File::open(&path).map_err(|e| {
-            AtcError::Format(format!("referenced chunk file {} missing: {e}", path.display()))
+            AtcError::Format(format!(
+                "referenced chunk file {} missing: {e}",
+                path.display()
+            ))
         })?);
         let mut stream = CodecReader::new(file, Arc::clone(codec));
         let mut n = 0u64;
@@ -220,6 +223,7 @@ mod tests {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer: 50,
+                threads: 1,
             },
         )
         .unwrap();
@@ -260,6 +264,7 @@ mod tests {
             AtcOptions {
                 codec: "store".into(),
                 buffer: 50,
+                threads: 1,
             },
         )
         .unwrap();
@@ -284,6 +289,7 @@ mod tests {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer: 50,
+                threads: 1,
             },
         )
         .unwrap();

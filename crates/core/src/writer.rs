@@ -4,9 +4,9 @@
 use std::fs::{self, File};
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use atc_codec::{codec_by_name, Codec, CodecWriter};
+use atc_codec::{codec_by_name, Codec, CodecWriter, ParallelCodecWriter, WorkerPool};
 
 use crate::error::{AtcError, Result};
 use crate::format::{self, IntervalRecord, Meta, FORMAT_VERSION};
@@ -32,16 +32,24 @@ pub struct AtcOptions {
     /// Bytesort buffer size `B` in addresses (the paper evaluates 1 M and
     /// 10 M).
     pub buffer: usize,
+    /// Compression worker threads. `0`/`1` keep every byte on the producer
+    /// thread (the original single-threaded behavior); `n > 1` hands full
+    /// segments (lossless mode) or whole chunk files (lossy mode) to a
+    /// bounded pool of `n` workers. The on-disk format is byte-identical
+    /// at every thread count, so readers never need to know.
+    pub threads: usize,
 }
 
 impl Default for AtcOptions {
     /// `bzip` back end with a 1 M-address buffer — the configuration the
     /// paper uses for lossy chunks ("all chunks are compressed with the
-    /// bytesort method … using a buffer size of 1 million addresses").
+    /// bytesort method … using a buffer size of 1 million addresses") —
+    /// and single-threaded compression.
     fn default() -> Self {
         Self {
             codec: "bzip".into(),
             buffer: 1_000_000,
+            threads: 1,
         }
     }
 }
@@ -115,7 +123,7 @@ pub struct AtcWriter {
 #[derive(Debug)]
 enum State {
     Lossless {
-        out: CodecWriter<BufWriter<File>>,
+        out: ParallelCodecWriter<BufWriter<File>>,
         buf: Vec<u64>,
     },
     Lossy {
@@ -125,7 +133,125 @@ enum State {
         next_chunk_id: u64,
         intervals: u64,
         imitations: u64,
+        /// Background chunk compression (None = compress on this thread).
+        pool: Option<ChunkPool>,
     },
+}
+
+/// One pending chunk file: compress `addrs` into `path`.
+struct ChunkJob {
+    path: PathBuf,
+    addrs: Vec<u64>,
+    buffer: usize,
+}
+
+/// Bounded pool of workers compressing chunk files off the producer
+/// thread (lossy mode with `AtcOptions::threads > 1`).
+///
+/// Thin wrapper over the codec layer's [`WorkerPool`]: chunk files are
+/// independent of each other and of the interval trace, so they need no
+/// ordering — only completion before `finish`. The first worker error
+/// permanently poisons the pool: the original error surfaces on the
+/// producer thread once, and every later submission or `finish` keeps
+/// failing (so a failed trace can never be "finished" into a meta header
+/// that references chunk files that were never written).
+#[derive(Debug)]
+struct ChunkPool {
+    pool: WorkerPool<ChunkJob>,
+    latch: Arc<Mutex<ErrorLatch>>,
+}
+
+/// Worker-error latch: `Failed(e)` until the error is handed out, then
+/// `Poisoned` forever.
+#[derive(Debug, Default)]
+enum ErrorLatch {
+    #[default]
+    Ok,
+    Failed(AtcError),
+    Poisoned,
+}
+
+impl ErrorLatch {
+    fn record(&mut self, e: AtcError) {
+        if matches!(self, ErrorLatch::Ok) {
+            *self = ErrorLatch::Failed(e);
+        }
+    }
+
+    /// The original error on first call, a generic poisoned error after.
+    fn surface(&mut self) -> Result<()> {
+        match std::mem::replace(self, ErrorLatch::Poisoned) {
+            ErrorLatch::Ok => {
+                *self = ErrorLatch::Ok;
+                Ok(())
+            }
+            ErrorLatch::Failed(e) => Err(e),
+            ErrorLatch::Poisoned => Err(AtcError::Format(
+                "chunk compression pool failed earlier; the trace is incomplete".into(),
+            )),
+        }
+    }
+}
+
+impl ChunkPool {
+    fn spawn(codec: &Arc<dyn Codec>, threads: usize) -> Self {
+        let latch: Arc<Mutex<ErrorLatch>> = Arc::default();
+        let codec = Arc::clone(codec);
+        let worker_latch = Arc::clone(&latch);
+        // Bound queued chunks to 2x threads: each job holds a whole
+        // interval of addresses, so the queue is the dominant memory cost.
+        let pool = WorkerPool::spawn(threads, threads * 2, "atc-chunk", move |job: ChunkJob| {
+            if !matches!(
+                *worker_latch.lock().expect("error latch poisoned"),
+                ErrorLatch::Ok
+            ) {
+                return; // drain cheaply once failed
+            }
+            if let Err(e) = write_chunk_file(&codec, &job.path, &job.addrs, job.buffer) {
+                worker_latch.lock().expect("error latch poisoned").record(e);
+            }
+        });
+        Self { pool, latch }
+    }
+
+    /// Surfaces a worker failure (the original error first, a poisoned
+    /// error on every call after that).
+    fn check(&self) -> Result<()> {
+        self.latch.lock().expect("error latch poisoned").surface()
+    }
+
+    fn submit(&self, job: ChunkJob) -> Result<()> {
+        self.check()?;
+        self.pool
+            .submit(job)
+            .map_err(|_| AtcError::Format("chunk compression pool died".into()))
+    }
+
+    /// Closes the queue, waits for all chunk files to land, and surfaces
+    /// any worker failure.
+    fn finish(self) -> Result<()> {
+        let Self { pool, latch } = self;
+        pool.join()
+            .map_err(|_| AtcError::Format("chunk worker panicked".into()))?;
+        let result = latch.lock().expect("error latch poisoned").surface();
+        result
+    }
+}
+
+/// Compresses one chunk file (shared by the inline path and the workers).
+fn write_chunk_file(
+    codec: &Arc<dyn Codec>,
+    path: &Path,
+    addrs: &[u64],
+    buffer: usize,
+) -> Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    let mut out = CodecWriter::new(file, Arc::clone(codec));
+    for chunk in addrs.chunks(buffer) {
+        format::write_frame(&mut out, chunk)?;
+    }
+    out.finish()?;
+    Ok(())
 }
 
 impl AtcWriter {
@@ -163,11 +289,14 @@ impl AtcWriter {
             )));
         }
 
+        let threads = options.threads.max(1);
         let state = match mode {
             Mode::Lossless => {
                 let file = BufWriter::new(File::create(dir.join(format::DATA_FILE))?);
+                // threads <= 1 runs inline on this thread — exactly the
+                // serial CodecWriter path and byte-identical output.
                 State::Lossless {
-                    out: CodecWriter::new(file, Arc::clone(&codec)),
+                    out: ParallelCodecWriter::new(file, Arc::clone(&codec), threads),
                     buf: Vec::with_capacity(options.buffer.min(1 << 24)),
                 }
             }
@@ -181,6 +310,7 @@ impl AtcWriter {
                     next_chunk_id: 0,
                     intervals: 0,
                     imitations: 0,
+                    pool: (threads > 1).then(|| ChunkPool::spawn(&codec, threads)),
                 }
             }
         };
@@ -257,6 +387,7 @@ impl AtcWriter {
             next_chunk_id,
             intervals,
             imitations,
+            pool,
         } = &mut self.state
         else {
             unreachable!("end_interval is only called in lossy mode");
@@ -277,18 +408,25 @@ impl AtcWriter {
             Classification::NewChunk => {
                 let id = *next_chunk_id;
                 *next_chunk_id += 1;
+                let len = interval.len() as u64;
                 let path = self.dir.join(format::chunk_file_name(id));
-                let file = BufWriter::new(File::create(path)?);
-                let mut out = CodecWriter::new(file, Arc::clone(&self.codec));
-                for chunk in interval.chunks(self.buffer) {
-                    format::write_frame(&mut out, chunk)?;
+                if let Some(pool) = pool {
+                    // Hand the whole chunk to the background pool; the
+                    // interval record can be written immediately (chunk
+                    // files need no ordering, only completion by finish).
+                    // The replacement buffer is pre-sized so the next
+                    // interval does not regrow from zero capacity.
+                    let capacity = classifier.config().interval_len.min(1 << 24);
+                    let addrs = std::mem::replace(interval, Vec::with_capacity(capacity));
+                    pool.submit(ChunkJob {
+                        path,
+                        addrs,
+                        buffer: self.buffer,
+                    })?;
+                } else {
+                    write_chunk_file(&self.codec, &path, interval, self.buffer)?;
                 }
-                out.finish()?;
-                IntervalRecord::NewChunk {
-                    chunk_id: id,
-                    len: interval.len() as u64,
-                }
-                .write(info)?;
+                IntervalRecord::NewChunk { chunk_id: id, len }.write(info)?;
             }
             Classification::Imitate {
                 chunk_id,
@@ -345,14 +483,24 @@ impl AtcWriter {
                 }
                 out.finish()?;
             }
-            State::Lossy { info, .. } => {
+            State::Lossy { info, pool, .. } => {
                 info.finish()?;
+                if let Some(pool) = pool {
+                    // All chunk files must be on disk before the header
+                    // is written and the directory size measured.
+                    pool.finish()?;
+                }
             }
         }
 
         let meta = Meta {
             version: FORMAT_VERSION,
-            mode: if interval_len == 0 { "lossless" } else { "lossy" }.into(),
+            mode: if interval_len == 0 {
+                "lossless"
+            } else {
+                "lossy"
+            }
+            .into(),
             codec: self.codec_name.clone(),
             buffer: self.buffer as u64,
             interval_len,
@@ -421,6 +569,7 @@ mod tests {
             AtcOptions {
                 codec: "store".into(),
                 buffer: 64,
+                threads: 1,
             },
         )
         .unwrap();
@@ -455,7 +604,8 @@ mod tests {
             Mode::Lossless,
             AtcOptions {
                 codec: "nope".into(),
-                buffer: 10
+                buffer: 10,
+                threads: 1,
             }
         )
         .is_err());
@@ -464,7 +614,8 @@ mod tests {
             Mode::Lossless,
             AtcOptions {
                 codec: "store".into(),
-                buffer: 0
+                buffer: 0,
+                threads: 1,
             }
         )
         .is_err());

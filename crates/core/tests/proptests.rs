@@ -54,7 +54,7 @@ proptest! {
         shift in any::<u8>(),
     ) {
         // Build rotations as translation tables (always permutations).
-        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::new(Default::default());
+        let mut translations: Box<[Option<Translation>; COLUMNS]> = Box::default();
         for j in 0..COLUMNS {
             if mask & (1 << j) != 0 {
                 let table: [u8; 256] =

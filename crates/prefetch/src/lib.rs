@@ -166,10 +166,7 @@ impl CdcPredictor {
 
         // Score the pending prediction.
         let outcome = match &self.it[slot] {
-            Some(e) if e.czone == czone => match e.prediction {
-                Some(p) => Some(p == addr),
-                None => None,
-            },
+            Some(e) if e.czone == czone => e.prediction.map(|p| p == addr),
             _ => None,
         };
         match outcome {
@@ -295,7 +292,7 @@ mod tests {
             trace.push(addr % 1024);
             addr += if i % 3 == 2 { 5 } else { 1 };
         }
-        let stats = p.run(trace.into_iter());
+        let stats = p.run(trace);
         assert!(
             stats.correct_fraction() > 0.6,
             "repeating deltas should be predicted: {stats:?}"
@@ -306,9 +303,8 @@ mod tests {
     fn stats_fractions_sum_to_one() {
         let mut p = CdcPredictor::new(CdcConfig::paper());
         let stats = p.run((0..1000u64).map(|i| (i * 7) % 2048));
-        let sum = stats.correct_fraction()
-            + stats.incorrect_fraction()
-            + stats.non_predicted_fraction();
+        let sum =
+            stats.correct_fraction() + stats.incorrect_fraction() + stats.non_predicted_fraction();
         assert!((sum - 1.0).abs() < 1e-12);
     }
 

@@ -180,9 +180,7 @@ impl Tcgen {
                 if lit_pos + 8 > lits.len() {
                     return Err(TcgenError::Format("literal stream underrun".into()));
                 }
-                let v = u64::from_le_bytes(
-                    lits[lit_pos..lit_pos + 8].try_into().expect("8 bytes"),
-                );
+                let v = u64::from_le_bytes(lits[lit_pos..lit_pos + 8].try_into().expect("8 bytes"));
                 lit_pos += 8;
                 v
             } else if (code as usize) < NUM_CODES {
@@ -244,7 +242,9 @@ mod tests {
         let mut x: u64 = 3;
         let trace: Vec<u64> = (0..5_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> 8
             })
             .collect();
@@ -255,7 +255,9 @@ mod tests {
     #[test]
     fn repeated_loop_compresses_well() {
         let t = tc(1 << 12);
-        let pattern: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x123456789) >> 3).collect();
+        let pattern: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x123456789) >> 3)
+            .collect();
         let trace: Vec<u64> = std::iter::repeat_with(|| pattern.clone())
             .take(200)
             .flatten()

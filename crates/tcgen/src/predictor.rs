@@ -30,7 +30,10 @@ struct FcmTable {
 
 impl FcmTable {
     fn new(order: usize, slots: usize, lines: usize) -> Self {
-        assert!(lines.is_power_of_two(), "table lines must be a power of two");
+        assert!(
+            lines.is_power_of_two(),
+            "table lines must be a power of two"
+        );
         Self {
             order,
             slots,
@@ -57,7 +60,10 @@ impl FcmTable {
     fn update(&mut self, hist: &[u64], value: u64) {
         let i = self.index(hist);
         let line = &mut self.table[i..i + self.slots];
-        let pos = line.iter().position(|&v| v == value).unwrap_or(self.slots - 1);
+        let pos = line
+            .iter()
+            .position(|&v| v == value)
+            .unwrap_or(self.slots - 1);
         line.copy_within(0..pos, 1);
         line[0] = value;
     }

@@ -69,8 +69,7 @@ impl Iterator for CodeLoop {
         if roll < 0.02 && self.stack.len() < 16 {
             // Call a pseudo-random callee (biased to low-numbered "hot"
             // functions).
-            let callee = (self.rng.random_range(0..self.functions)
-                * self.rng.random_range(1..=2))
+            let callee = (self.rng.random_range(0..self.functions) * self.rng.random_range(1..=2))
                 % self.functions;
             self.stack.push((self.cur_func, self.offset));
             self.cur_func = callee;
@@ -127,8 +126,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a: Vec<u64> = CodeLoop::new(0, 4, 512, 3).take(200).map(|x| x.addr).collect();
-        let b: Vec<u64> = CodeLoop::new(0, 4, 512, 3).take(200).map(|x| x.addr).collect();
+        let a: Vec<u64> = CodeLoop::new(0, 4, 512, 3)
+            .take(200)
+            .map(|x| x.addr)
+            .collect();
+        let b: Vec<u64> = CodeLoop::new(0, 4, 512, 3)
+            .take(200)
+            .map(|x| x.addr)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn region_zero_is_hottest() {
-        let mut counts = vec![0u64; 4];
+        let mut counts = [0u64; 4];
         let region_blocks = 64u64;
         for a in Hotspot::new(0, 4, region_blocks, 0.4, 3).take(20_000) {
             let r = a.addr / (region_blocks * BLOCK_BYTES);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn uniform_decay_accepted() {
-        let mut counts = vec![0u64; 2];
+        let mut counts = [0u64; 2];
         for a in Hotspot::new(0, 2, 16, 1.0, 2).take(10_000) {
             counts[(a.addr / (16 * BLOCK_BYTES)) as usize] += 1;
         }

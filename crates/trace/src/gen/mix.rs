@@ -8,8 +8,9 @@ use crate::{Access, Workload};
 /// Interleaves several workloads, drawing each access from workload `i`
 /// with probability `weight[i] / Σ weights`.
 ///
-/// Real benchmarks mix behaviours at instruction granularity (code fetches
-/// + a streaming array + a pointer-chased structure); `Mix` reproduces that
+/// Real benchmarks mix behaviours at instruction granularity (code
+/// fetches + a streaming array + a pointer-chased structure); `Mix`
+/// reproduces that
 /// fine-grained interleaving, which is what makes cache-filtered traces
 /// only piecewise regular.
 ///

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn single_phase_is_transparent() {
         let p = Phased::new(vec![Phase::new(stream(0), 7)]);
-        let direct: Vec<u64> = Stream::new(0, 1 << 16, 64).take(20).map(|a| a.addr).collect();
+        let direct: Vec<u64> = Stream::new(0, 1 << 16, 64)
+            .take(20)
+            .map(|a| a.addr)
+            .collect();
         let phased: Vec<u64> = p.take(20).map(|a| a.addr).collect();
         assert_eq!(direct, phased);
     }

@@ -103,9 +103,18 @@ mod tests {
 
     #[test]
     fn deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = PointerChase::new(0, 32, 7).take(32).map(|x| x.addr).collect();
-        let b: Vec<u64> = PointerChase::new(0, 32, 7).take(32).map(|x| x.addr).collect();
-        let c: Vec<u64> = PointerChase::new(0, 32, 8).take(32).map(|x| x.addr).collect();
+        let a: Vec<u64> = PointerChase::new(0, 32, 7)
+            .take(32)
+            .map(|x| x.addr)
+            .collect();
+        let b: Vec<u64> = PointerChase::new(0, 32, 7)
+            .take(32)
+            .map(|x| x.addr)
+            .collect();
+        let c: Vec<u64> = PointerChase::new(0, 32, 8)
+            .take(32)
+            .map(|x| x.addr)
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

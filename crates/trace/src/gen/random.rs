@@ -69,9 +69,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = RandomAccess::new(0, 1024, 42).take(100).map(|x| x.addr).collect();
-        let b: Vec<u64> = RandomAccess::new(0, 1024, 42).take(100).map(|x| x.addr).collect();
-        let c: Vec<u64> = RandomAccess::new(0, 1024, 43).take(100).map(|x| x.addr).collect();
+        let a: Vec<u64> = RandomAccess::new(0, 1024, 42)
+            .take(100)
+            .map(|x| x.addr)
+            .collect();
+        let b: Vec<u64> = RandomAccess::new(0, 1024, 42)
+            .take(100)
+            .map(|x| x.addr)
+            .collect();
+        let c: Vec<u64> = RandomAccess::new(0, 1024, 43)
+            .take(100)
+            .map(|x| x.addr)
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -79,7 +88,14 @@ mod tests {
     #[test]
     fn covers_working_set() {
         use std::collections::HashSet;
-        let seen: HashSet<u64> = RandomAccess::new(0, 64, 5).take(5000).map(|a| a.addr).collect();
-        assert!(seen.len() > 60, "expected near-full coverage, got {}", seen.len());
+        let seen: HashSet<u64> = RandomAccess::new(0, 64, 5)
+            .take(5000)
+            .map(|a| a.addr)
+            .collect();
+        assert!(
+            seen.len() > 60,
+            "expected near-full coverage, got {}",
+            seen.len()
+        );
     }
 }

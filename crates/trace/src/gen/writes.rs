@@ -78,7 +78,10 @@ mod tests {
     fn converts_roughly_the_requested_share() {
         let w = WriteShare::new(Box::new(Stream::new(0, 1 << 20, 8)), 0.3, 1);
         let n = 10_000;
-        let writes = w.take(n).filter(|a| a.kind == AccessKind::DataWrite).count();
+        let writes = w
+            .take(n)
+            .filter(|a| a.kind == AccessKind::DataWrite)
+            .count();
         let frac = writes as f64 / n as f64;
         assert!((0.25..0.35).contains(&frac), "write share {frac}");
     }
@@ -92,14 +95,18 @@ mod tests {
     #[test]
     fn zero_fraction_is_identity() {
         let base: Vec<_> = Stream::new(0, 1 << 16, 8).take(500).collect();
-        let adapted: Vec<_> =
-            WriteShare::new(Box::new(Stream::new(0, 1 << 16, 8)), 0.0, 9).take(500).collect();
+        let adapted: Vec<_> = WriteShare::new(Box::new(Stream::new(0, 1 << 16, 8)), 0.0, 9)
+            .take(500)
+            .collect();
         assert_eq!(base, adapted);
     }
 
     #[test]
     fn addresses_unchanged() {
-        let base: Vec<u64> = Stream::new(0, 1 << 16, 8).take(500).map(|a| a.addr).collect();
+        let base: Vec<u64> = Stream::new(0, 1 << 16, 8)
+            .take(500)
+            .map(|a| a.addr)
+            .collect();
         let adapted: Vec<u64> = WriteShare::new(Box::new(Stream::new(0, 1 << 16, 8)), 0.7, 9)
             .take(500)
             .map(|a| a.addr)

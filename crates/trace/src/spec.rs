@@ -27,7 +27,7 @@
 //! ```
 
 use crate::gen::{
-    CodeLoop, Hotspot, LoopNest, Mix, Phase, Phased, PointerChase, RandomAccess, MultiStream,
+    CodeLoop, Hotspot, LoopNest, Mix, MultiStream, Phase, Phased, PointerChase, RandomAccess,
     Stream, Strided,
 };
 use crate::Workload;
@@ -108,7 +108,7 @@ fn b400(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (3.0, code(seed, 96, 1536)), // ~144 KB text > L1I
-            (2.0, Box::new(Hotspot::new(HEAP, 12, 1 * KB, 0.75, seed ^ 1))),
+            (2.0, Box::new(Hotspot::new(HEAP, 12, KB, 0.75, seed ^ 1))),
             (1.0, Box::new(Stream::new(ARR1, 2 * MB, 8))),
         ],
         seed ^ 2,
@@ -132,18 +132,39 @@ fn b403(seed: u64) -> Workload {
     let mut phases = Vec::new();
     // Eleven structurally different behaviours over eleven regions with
     // coprime-ish lengths: interval signatures rarely repeat.
-    for (i, len) in [170_000u64, 230_000, 130_000, 310_000, 190_000, 110_000, 270_000,
-        150_000, 350_000, 210_000, 250_000]
+    for (i, len) in [
+        170_000u64, 230_000, 130_000, 310_000, 190_000, 110_000, 270_000, 150_000, 350_000,
+        210_000, 250_000,
+    ]
     .iter()
     .enumerate()
     {
         let base = ARR1 + (i as u64) * 0x0001_0000_0000;
         let wl: Workload = match i % 5 {
-            0 => Box::new(Strided::new(base, (3 + i as u64) * MB, 192 + 64 * i as u64, 64)),
-            1 => Box::new(RandomAccess::new(base, (8 + 4 * i as u64) * KB, seed ^ i as u64)),
-            2 => Box::new(Hotspot::new(base, 8 + i as u64, KB, 0.7, seed ^ (i as u64) << 3)),
+            0 => Box::new(Strided::new(
+                base,
+                (3 + i as u64) * MB,
+                192 + 64 * i as u64,
+                64,
+            )),
+            1 => Box::new(RandomAccess::new(
+                base,
+                (8 + 4 * i as u64) * KB,
+                seed ^ i as u64,
+            )),
+            2 => Box::new(Hotspot::new(
+                base,
+                8 + i as u64,
+                KB,
+                0.7,
+                seed ^ (i as u64) << 3,
+            )),
             3 => Box::new(LoopNest::new(base, 96 + i as u64 * 32, 512, 8, 8 * KB, 0)),
-            _ => Box::new(PointerChase::new(base, (32 + 16 * i as u64) * KB, seed ^ 0x55 ^ i as u64)),
+            _ => Box::new(PointerChase::new(
+                base,
+                (32 + 16 * i as u64) * KB,
+                seed ^ 0x55 ^ i as u64,
+            )),
         };
         phases.push(Phase::new(wl, *len));
     }
@@ -159,7 +180,10 @@ fn b410(seed: u64) -> Workload {
     let _ = seed;
     Box::new(Mix::new(
         vec![
-            (8.0, Box::new(MultiStream::new(ARR1, 5, 24 * MB, 0x0001_0000_0000, 8))),
+            (
+                8.0,
+                Box::new(MultiStream::new(ARR1, 5, 24 * MB, 0x0001_0000_0000, 8)),
+            ),
             (1.0, code(seed, 4, 512)),
         ],
         seed ^ 7,
@@ -182,7 +206,10 @@ fn b429(seed: u64) -> Workload {
 fn b433(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
-            (9.0, Box::new(MultiStream::new(ARR1, 3, 32 * MB, 0x0001_0000_0000, 16))),
+            (
+                9.0,
+                Box::new(MultiStream::new(ARR1, 3, 32 * MB, 0x0001_0000_0000, 16)),
+            ),
             (1.0, code(seed, 4, 512)),
         ],
         seed ^ 10,
@@ -194,7 +221,10 @@ fn b434(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (4.0, Box::new(LoopNest::new(ARR1, 512, 2048, 8, 32 * KB, 0))),
-            (3.0, Box::new(MultiStream::new(ARR2, 4, 8 * MB, 0x0001_0000_0000, 8))),
+            (
+                3.0,
+                Box::new(MultiStream::new(ARR2, 4, 8 * MB, 0x0001_0000_0000, 8)),
+            ),
             (1.0, code(seed, 6, 1024)),
         ],
         seed ^ 11,
@@ -219,7 +249,10 @@ fn b444(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (4.0, Box::new(Hotspot::new(HEAP, 12, 512, 0.75, seed ^ 15))),
-            (2.0, Box::new(LoopNest::new(ARR1, 256, 1024, 16, 16 * KB, 8))),
+            (
+                2.0,
+                Box::new(LoopNest::new(ARR1, 256, 1024, 16, 16 * KB, 8)),
+            ),
             (1.0, code(seed, 10, 1024)),
         ],
         seed ^ 16,
@@ -231,7 +264,10 @@ fn b445(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (3.0, Box::new(RandomAccess::new(HEAP, 4 * KB, seed ^ 17))),
-            (2.0, Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 18))),
+            (
+                2.0,
+                Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 18)),
+            ),
             (2.0, code(seed, 64, 1536)), // 96 KB text
         ],
         seed ^ 19,
@@ -241,21 +277,40 @@ fn b445(seed: u64) -> Workload {
 /// 447.dealII: adaptive FEM: drifting sparse structures (unstable).
 fn b447(seed: u64) -> Workload {
     let mut phases = Vec::new();
-    for (i, len) in [90_000u64, 140_000, 200_000, 120_000, 260_000, 160_000, 100_000,
-        300_000, 180_000]
+    for (i, len) in [
+        90_000u64, 140_000, 200_000, 120_000, 260_000, 160_000, 100_000, 300_000, 180_000,
+    ]
     .iter()
     .enumerate()
     {
         let base = ARR2 + (i as u64) * 0x0000_4000_0000;
         let wl: Workload = match i % 3 {
-            0 => Box::new(Strided::new(base, (2 + i as u64) * MB, 128 + 32 * i as u64, 96)),
-            1 => Box::new(PointerChase::new(base, (24 + 8 * i as u64) * KB, seed ^ 20 ^ i as u64)),
-            _ => Box::new(Hotspot::new(base, 6 + i as u64, 2 * KB, 0.6, seed ^ 21 ^ i as u64)),
+            0 => Box::new(Strided::new(
+                base,
+                (2 + i as u64) * MB,
+                128 + 32 * i as u64,
+                96,
+            )),
+            1 => Box::new(PointerChase::new(
+                base,
+                (24 + 8 * i as u64) * KB,
+                seed ^ 20 ^ i as u64,
+            )),
+            _ => Box::new(Hotspot::new(
+                base,
+                6 + i as u64,
+                2 * KB,
+                0.6,
+                seed ^ 21 ^ i as u64,
+            )),
         };
         phases.push(Phase::new(wl, *len));
     }
     let data: Workload = Box::new(Phased::new(phases));
-    Box::new(Mix::new(vec![(1.0, code(seed, 48, 1536)), (3.0, data)], seed ^ 22))
+    Box::new(Mix::new(
+        vec![(1.0, code(seed, 48, 1536)), (3.0, data)],
+        seed ^ 22,
+    ))
 }
 
 /// 450.soplex: simplex LP: column sweeps (strided) + pricing scans.
@@ -300,7 +355,10 @@ fn b458(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (5.0, Box::new(RandomAccess::new(HEAP, 16 * KB, seed ^ 28))), // 1 MB table
-            (1.0, Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 29))),
+            (
+                1.0,
+                Box::new(Hotspot::new(STACKISH, 8, 256, 0.7, seed ^ 29)),
+            ),
             (2.0, code(seed, 40, 1536)), // 60 KB text
         ],
         seed ^ 30,
@@ -323,7 +381,10 @@ fn b462(seed: u64) -> Workload {
 fn b464(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
-            (5.0, Box::new(LoopNest::new(ARR1, 1088, 1920, 1, 2 * KB, 16))),
+            (
+                5.0,
+                Box::new(LoopNest::new(ARR1, 1088, 1920, 1, 2 * KB, 16)),
+            ),
             (1.0, Box::new(Hotspot::new(ARR3, 8, 512, 0.7, seed ^ 32))),
             (1.0, code(seed, 24, 1024)),
         ],
@@ -345,7 +406,10 @@ fn b470(seed: u64) -> Workload {
         ));
     }
     let data: Workload = Box::new(Phased::new(phases));
-    Box::new(Mix::new(vec![(19.0, data), (1.0, code(seed, 2, 256))], seed ^ 34))
+    Box::new(Mix::new(
+        vec![(19.0, data), (1.0, code(seed, 2, 256))],
+        seed ^ 34,
+    ))
 }
 
 /// 471.omnetpp: discrete event simulation: heap churn + event lists.
@@ -378,7 +442,7 @@ fn b482(seed: u64) -> Workload {
     Box::new(Mix::new(
         vec![
             (7.0, Box::new(Stream::new(ARR1, 16 * MB, 8))),
-            (2.0, Box::new(Hotspot::new(ARR2, 8, 1 * KB, 0.7, seed ^ 41))),
+            (2.0, Box::new(Hotspot::new(ARR2, 8, KB, 0.7, seed ^ 41))),
             (1.0, code(seed, 12, 1024)),
         ],
         seed ^ 42,
@@ -400,28 +464,116 @@ fn b483(seed: u64) -> Workload {
 /// All 22 profiles, in the paper's Table 1 order.
 pub fn profiles() -> &'static [Profile] {
     const PROFILES: &[Profile] = &[
-        Profile { name: "400.perlbench", class: Class::Mixed, builder: b400 },
-        Profile { name: "401.bzip2", class: Class::Irregular, builder: b401 },
-        Profile { name: "403.gcc", class: Class::Unstable, builder: b403 },
-        Profile { name: "410.bwaves", class: Class::Streaming, builder: b410 },
-        Profile { name: "429.mcf", class: Class::Irregular, builder: b429 },
-        Profile { name: "433.milc", class: Class::Streaming, builder: b433 },
-        Profile { name: "434.zeusmp", class: Class::Mixed, builder: b434 },
-        Profile { name: "435.gromacs", class: Class::Irregular, builder: b435 },
-        Profile { name: "444.namd", class: Class::Mixed, builder: b444 },
-        Profile { name: "445.gobmk", class: Class::Irregular, builder: b445 },
-        Profile { name: "447.dealII", class: Class::Unstable, builder: b447 },
-        Profile { name: "450.soplex", class: Class::Mixed, builder: b450 },
-        Profile { name: "453.povray", class: Class::Streaming, builder: b453 },
-        Profile { name: "456.hmmer", class: Class::Mixed, builder: b456 },
-        Profile { name: "458.sjeng", class: Class::Irregular, builder: b458 },
-        Profile { name: "462.libquantum", class: Class::Streaming, builder: b462 },
-        Profile { name: "464.h264ref", class: Class::Mixed, builder: b464 },
-        Profile { name: "470.lbm", class: Class::Streaming, builder: b470 },
-        Profile { name: "471.omnetpp", class: Class::Mixed, builder: b471 },
-        Profile { name: "473.astar", class: Class::Irregular, builder: b473 },
-        Profile { name: "482.sphinx3", class: Class::Mixed, builder: b482 },
-        Profile { name: "483.xalancbmk", class: Class::Mixed, builder: b483 },
+        Profile {
+            name: "400.perlbench",
+            class: Class::Mixed,
+            builder: b400,
+        },
+        Profile {
+            name: "401.bzip2",
+            class: Class::Irregular,
+            builder: b401,
+        },
+        Profile {
+            name: "403.gcc",
+            class: Class::Unstable,
+            builder: b403,
+        },
+        Profile {
+            name: "410.bwaves",
+            class: Class::Streaming,
+            builder: b410,
+        },
+        Profile {
+            name: "429.mcf",
+            class: Class::Irregular,
+            builder: b429,
+        },
+        Profile {
+            name: "433.milc",
+            class: Class::Streaming,
+            builder: b433,
+        },
+        Profile {
+            name: "434.zeusmp",
+            class: Class::Mixed,
+            builder: b434,
+        },
+        Profile {
+            name: "435.gromacs",
+            class: Class::Irregular,
+            builder: b435,
+        },
+        Profile {
+            name: "444.namd",
+            class: Class::Mixed,
+            builder: b444,
+        },
+        Profile {
+            name: "445.gobmk",
+            class: Class::Irregular,
+            builder: b445,
+        },
+        Profile {
+            name: "447.dealII",
+            class: Class::Unstable,
+            builder: b447,
+        },
+        Profile {
+            name: "450.soplex",
+            class: Class::Mixed,
+            builder: b450,
+        },
+        Profile {
+            name: "453.povray",
+            class: Class::Streaming,
+            builder: b453,
+        },
+        Profile {
+            name: "456.hmmer",
+            class: Class::Mixed,
+            builder: b456,
+        },
+        Profile {
+            name: "458.sjeng",
+            class: Class::Irregular,
+            builder: b458,
+        },
+        Profile {
+            name: "462.libquantum",
+            class: Class::Streaming,
+            builder: b462,
+        },
+        Profile {
+            name: "464.h264ref",
+            class: Class::Mixed,
+            builder: b464,
+        },
+        Profile {
+            name: "470.lbm",
+            class: Class::Streaming,
+            builder: b470,
+        },
+        Profile {
+            name: "471.omnetpp",
+            class: Class::Mixed,
+            builder: b471,
+        },
+        Profile {
+            name: "473.astar",
+            class: Class::Irregular,
+            builder: b473,
+        },
+        Profile {
+            name: "482.sphinx3",
+            class: Class::Mixed,
+            builder: b482,
+        },
+        Profile {
+            name: "483.xalancbmk",
+            class: Class::Mixed,
+            builder: b483,
+        },
     ];
     PROFILES
 }
@@ -478,7 +630,10 @@ mod tests {
     #[test]
     fn classes_cover_all_variants() {
         use std::collections::HashSet;
-        let classes: HashSet<_> = profiles().iter().map(|p| format!("{:?}", p.class())).collect();
+        let classes: HashSet<_> = profiles()
+            .iter()
+            .map(|p| format!("{:?}", p.class()))
+            .collect();
         assert_eq!(classes.len(), 4);
     }
 }

@@ -3,18 +3,34 @@
 //!
 //! ```text
 //! cargo run --release --example atc2bin -- foobar | wc -c
+//! cargo run --release --example atc2bin -- foobar --threads 4 | wc -c
 //! ```
 
 use std::error::Error;
 use std::io::Write;
 
-use atc::core::AtcReader;
+use atc::core::{AtcReader, ReadOptions};
+
+#[path = "cli_util/mod.rs"]
+mod cli_util;
+use cli_util::positional;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .ok_or("usage: atc2bin <dir>")?;
-    let mut r = AtcReader::open(&dir)?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = positional(&args, &["--threads"]).ok_or("usage: atc2bin <dir> [--threads N]")?;
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut r = AtcReader::open_with(
+        dir,
+        ReadOptions {
+            threads,
+            ..ReadOptions::default()
+        },
+    )?;
     let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
     // The Figure 7 loop: atc_decode until it reports end of trace.
     while let Some(v) = r.decode()? {

@@ -14,12 +14,16 @@ use std::io::Read;
 
 use atc::core::{AtcOptions, AtcWriter, LossyConfig, Mode};
 
+#[path = "cli_util/mod.rs"]
+mod cli_util;
+use cli_util::positional;
+
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("usage: bin2atc <dir> [--lossless] [--interval N] [--buffer N] [--codec NAME]")?;
+    let dir = positional(&args, &["--interval", "--buffer", "--codec", "--threads"]).ok_or(
+        "usage: bin2atc <dir> [--lossless] [--interval N] [--buffer N] [--codec NAME] \
+             [--threads N]",
+    )?;
     let lossless = args.iter().any(|a| a == "--lossless");
     let get = |key: &str, default: usize| -> usize {
         args.iter()
@@ -30,6 +34,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let interval = get("--interval", 10_000_000); // the paper's L
     let buffer = get("--buffer", 1_000_000); // the paper's chunk B
+    let threads = get("--threads", 1); // compression worker pool
     let codec = args
         .iter()
         .position(|a| a == "--codec")
@@ -45,7 +50,15 @@ fn main() -> Result<(), Box<dyn Error>> {
             ..LossyConfig::default()
         })
     };
-    let mut w = AtcWriter::with_options(dir, mode, AtcOptions { codec, buffer })?;
+    let mut w = AtcWriter::with_options(
+        dir,
+        mode,
+        AtcOptions {
+            codec,
+            buffer,
+            threads,
+        },
+    )?;
 
     // The Figure 6 loop: fread 8 bytes at a time, atc_code each value.
     let mut stdin = std::io::stdin().lock();

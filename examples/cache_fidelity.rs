@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let len: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(400_000);
 
     let profile = spec::profile(profile_name).ok_or("unknown profile")?;
-    println!("profile: {} ({:?}), {len} filtered addresses", profile.name(), profile.class());
+    println!(
+        "profile: {} ({:?}), {len} filtered addresses",
+        profile.name(),
+        profile.class()
+    );
 
     let mut filter = CacheFilter::paper();
     let exact: Vec<u64> = filter.filter(profile.workload(7)).take(len).collect();
@@ -38,6 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         AtcOptions {
             codec: "bzip".into(),
             buffer: (interval / 10).max(1),
+            threads: 1,
         },
     )?;
     w.code_all(exact.iter().copied())?;

@@ -1,0 +1,19 @@
+//! Tiny argument-parsing helpers shared by the example CLIs (included
+//! via `#[path]`; this directory is not itself an example target).
+
+/// First token that is neither a flag nor the value of a value-taking
+/// flag.
+pub fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String> {
+    let mut skip = false;
+    args.iter().find(|a| {
+        if skip {
+            skip = false;
+            return false;
+        }
+        if a.starts_with("--") {
+            skip = value_flags.contains(&a.as_str());
+            return false;
+        }
+        true
+    })
+}

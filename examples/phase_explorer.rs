@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         match classifier.classify(interval, next_chunk) {
             Classification::NewChunk => {
-                println!("{i:>5} {:>9} {next_chunk:>10} {:>12} {:>12}", "chunk", "-", "-");
+                println!(
+                    "{i:>5} {:>9} {next_chunk:>10} {:>12} {:>12}",
+                    "chunk", "-", "-"
+                );
                 next_chunk += 1;
             }
             Classification::Imitate {
@@ -80,7 +83,11 @@ fn main() -> Result<(), Box<dyn Error>> {
                 println!(
                     "{i:>5} {:>9} {chunk_id:>10} {distance:>12.4} {:>12}",
                     "imitate",
-                    if cols.is_empty() { "none".into() } else { cols.join(",") }
+                    if cols.is_empty() {
+                        "none".into()
+                    } else {
+                        cols.join(",")
+                    }
                 );
             }
         }
@@ -94,7 +101,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let ha = ByteHistograms::from_addrs(a);
     let hb = ByteHistograms::from_addrs(b);
     println!("\nsample interval pair (first vs mid-trace):");
-    println!("  sorted-histogram distance D = {:.4}", ha.sorted().distance(&hb.sorted()));
+    println!(
+        "  sorted-histogram distance D = {:.4}",
+        ha.sorted().distance(&hb.sorted())
+    );
     for j in 0..8 {
         let d = ha.column_distance(&hb, j);
         if d > 0.0 {

@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 200,
+            threads: 1,
         },
     )?;
     w.code_all(trace.iter().copied())?;
@@ -73,7 +74,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut r = AtcReader::open(&lossless_dir)?;
     let exact = r.decode_all()?;
     assert_eq!(exact, trace, "lossless mode is exact");
-    println!("lossless decode verified: {} addresses identical", exact.len());
+    println!(
+        "lossless decode verified: {} addresses identical",
+        exact.len()
+    );
 
     let mut r = AtcReader::open(&lossy_dir)?;
     let approx = r.decode_all()?;

@@ -30,7 +30,10 @@ fn dissect(name: &str) -> Result<(), Box<dyn Error>> {
 
     let entropies = analysis::column_entropies(&trace);
     let cols: Vec<String> = entropies.iter().map(|e| format!("{e:4.1}")).collect();
-    println!("   byte-column entropies (MSB..LSB, bits): [{}]", cols.join(" "));
+    println!(
+        "   byte-column entropies (MSB..LSB, bits): [{}]",
+        cols.join(" ")
+    );
 
     let d = analysis::delta_profile(&trace, 3);
     println!(

@@ -14,7 +14,10 @@ fn writeback_tagged_trace_roundtrips_losslessly() {
     let workload = WriteShare::new(p.workload(3), 0.5, 9);
     let trace: Vec<u64> = filter.filter(workload).take(30_000).collect();
     let wb_count = trace.iter().filter(|&&v| is_writeback(v)).count();
-    assert!(wb_count > 1000, "expected plenty of write-backs, got {wb_count}");
+    assert!(
+        wb_count > 1000,
+        "expected plenty of write-backs, got {wb_count}"
+    );
 
     let dir = std::env::temp_dir().join(format!("atc-wb-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -24,6 +27,7 @@ fn writeback_tagged_trace_roundtrips_losslessly() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 5000,
+            threads: 1,
         },
     )
     .unwrap();
@@ -70,7 +74,11 @@ fn analysis_separates_compressibility_classes() {
     // Delta concentration tells streams from random traffic.
     let d_stream = analysis::delta_profile(&streaming, 4);
     let d_rand = analysis::delta_profile(&irregular, 4);
-    assert!(d_stream.coverage > 0.9, "stream coverage {}", d_stream.coverage);
+    assert!(
+        d_stream.coverage > 0.9,
+        "stream coverage {}",
+        d_stream.coverage
+    );
     assert!(d_rand.coverage < 0.3, "random coverage {}", d_rand.coverage);
 
     // Column entropy: the paper's structural point — block addresses carry
@@ -80,7 +88,10 @@ fn analysis_separates_compressibility_classes() {
     // and data live in separate address spaces.)
     for trace in [&streaming, &irregular] {
         let e = analysis::column_entropies(trace);
-        assert!(e[..3].iter().all(|&x| x < 0.01), "top columns must be flat: {e:?}");
+        assert!(
+            e[..3].iter().all(|&x| x < 0.01),
+            "top columns must be flat: {e:?}"
+        );
         assert!(e[7] > 6.0, "low column must carry entropy: {e:?}");
     }
 

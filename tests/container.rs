@@ -35,6 +35,7 @@ fn codec_matrix_both_modes() {
                 AtcOptions {
                     codec: codec.into(),
                     buffer: 250,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -66,6 +67,7 @@ fn meta_reflects_parameters() {
         AtcOptions {
             codec: "lz".into(),
             buffer: 77,
+            threads: 1,
         },
     )
     .unwrap();
@@ -109,6 +111,7 @@ fn missing_chunk_file_is_reported() {
         AtcOptions {
             codec: "store".into(),
             buffer: 50,
+            threads: 1,
         },
     )
     .unwrap();
@@ -134,6 +137,7 @@ fn corrupted_info_is_reported() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 50,
+            threads: 1,
         },
     )
     .unwrap();
@@ -176,6 +180,7 @@ fn large_single_interval_trace() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 1000,
+            threads: 1,
         },
     )
     .unwrap();

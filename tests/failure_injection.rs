@@ -29,6 +29,7 @@ fn build(dir: &std::path::Path) -> Vec<u64> {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 100,
+            threads: 1,
         },
     )
     .unwrap();
@@ -89,7 +90,10 @@ fn random_single_byte_corruptions_never_panic_or_lie() {
     }
     // Sanity: the harness exercised both paths and the restored container
     // still decodes exactly.
-    assert!(outcomes.0 > 0, "no corruption was ever detected: {outcomes:?}");
+    assert!(
+        outcomes.0 > 0,
+        "no corruption was ever detected: {outcomes:?}"
+    );
     assert_eq!(try_decode(&dir).unwrap().len(), original.len());
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -97,13 +101,16 @@ fn random_single_byte_corruptions_never_panic_or_lie() {
 #[test]
 fn lossless_corruption_is_always_detected_or_exact() {
     let dir = scratch("lossless-flip");
-    let trace: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x9E37_79B9) >> 8).collect();
+    let trace: Vec<u64> = (0..20_000u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) >> 8)
+        .collect();
     let mut w = AtcWriter::with_options(
         &dir,
         Mode::Lossless,
         AtcOptions {
             codec: "bzip".into(),
             buffer: 4000,
+            threads: 1,
         },
     )
     .unwrap();
@@ -161,6 +168,7 @@ fn swapped_chunk_files_detected_by_length_or_content() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 100,
+            threads: 1,
         },
     )
     .unwrap();
@@ -172,6 +180,9 @@ fn swapped_chunk_files_detected_by_length_or_content() {
     let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
     std::fs::write(&a, &bb).unwrap();
     std::fs::write(&b, &ba).unwrap();
-    assert!(try_decode(&dir).is_err(), "length mismatch must be reported");
+    assert!(
+        try_decode(&dir).is_err(),
+        "length mismatch must be reported"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

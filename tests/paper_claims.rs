@@ -66,6 +66,7 @@ fn claim_lossy_ratio_tracks_interval_count_on_random() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: n / 100,
+            threads: 1,
         },
     )
     .unwrap();
@@ -89,7 +90,9 @@ fn claim_lossy_preserves_c_over_n_hit_ratio() {
     use rand::{Rng, SeedableRng};
     let n_blocks = 2048u64;
     let mut rng = StdRng::seed_from_u64(2);
-    let exact: Vec<u64> = (0..200_000).map(|_| rng.random_range(0..n_blocks)).collect();
+    let exact: Vec<u64> = (0..200_000)
+        .map(|_| rng.random_range(0..n_blocks))
+        .collect();
 
     let dir = std::env::temp_dir().join(format!("atc-claim-cn-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -102,12 +105,16 @@ fn claim_lossy_preserves_c_over_n_hit_ratio() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 2_000,
+            threads: 1,
         },
     )
     .unwrap();
     w.code_all(exact.iter().copied()).unwrap();
     w.finish().unwrap();
-    let approx = atc::core::AtcReader::open(&dir).unwrap().decode_all().unwrap();
+    let approx = atc::core::AtcReader::open(&dir)
+        .unwrap()
+        .decode_all()
+        .unwrap();
 
     for c in [256usize, 1024] {
         let mut sim = atc::cache::StackSim::new(1, c);
@@ -127,13 +134,14 @@ fn claim_lossy_preserves_c_over_n_hit_ratio() {
 #[test]
 fn claim_lossless_mode_is_safe_for_any_values() {
     let values: Vec<u64> = (0..30_000u64)
-        .map(|i| i.wrapping_mul(0xDEAD_BEEF_CAFE_F00D).rotate_left((i % 64) as u32))
+        .map(|i| {
+            i.wrapping_mul(0xDEAD_BEEF_CAFE_F00D)
+                .rotate_left((i % 64) as u32)
+        })
         .collect();
     for codec in ["bzip", "lz", "store"] {
-        let dir = std::env::temp_dir().join(format!(
-            "atc-claim-safe-{codec}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("atc-claim-safe-{codec}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut w = AtcWriter::with_options(
             &dir,
@@ -141,12 +149,16 @@ fn claim_lossless_mode_is_safe_for_any_values() {
             AtcOptions {
                 codec: codec.into(),
                 buffer: 7_777,
+                threads: 1,
             },
         )
         .unwrap();
         w.code_all(values.iter().copied()).unwrap();
         w.finish().unwrap();
-        let out = atc::core::AtcReader::open(&dir).unwrap().decode_all().unwrap();
+        let out = atc::core::AtcReader::open(&dir)
+            .unwrap()
+            .decode_all()
+            .unwrap();
         assert_eq!(out, values, "codec {codec}");
         std::fs::remove_dir_all(&dir).unwrap();
     }

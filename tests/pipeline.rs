@@ -23,6 +23,7 @@ fn every_profile_lossless_roundtrips() {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer: 3_000,
+                threads: 1,
             },
         )
         .unwrap();
@@ -52,6 +53,7 @@ fn every_profile_lossy_preserves_length_and_histograms() {
             AtcOptions {
                 codec: "bzip".into(),
                 buffer: 500,
+                threads: 1,
             },
         )
         .unwrap();
@@ -103,6 +105,7 @@ fn lossy_miss_ratio_fidelity_on_stationary_random() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 100,
+            threads: 1,
         },
     )
     .unwrap();
@@ -147,6 +150,7 @@ fn cdc_predictor_fidelity() {
         AtcOptions {
             codec: "bzip".into(),
             buffer: 60,
+            threads: 1,
         },
     )
     .unwrap();
@@ -188,10 +192,7 @@ fn filter_then_compress_interleaves_i_and_d() {
 }
 
 /// Wraps `atc::cache::filtered_trace` for workload iterators.
-fn filtered_trace(
-    workload: atc::trace::Workload,
-    n: usize,
-) -> Vec<u64> {
+fn filtered_trace(workload: atc::trace::Workload, n: usize) -> Vec<u64> {
     let mut filter = CacheFilter::paper();
     filter.filter(workload).take(n).collect()
 }

@@ -112,7 +112,7 @@ proptest! {
         let mut w = AtcWriter::with_options(
             &dir,
             Mode::Lossless,
-            AtcOptions { codec: "bzip".into(), buffer },
+            AtcOptions { codec: "bzip".into(), buffer, threads: 1 },
         ).unwrap();
         w.code_all(values.iter().copied()).unwrap();
         w.finish().unwrap();
@@ -135,7 +135,7 @@ proptest! {
                 interval_len: interval,
                 ..LossyConfig::default()
             }),
-            AtcOptions { codec: "bzip".into(), buffer: (interval / 2).max(1) },
+            AtcOptions { codec: "bzip".into(), buffer: (interval / 2).max(1), threads: 1 },
         ).unwrap();
         w.code_all(values.iter().copied()).unwrap();
         let stats = w.finish().unwrap();
@@ -149,6 +149,41 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The whole container, written and read at several thread counts,
+    // must reproduce arbitrary value streams exactly — and the
+    // multi-threaded writer's stats must match the serial writer's.
+    #[test]
+    fn atc_threaded_container_matches_serial(
+        values in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..500,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let write = |threads: usize, tag: u64| {
+            let dir = scratch(tag);
+            let mut w = AtcWriter::with_options(
+                &dir,
+                Mode::Lossless,
+                AtcOptions { codec: "bzip".into(), buffer, threads },
+            ).unwrap();
+            w.code_all(values.iter().copied()).unwrap();
+            let stats = w.finish().unwrap();
+            (dir, stats)
+        };
+        let (serial_dir, serial_stats) = write(1, seed.wrapping_add(101));
+        let (threaded_dir, threaded_stats) = write(threads, seed.wrapping_add(202));
+        prop_assert_eq!(serial_stats, threaded_stats);
+
+        let mut r = atc::core::AtcReader::open_with(
+            &threaded_dir,
+            atc::core::ReadOptions { threads, ..Default::default() },
+        ).unwrap();
+        let out = r.decode_all().unwrap();
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&threaded_dir);
+        prop_assert_eq!(out, values);
+    }
 
     #[test]
     fn tcgen_roundtrip_arbitrary(values in vec(any::<u64>(), 0..2000)) {

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — over a
+//! simple median-of-samples wall-clock measurement. No statistics engine,
+//! no HTML reports; results print one line per benchmark:
+//!
+//! ```text
+//! codec/compress/bzip        time:  11.03 ms/iter   thrpt:  90.7 MiB/s
+//! ```
+//!
+//! Honors `ATC_BENCH_QUICK=1` to run a single sample per benchmark (used
+//! by CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parses command-line options (no-op in this stand-in; accepts and
+    /// ignores criterion's flags such as `--bench` and filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Number of elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration input size used to report throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the target measurement time per sample batch.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: effective_samples(self.sample_size),
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report lines are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(&ns) = b
+            .samples
+            .iter()
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN samples"))
+        else {
+            return;
+        };
+        let label = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let thrpt = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mib = n as f64 / (1 << 20) as f64 / (ns / 1e9);
+                format!("   thrpt: {mib:>9.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me = n as f64 / 1e6 / (ns / 1e9);
+                format!("   thrpt: {me:>9.2} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!("{label:<44} time: {}{thrpt}", format_ns(ns));
+    }
+}
+
+fn effective_samples(configured: usize) -> usize {
+    if std::env::var_os("ATC_BENCH_QUICK").is_some_and(|v| v == "1") {
+        1
+    } else {
+        configured
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>8.2} s/iter ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>8.2} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>8.2} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>8.0} ns/iter")
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measures a closure: a calibration pass sizes iteration batches to
+    /// the group's measurement time, then `sample_size` timed samples run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: one untimed iteration (warms caches), then estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let est = start.elapsed().max(Duration::from_nanos(50));
+        let iters =
+            (self.measurement_time.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let total = start.elapsed();
+            self.samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures a closure over pre-built inputs (criterion's
+    /// `iter_batched` with small batches).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs() {
+        std::env::set_var("ATC_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2)
+            .throughput(Throughput::Bytes(1024))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0usize;
+        g.bench_with_input(BenchmarkId::new("f", "p"), &41u64, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        g.bench_function("plain", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("compress", "bzip").id, "compress/bzip");
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+}

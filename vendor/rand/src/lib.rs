@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements exactly the subset of the rand 0.9 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `random` / `random_range`. The generator is xoshiro256**
+//! seeded through SplitMix64 — statistically solid for synthetic trace
+//! generation, though the exact streams differ from upstream `rand`
+//! (every caller in this workspace seeds explicitly and asserts only
+//! statistical properties, never exact values).
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of randomness (the subset of `rand::Rng` used here).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Range: SampleRange<T>>(&mut self, range: Range) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Value types that [`Rng::random`] can produce.
+pub trait Random {
+    /// Samples a uniform value from `rng`.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample values of type `T` from.
+///
+/// Parameterized by the element type (rather than using an associated
+/// type) so return-type inference can flow into untyped integer literals,
+/// as with the real `rand` crate's `SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Debiased sampling of `[0, bound)` via Lemire-style rejection.
+fn uniform_below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone keeps the distribution exactly uniform.
+    let zone = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (x as u128) * (bound as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+/// Integer types [`SampleRange`] can sample uniformly.
+///
+/// A single blanket `SampleRange` impl over this trait (instead of one
+/// concrete impl per integer type) is what lets untyped literals like
+/// `rng.random_range(1..=2)` infer their type from the surrounding
+/// expression, matching the real `rand` crate's inference behavior.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `end - self` as a width-extended unsigned span.
+    fn span_to(self, end: Self) -> u64;
+    /// `self + delta`, wrapping in the type's width.
+    fn offset(self, delta: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    (unsigned: $($u:ty),*; signed: $($i:ty),*) => {
+        $(impl SampleUniform for $u {
+            fn span_to(self, end: Self) -> u64 {
+                (end as u64).wrapping_sub(self as u64)
+            }
+            fn offset(self, delta: u64) -> Self {
+                self.wrapping_add(delta as $u)
+            }
+        })*
+        $(impl SampleUniform for $i {
+            fn span_to(self, end: Self) -> u64 {
+                (end as i64).wrapping_sub(self as i64) as u64
+            }
+            fn offset(self, delta: u64) -> Self {
+                self.wrapping_add(delta as $i)
+            }
+        })*
+    };
+}
+impl_sample_uniform!(unsigned: u8, u16, u32, u64, usize; signed: i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for ::std::ops::Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.start.span_to(self.end);
+        self.start.offset(uniform_below(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for ::std::ops::RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let span = start.span_to(end);
+        if span == u64::MAX {
+            return start.offset(rng.next_u64());
+        }
+        start.offset(uniform_below(rng, span + 1))
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand`'s
+    /// `StdRng`; same trait surface, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.random_range(0..3);
+            assert!(w < 3);
+            let x: u64 = rng.random_range(1..=2);
+            assert!((1..=2).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of uniform [0,1) ~ 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}
