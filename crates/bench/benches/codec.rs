@@ -37,9 +37,60 @@ fn bench_codecs(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
             b.iter(|| black_box(codec.compress(black_box(d))));
         });
+        // Streaming entry point with a reused scratch buffer: the
+        // steady-state segment path of the writers (no per-call Vec).
+        g.bench_with_input(BenchmarkId::new("compress_into", name), &data, |b, d| {
+            let mut scratch = Vec::new();
+            b.iter(|| black_box(codec.compress_into(black_box(d), &mut scratch)));
+        });
         let packed = codec.compress(&data);
         g.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, p| {
             b.iter(|| black_box(codec.decompress(black_box(p)).unwrap()));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("decompress_into", name),
+            &packed,
+            |b, p| {
+                let mut scratch = Vec::new();
+                b.iter(|| black_box(codec.decompress_into(black_box(p), &mut scratch).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Thread-count axis for the free-running readahead reader over a
+/// many-segment stream: workers pull frames as they finish (no batch
+/// barrier), so decode throughput should track the thread count on
+/// multi-core hosts.
+fn bench_readahead(c: &mut Criterion) {
+    use atc_codec::{CodecWriter, ReadaheadReader};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("readahead");
+    g.sample_size(10);
+    let n = 8 << 20;
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+
+    let codec: Arc<dyn Codec> = Arc::new(Bzip::default());
+    let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1 << 20);
+    w.write_all(&data).unwrap();
+    let file = w.finish().unwrap();
+
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("bzip", threads), &file, |b, f| {
+            b.iter(|| {
+                let mut r = ReadaheadReader::new(
+                    std::io::Cursor::new(f.clone()),
+                    Arc::clone(&codec),
+                    threads,
+                );
+                let mut back = Vec::with_capacity(n);
+                r.read_to_end(&mut back).unwrap();
+                black_box(back.len())
+            });
         });
     }
     g.finish();
@@ -119,6 +170,7 @@ criterion_group!(
     bench_codecs,
     bench_bzip_threads,
     bench_parallel_writer,
+    bench_readahead,
     bench_bwt
 );
 criterion_main!(benches);

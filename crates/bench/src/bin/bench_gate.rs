@@ -1,0 +1,291 @@
+//! `bench_gate` — compares a bench run's JSON-Lines output (written by the
+//! vendored criterion when `ATC_BENCH_JSON` is set) against a checked-in
+//! baseline, and fails if throughput regressed beyond tolerance.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json> [--prefix codec/] [--tolerance 0.20]
+//! ```
+//!
+//! Only baseline entries whose id starts with `--prefix` (default
+//! `codec/`) and that carry a throughput figure are gated; everything
+//! else in the artifact is informational. An entry present in the
+//! baseline but missing from the current run fails the gate (coverage
+//! must not silently shrink); entries only in the current run are
+//! reported but never fail.
+//!
+//! Baselines are runner-specific absolute numbers, so the gate is
+//! one-sided: only *slower than baseline by more than the tolerance*
+//! fails. To refresh the baseline after an intentional change, re-run the
+//! bench-smoke recipe and copy the artifact over
+//! `ci/bench_baseline.json` (see README, "CI and the bench baseline").
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    ns_per_iter: f64,
+    /// MiB/s or Melem/s, whichever the bench reports (ids are gated
+    /// against themselves, so the unit always matches across files).
+    throughput: Option<f64>,
+}
+
+/// Extracts the string value of `"id"` from one JSON-Lines record
+/// (handles the `\"` / `\\` escapes the writer can emit).
+fn parse_id(line: &str) -> Option<String> {
+    let start = line.find("\"id\":\"")? + 6;
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let next = *bytes.get(i + 1)?;
+                out.push(next as char);
+                i += 2;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Extracts a numeric field like `"mib_per_s":90.700` from a record.
+fn parse_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a JSON-Lines bench file into `id -> record`, last write wins
+/// (re-runs append, and the freshest number is the one that matters).
+fn parse_file(text: &str) -> BTreeMap<String, Record> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(id) = parse_id(line) else { continue };
+        let Some(ns_per_iter) = parse_number(line, "ns_per_iter") else {
+            continue;
+        };
+        let throughput =
+            parse_number(line, "mib_per_s").or_else(|| parse_number(line, "melem_per_s"));
+        out.insert(
+            id,
+            Record {
+                ns_per_iter,
+                throughput,
+            },
+        );
+    }
+    out
+}
+
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip = true;
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    let [current_path, baseline_path] = positional[..] else {
+        return Err(
+            "usage: bench_gate <current.json> <baseline.json> [--prefix codec/] \
+             [--tolerance 0.20]"
+                .into(),
+        );
+    };
+    let prefix = flag_value(args, "--prefix").unwrap_or_else(|| "codec/".into());
+    let tolerance: f64 = flag_value(args, "--tolerance")
+        .map(|t| t.parse().map_err(|_| format!("bad tolerance {t:?}")))
+        .transpose()?
+        .unwrap_or(0.20);
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} outside [0, 1)"));
+    }
+
+    let current = parse_file(
+        &std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read {current_path}: {e}"))?,
+    );
+    let baseline = parse_file(
+        &std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?,
+    );
+
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (id, base) in baseline.iter().filter(|(id, _)| id.starts_with(&prefix)) {
+        let Some(base_thrpt) = base.throughput else {
+            continue;
+        };
+        gated += 1;
+        match current.get(id).and_then(|r| r.throughput) {
+            None => failures.push(format!(
+                "{id}: present in baseline but missing from the current run"
+            )),
+            Some(now) => {
+                let floor = base_thrpt * (1.0 - tolerance);
+                let delta = (now / base_thrpt - 1.0) * 100.0;
+                println!("{id:<44} baseline {base_thrpt:>9.1}  now {now:>9.1}  ({delta:+.1}%)");
+                if now < floor {
+                    failures.push(format!(
+                        "{id}: throughput {now:.1} is {:.1}% below baseline {base_thrpt:.1} \
+                         (tolerance {:.0}%)",
+                        (1.0 - now / base_thrpt) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for id in current.keys().filter(|id| id.starts_with(&prefix)) {
+        if !baseline.contains_key(id) {
+            println!("{id:<44} new benchmark (not in baseline, not gated)");
+        }
+    }
+
+    if gated == 0 {
+        return Err(format!(
+            "baseline {baseline_path} has no gated entries with prefix {prefix:?} — \
+             wrong file or stale baseline"
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "bench gate OK: {gated} benchmarks within {:.0}%",
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench gate FAILED:\n{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"id\":\"codec/compress/bzip\",\"ns_per_iter\":11030000.0,\"mib_per_s\":90.7}\n",
+        "{\"id\":\"codec/decompress/bzip\",\"ns_per_iter\":5000000.0,\"mib_per_s\":200.0}\n",
+        "{\"id\":\"bwt/forward\",\"ns_per_iter\":1000.0}\n",
+    );
+
+    fn write_tmp(tag: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("bench-gate-{tag}-{}", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn parses_records() {
+        let parsed = parse_file(SAMPLE);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed["codec/compress/bzip"].throughput, Some(90.7));
+        assert_eq!(parsed["bwt/forward"].throughput, None);
+        assert_eq!(parsed["bwt/forward"].ns_per_iter, 1000.0);
+    }
+
+    #[test]
+    fn parses_escaped_ids() {
+        let parsed = parse_file("{\"id\":\"odd\\\"name\",\"ns_per_iter\":1.0}");
+        assert!(parsed.contains_key("odd\"name"));
+    }
+
+    #[test]
+    fn last_record_wins() {
+        let text = concat!(
+            "{\"id\":\"codec/x\",\"ns_per_iter\":1.0,\"mib_per_s\":10.0}\n",
+            "{\"id\":\"codec/x\",\"ns_per_iter\":1.0,\"mib_per_s\":20.0}\n",
+        );
+        assert_eq!(parse_file(text)["codec/x"].throughput, Some(20.0));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = write_tmp("base-ok", SAMPLE);
+        let current = SAMPLE.replace("90.7", "75.0"); // -17%, inside 20%
+        let cur = write_tmp("cur-ok", &current);
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_beyond_tolerance() {
+        let base = write_tmp("base-slow", SAMPLE);
+        let current = SAMPLE.replace("90.7", "60.0"); // -34%
+        let cur = write_tmp("cur-slow", &current);
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("codec/compress/bzip"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_entry() {
+        let base = write_tmp("base-miss", SAMPLE);
+        let cur = write_tmp(
+            "cur-miss",
+            "{\"id\":\"codec/compress/bzip\",\"ns_per_iter\":1.0,\"mib_per_s\":90.7}\n",
+        );
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("codec/decompress/bzip"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_empty_baseline_prefix() {
+        let base = write_tmp(
+            "base-none",
+            "{\"id\":\"bwt/forward\",\"ns_per_iter\":1.0}\n",
+        );
+        let cur = write_tmp("cur-none", SAMPLE);
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn faster_is_never_a_failure() {
+        let base = write_tmp("base-fast", SAMPLE);
+        let current = SAMPLE.replace("90.7", "500.0");
+        let cur = write_tmp("cur-fast", &current);
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        assert!(run(&args).is_ok());
+    }
+}

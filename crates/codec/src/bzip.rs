@@ -63,6 +63,18 @@ struct BlockScratch {
     freqs: Vec<u64>,
 }
 
+thread_local! {
+    /// Per-thread scratch for the serial compress path.
+    ///
+    /// The streaming writers call [`Codec::compress_into`] once per
+    /// segment from long-lived worker threads; keeping the block scratch
+    /// in a thread-local (instead of a fresh `BlockScratch` per call)
+    /// makes the steady-state segment-compress path free of per-segment
+    /// scratch allocations.
+    static SERIAL_SCRATCH: std::cell::RefCell<BlockScratch> =
+        std::cell::RefCell::new(BlockScratch::default());
+}
+
 /// One parsed-but-undecoded block: the header fields plus a borrowed
 /// payload. Produced by a cheap sequential header scan so independent
 /// blocks can decode on separate threads.
@@ -256,19 +268,22 @@ impl Codec for Bzip {
         "bzip"
     }
 
-    fn compress(&self, data: &[u8]) -> Vec<u8> {
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        out.clear();
         if data.is_empty() {
-            return Vec::new();
+            return 0;
         }
         let n_blocks = data.len().div_ceil(self.block_size);
         let workers = self.threads.min(n_blocks);
         if workers <= 1 {
-            let mut scratch = BlockScratch::default();
-            let mut out = Vec::with_capacity(data.len() / 3 + 64);
-            for block in data.chunks(self.block_size) {
-                self.compress_block(block, &mut out, &mut scratch);
-            }
-            return out;
+            out.reserve(data.len() / 3 + 64);
+            SERIAL_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                for block in data.chunks(self.block_size) {
+                    self.compress_block(block, out, &mut scratch);
+                }
+            });
+            return out.len();
         }
 
         // Partition the independent blocks into contiguous runs, one per
@@ -282,24 +297,25 @@ impl Codec for Bzip {
                 .map(|run| {
                     s.spawn(move || {
                         let mut scratch = BlockScratch::default();
-                        let mut out =
+                        let mut run_out =
                             Vec::with_capacity(run.iter().map(|b| b.len()).sum::<usize>() / 3 + 64);
                         for block in run {
-                            self.compress_block(block, &mut out, &mut scratch);
+                            self.compress_block(block, &mut run_out, &mut scratch);
                         }
-                        out
+                        run_out
                     })
                 })
                 .collect();
-            let mut out = Vec::with_capacity(data.len() / 3 + 64);
+            out.reserve(data.len() / 3 + 64);
             for h in handles {
                 out.extend_from_slice(&h.join().expect("bzip compression worker panicked"));
             }
-            out
-        })
+        });
+        out.len()
     }
 
-    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+        out.clear();
         // Sequential header scan finds the block boundaries cheaply; the
         // expensive inverse transforms then run per block.
         let mut blocks = Vec::new();
@@ -321,29 +337,28 @@ impl Codec for Bzip {
         let total = match total {
             Some(t) if t <= MAX_PREALLOC => t,
             _ => {
-                let mut out = Vec::new();
                 for block in &blocks {
                     out.extend_from_slice(&Self::decode_block(block)?);
                 }
-                return Ok(out);
+                return Ok(out.len());
             }
         };
         if workers <= 1 {
-            let mut out = Vec::with_capacity(total);
+            out.reserve(total);
             for block in &blocks {
                 out.extend_from_slice(&Self::decode_block(block)?);
             }
-            return Ok(out);
+            return Ok(out.len());
         }
 
         // Every block's decoded length is in its header, so the output
-        // can be allocated once and split into disjoint per-run slices:
+        // can be sized once and split into disjoint per-run slices:
         // workers write in place, no second buffer and no serial copy.
-        let mut out = vec![0u8; total];
+        out.resize(total, 0);
         let per_worker = blocks.len().div_ceil(workers);
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(workers);
-            let mut rest: &mut [u8] = &mut out;
+            let mut rest: &mut [u8] = out;
             for run in blocks.chunks(per_worker) {
                 let run_len: usize = run.iter().map(|b| b.raw_len).sum();
                 let (dest, tail) = rest.split_at_mut(run_len);
@@ -363,7 +378,7 @@ impl Codec for Bzip {
             }
             Ok::<(), CodecError>(())
         })?;
-        Ok(out)
+        Ok(out.len())
     }
 }
 

@@ -46,9 +46,9 @@ pub mod varint;
 pub use bzip::{Bzip, DEFAULT_BLOCK_SIZE};
 pub use error::CodecError;
 pub use lz::Lz;
-pub use parallel::{ParallelCodecWriter, ReadaheadReader, WorkerPool};
+pub use parallel::{ParallelCodecWriter, ReadaheadReader, ScratchStats, WorkerPool};
 pub use store::Store;
-pub use stream::{CodecReader, CodecWriter, DEFAULT_SEGMENT_SIZE};
+pub use stream::{CodecReader, CodecWriter, StreamScratch, DEFAULT_SEGMENT_SIZE};
 
 /// A one-shot, thread-safe byte compressor.
 ///
@@ -57,12 +57,27 @@ pub use stream::{CodecReader, CodecWriter, DEFAULT_SEGMENT_SIZE};
 /// is object-safe so containers (the ATC directory format, the TCgen
 /// baseline) can hold `&dyn Codec` and let callers choose the back end, as
 /// the original tool does with its external-compressor command string.
+///
+/// The streaming entry points [`Codec::compress_into`] /
+/// [`Codec::decompress_into`] write into a caller-provided scratch buffer
+/// so per-segment pipelines ([`CodecWriter`], [`ParallelCodecWriter`],
+/// [`ReadaheadReader`]) can recycle allocations instead of materializing a
+/// fresh `Vec` per segment. They have default adapters over the one-shot
+/// methods, so external implementations keep working unchanged; the
+/// built-in codecs implement them natively (and implement the one-shot
+/// methods *in terms of* the streaming ones). Each pair defaults to the
+/// other, so an implementation must provide at least one of
+/// `compress`/`compress_into` and one of `decompress`/`decompress_into`.
 pub trait Codec: std::fmt::Debug + Send + Sync {
     /// Short stable identifier (used in file metadata).
     fn name(&self) -> &'static str;
 
     /// Compresses `data`; never fails.
-    fn compress(&self, data: &[u8]) -> Vec<u8>;
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out);
+        out
+    }
 
     /// Decompresses a buffer produced by [`Codec::compress`].
     ///
@@ -70,7 +85,41 @@ pub trait Codec: std::fmt::Debug + Send + Sync {
     ///
     /// Returns [`CodecError`] on truncated, corrupt, or checksum-failing
     /// input.
-    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError>;
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Compresses `data` into `out`, returning the number of bytes written.
+    ///
+    /// `out` is cleared first; its existing capacity is reused, so calling
+    /// this in a loop with one long-lived buffer makes the steady-state
+    /// compress path allocation-free at the segment level. The bytes
+    /// produced are exactly those of [`Codec::compress`] on the same input.
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        let packed = self.compress(data);
+        out.clear();
+        out.extend_from_slice(&packed);
+        packed.len()
+    }
+
+    /// Decompresses `data` into `out`, returning the number of bytes
+    /// written.
+    ///
+    /// `out` is cleared first and its capacity reused, mirroring
+    /// [`Codec::compress_into`]. On error, the contents of `out` are
+    /// unspecified (callers must not interpret them).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Codec::decompress`].
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+        let raw = self.decompress(data)?;
+        out.clear();
+        out.extend_from_slice(&raw);
+        Ok(raw.len())
+    }
 }
 
 /// Looks up a codec by its [`Codec::name`].
@@ -116,6 +165,68 @@ mod tests {
         let data = b"object safety check".repeat(10);
         for c in &codecs {
             assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+        }
+    }
+
+    /// External implementor providing only the one-shot methods: the
+    /// default streaming adapters must keep it working (and clear the
+    /// caller's scratch).
+    #[derive(Debug)]
+    struct OneShotOnly;
+
+    impl Codec for OneShotOnly {
+        fn name(&self) -> &'static str {
+            "oneshot"
+        }
+
+        fn compress(&self, data: &[u8]) -> Vec<u8> {
+            let mut v = vec![0xAB];
+            v.extend_from_slice(data);
+            v
+        }
+
+        fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+            match data.split_first() {
+                Some((0xAB, rest)) => Ok(rest.to_vec()),
+                _ => Err(CodecError::Corrupt("bad magic".into())),
+            }
+        }
+    }
+
+    #[test]
+    fn default_into_adapters_wrap_oneshot_impls() {
+        let c = OneShotOnly;
+        let mut out = vec![9u8; 100]; // stale contents must be cleared
+        let n = c.compress_into(b"xyz", &mut out);
+        assert_eq!(n, 4);
+        assert_eq!(out, [0xAB, b'x', b'y', b'z']);
+        let mut back = vec![7u8; 50];
+        let m = c.decompress_into(&out, &mut back).unwrap();
+        assert_eq!(m, 3);
+        assert_eq!(back, b"xyz");
+    }
+
+    #[test]
+    fn into_methods_reuse_capacity() {
+        let data = b"capacity reuse check ".repeat(50);
+        for c in [
+            Box::new(Bzip::default()) as Box<dyn Codec>,
+            Box::new(Lz::default()),
+            Box::new(Store),
+        ] {
+            let mut packed = Vec::new();
+            let n = c.compress_into(&data, &mut packed);
+            assert_eq!(n, packed.len());
+            assert_eq!(packed, c.compress(&data));
+            let cap = packed.capacity();
+            let n2 = c.compress_into(&data, &mut packed);
+            assert_eq!(n2, n);
+            assert!(packed.capacity() >= cap, "capacity must not be dropped");
+
+            let mut raw = Vec::new();
+            let m = c.decompress_into(&packed, &mut raw).unwrap();
+            assert_eq!(m, raw.len());
+            assert_eq!(raw, data);
         }
     }
 }

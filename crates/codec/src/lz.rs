@@ -341,21 +341,22 @@ impl Codec for Lz {
         "lz"
     }
 
-    fn compress(&self, data: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len() / 3 + 64);
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        out.clear();
+        out.reserve(data.len() / 3 + 64);
         for block in data.chunks(self.block_size) {
-            self.compress_block(block, &mut out);
+            self.compress_block(block, out);
         }
-        out
+        out.len()
     }
 
-    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let mut out = Vec::new();
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+        out.clear();
         let mut cursor = data;
         while !cursor.is_empty() {
-            Self::decompress_block(&mut cursor, &mut out)?;
+            Self::decompress_block(&mut cursor, out)?;
         }
-        Ok(out)
+        Ok(out.len())
     }
 }
 

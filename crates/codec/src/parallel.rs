@@ -1,5 +1,5 @@
 //! Parallel streaming adapters: a worker-pool [`ParallelCodecWriter`] and a
-//! readahead [`ReadaheadReader`], both producing/consuming exactly the
+//! free-running [`ReadaheadReader`], both producing/consuming exactly the
 //! [`CodecWriter`](crate::CodecWriter) stream format.
 //!
 //! The serial [`CodecWriter`](crate::CodecWriter) compresses every segment
@@ -12,10 +12,18 @@
 //! `CompressedWriter`: independent blocks, ordered reassembly, bounded
 //! in-flight buffering for backpressure.
 //!
-//! [`ReadaheadReader`] mirrors it on the consume side: a background thread
-//! reads framed segments and decompresses batches of them in parallel,
-//! handing decompressed segments to the consumer through a bounded
-//! channel, in order.
+//! Both adapters are streaming-first: segments are compressed with
+//! [`Codec::compress_into`] / decompressed with [`Codec::decompress_into`]
+//! into *owned scratch buffers that cycle through the pool* (producer →
+//! worker → reassembly → back to the producer), so the steady state
+//! performs no per-segment allocation on either side.
+//!
+//! [`ReadaheadReader`] mirrors the writer on the consume side with a
+//! free-running reorder pool: a feeder thread frames packed segments off
+//! the input and submits each one to a bounded worker pool the moment it
+//! is read; workers pull the next frame as soon as they finish the last
+//! (no batch barrier), and an ordered reassembly map on the consumer side
+//! delivers decompressed segments strictly in stream order.
 //!
 //! # Examples
 //!
@@ -42,6 +50,7 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -57,6 +66,20 @@ use crate::Codec;
 /// keeping every worker busy (one segment compressing, one queued).
 const IN_FLIGHT_PER_WORKER: usize = 2;
 
+/// Scratch-buffer accounting for a [`ParallelCodecWriter`] (see
+/// [`ParallelCodecWriter::scratch_stats`]).
+///
+/// Steady state, `fresh` stays bounded by the in-flight window
+/// (`threads * 2 + 1` per buffer kind) no matter how many segments the
+/// stream carries — the assertion the scratch-reuse tests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Segment buffers newly allocated because no recycled one was free.
+    pub fresh: u64,
+    /// Segment buffers reused from the cycling pool.
+    pub recycled: u64,
+}
+
 /// A `Write` adapter that compresses segments on a bounded worker pool.
 ///
 /// Produces the exact byte stream of the serial
@@ -64,6 +87,11 @@ const IN_FLIGHT_PER_WORKER: usize = 2;
 /// `varint(compressed_len) ++ compressed bytes`, terminated by a
 /// zero-length varint, emitted in submission order. `threads <= 1` runs
 /// inline on the caller thread with no pool at all (today's serial path).
+///
+/// Raw-segment and compressed-segment buffers are owned `Vec<u8>`s that
+/// cycle producer → worker → reassembly → producer, so the steady-state
+/// write path allocates nothing per segment (see
+/// [`ParallelCodecWriter::scratch_stats`]).
 ///
 /// Call [`ParallelCodecWriter::finish`] to drain the pool, write the
 /// end-of-stream marker, and recover the inner writer; dropping without
@@ -86,6 +114,11 @@ pub struct ParallelCodecWriter<W: Write> {
     done: BTreeMap<u64, Vec<u8>>,
     /// Segments submitted but not yet written out.
     in_flight: usize,
+    /// Recycled raw-segment buffers (returned by workers with results).
+    raw_pool: Vec<Vec<u8>>,
+    /// Recycled compressed-segment buffers (drained after frame writes).
+    packed_pool: Vec<Vec<u8>>,
+    stats: ScratchStats,
     /// First inner-writer error; once set, every later call fails with
     /// it. A failed frame write may have landed partially, so retrying
     /// would silently corrupt the stream — fail fast instead.
@@ -121,20 +154,38 @@ impl<J: Send + 'static> WorkerPool<J> {
     where
         F: Fn(J) + Clone + Send + 'static,
     {
+        Self::spawn_with(threads, queue_cap, name, move || handler.clone())
+    }
+
+    /// Like [`WorkerPool::spawn`], but each worker builds its own stateful
+    /// handler by calling `init` once on the worker thread.
+    ///
+    /// This is how per-worker scratch (reused across jobs, never shared or
+    /// locked) is threaded into a pool: the closure returned by `init` owns
+    /// the scratch and is called `FnMut`-style for every job the worker
+    /// pulls.
+    pub fn spawn_with<F, H>(threads: usize, queue_cap: usize, name: &str, init: F) -> Self
+    where
+        F: Fn() -> H + Clone + Send + 'static,
+        H: FnMut(J),
+    {
         let (jobs, job_rx) = mpsc::sync_channel::<J>(queue_cap.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
         let workers = (0..threads.max(1))
             .map(|i| {
                 let job_rx = Arc::clone(&job_rx);
-                let handler = handler.clone();
+                let init = init.clone();
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only to pull the next job, never
-                        // while working on it.
-                        let job = job_rx.lock().expect("job queue poisoned").recv();
-                        let Ok(job) = job else { break };
-                        handler(job);
+                    .spawn(move || {
+                        let mut handler = init();
+                        loop {
+                            // Hold the lock only to pull the next job,
+                            // never while working on it.
+                            let job = job_rx.lock().expect("job queue poisoned").recv();
+                            let Ok(job) = job else { break };
+                            handler(job);
+                        }
                     })
                     .expect("spawn pool worker")
             })
@@ -193,10 +244,20 @@ impl<J> Drop for WorkerPool<J> {
     }
 }
 
+/// One segment handed to a compression worker: the raw bytes plus the
+/// scratch buffer the compressed output lands in. Both buffers come back
+/// with the result and return to the writer's cycling pools.
+struct CompressJob {
+    seq: u64,
+    raw: Vec<u8>,
+    out: Vec<u8>,
+}
+
 #[derive(Debug)]
 struct Pool {
-    workers: WorkerPool<(u64, Vec<u8>)>,
-    results: Receiver<(u64, Vec<u8>)>,
+    workers: WorkerPool<CompressJob>,
+    /// `(seq, raw buffer back for recycling, compressed segment)`.
+    results: Receiver<(u64, Vec<u8>, Vec<u8>)>,
 }
 
 impl Pool {
@@ -207,11 +268,11 @@ impl Pool {
             threads,
             threads * IN_FLIGHT_PER_WORKER,
             "atc-codec-compress",
-            move |(seq, data): (u64, Vec<u8>)| {
-                let packed = codec.compress(&data);
+            move |mut job: CompressJob| {
+                codec.compress_into(&job.raw, &mut job.out);
                 // The writer may already be dropped; an unfinished stream
                 // is unterminated either way, so a dead receiver is fine.
-                let _ = result_tx.send((seq, packed));
+                let _ = result_tx.send((job.seq, job.raw, job.out));
             },
         );
         Self { workers, results }
@@ -251,6 +312,9 @@ impl<W: Write> ParallelCodecWriter<W> {
             next_write: 0,
             done: BTreeMap::new(),
             in_flight: 0,
+            raw_pool: Vec::new(),
+            packed_pool: Vec::new(),
+            stats: ScratchStats::default(),
             poisoned: None,
         }
     }
@@ -280,6 +344,28 @@ impl<W: Write> ParallelCodecWriter<W> {
         self.pool.as_ref().map_or(0, |p| p.workers.threads())
     }
 
+    /// Segment-buffer allocation accounting: how many buffers were newly
+    /// allocated vs reused from the cycling pool. After warm-up, `fresh`
+    /// stops growing — every later segment rides recycled buffers.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Pops a recycled buffer (or allocates one of `capacity`), keeping
+    /// the fresh/recycled accounting.
+    fn take_buffer(pool: &mut Vec<Vec<u8>>, stats: &mut ScratchStats, capacity: usize) -> Vec<u8> {
+        match pool.pop() {
+            Some(buf) => {
+                stats.recycled += 1;
+                buf
+            }
+            None => {
+                stats.fresh += 1;
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
     fn write_frame(&mut self, packed: &[u8]) -> io::Result<()> {
         // Header and payload as two writes (like the serial CodecWriter):
         // no copy of the compressed bytes on the one thread serializing
@@ -300,7 +386,8 @@ impl<W: Write> ParallelCodecWriter<W> {
         Ok(())
     }
 
-    /// Writes every completed segment that is next in line.
+    /// Writes every completed segment that is next in line, recycling its
+    /// buffer afterwards.
     fn drain_ready(&mut self) -> io::Result<()> {
         while let Some(packed) = self.done.remove(&self.next_write) {
             if let Err(e) = self.write_frame(&packed) {
@@ -312,16 +399,34 @@ impl<W: Write> ParallelCodecWriter<W> {
             }
             self.next_write += 1;
             self.in_flight -= 1;
+            self.recycle_packed(packed);
         }
         Ok(())
+    }
+
+    fn recycle_packed(&mut self, mut packed: Vec<u8>) {
+        packed.clear();
+        self.packed_pool.push(packed);
+    }
+
+    fn recycle_raw(&mut self, mut raw: Vec<u8>) {
+        raw.clear();
+        self.raw_pool.push(raw);
+    }
+
+    /// Files one worker result: the raw buffer re-enters the cycle, the
+    /// compressed segment waits for its turn.
+    fn file_result(&mut self, seq: u64, raw: Vec<u8>, packed: Vec<u8>) {
+        self.recycle_raw(raw);
+        self.done.insert(seq, packed);
     }
 
     /// Receives one completed segment from the pool, blocking.
     fn recv_one(&mut self) -> io::Result<()> {
         let pool = self.pool.as_ref().expect("recv_one requires a pool");
         match pool.results.recv() {
-            Ok((seq, packed)) => {
-                self.done.insert(seq, packed);
+            Ok((seq, raw, packed)) => {
+                self.file_result(seq, raw, packed);
                 Ok(())
             }
             Err(_) => Err(io::Error::other("compression worker pool died")),
@@ -334,10 +439,14 @@ impl<W: Write> ParallelCodecWriter<W> {
             return Ok(());
         }
         if self.pool.is_none() {
-            // Inline serial path: identical to CodecWriter.
-            let packed = self.codec.compress(&self.buf);
+            // Inline serial path: identical bytes to CodecWriter, with the
+            // packed scratch cycling through a one-deep pool.
+            let mut out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
+            self.codec.compress_into(&self.buf, &mut out);
             self.buf.clear();
-            return self.write_frame(&packed);
+            let result = self.write_frame(&out);
+            self.recycle_packed(out);
+            return result;
         }
 
         // Backpressure: cap segments in flight so memory stays bounded
@@ -354,27 +463,27 @@ impl<W: Write> ParallelCodecWriter<W> {
             self.recv_one()?;
         }
 
-        let segment = std::mem::replace(
-            &mut self.buf,
-            Vec::with_capacity(self.segment_size.min(1 << 22)),
-        );
+        let raw_capacity = self.segment_size.min(1 << 22);
+        let replacement = Self::take_buffer(&mut self.raw_pool, &mut self.stats, raw_capacity);
+        let raw = std::mem::replace(&mut self.buf, replacement);
+        let out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
         let seq = self.next_seq;
         self.next_seq += 1;
         let pool = self.pool.as_ref().expect("pool checked above");
         pool.workers
-            .submit((seq, segment))
+            .submit(CompressJob { seq, raw, out })
             .map_err(|_| io::Error::other("compression worker pool died"))?;
         self.in_flight += 1;
 
         // Opportunistically collect finished segments without blocking.
-        while let Ok((seq, packed)) = self
+        while let Ok((seq, raw, packed)) = self
             .pool
             .as_ref()
             .expect("pool checked above")
             .results
             .try_recv()
         {
-            self.done.insert(seq, packed);
+            self.file_result(seq, raw, packed);
         }
         self.drain_ready()
     }
@@ -403,10 +512,12 @@ impl<W: Write> ParallelCodecWriter<W> {
         }
         debug_assert!(self.done.is_empty());
         self.pool.take(); // joins the (now idle) workers
-        let mut eos = Vec::with_capacity(1);
-        varint::write_u64(&mut eos, 0)?;
-        self.inner.write_all(&eos)?;
-        self.compressed_bytes += eos.len() as u64;
+        let mut eos = [0u8; 10];
+        let mut cursor = &mut eos[..];
+        varint::write_u64(&mut cursor, 0)?;
+        let eos_len = 10 - cursor.len();
+        self.inner.write_all(&eos[..eos_len])?;
+        self.compressed_bytes += eos_len as u64;
         self.inner.flush()?;
         Ok(self.inner)
     }
@@ -437,71 +548,159 @@ impl<W: Write> Write for ParallelCodecWriter<W> {
     }
 }
 
-/// A `Read` adapter that decompresses a codec stream on a background
-/// thread, `threads` segments at a time.
+/// A shared free list of segment buffers.
+///
+/// Readahead buffers cycle consumer → pool → worker → consumer (and
+/// packed buffers feeder → worker → pool → feeder). `cap` bounds how many
+/// idle buffers are retained; beyond it, returned buffers are simply
+/// dropped so a burst never pins memory forever.
+#[derive(Debug)]
+struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    cap: usize,
+}
+
+impl BufPool {
+    fn new(cap: usize) -> Self {
+        Self {
+            bufs: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    fn get(&self) -> Vec<u8> {
+        self.bufs
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        if bufs.len() < self.cap {
+            bufs.push(buf);
+        }
+    }
+}
+
+/// A `Read` adapter that decompresses a codec stream on a free-running
+/// background pool.
 ///
 /// Consumes the exact stream format of
 /// [`CodecWriter`](crate::CodecWriter) / [`ParallelCodecWriter`]. A feeder
-/// thread reads framed segments, decompresses batches of up to `threads`
-/// segments in parallel (scoped threads), and hands the decompressed
-/// segments to the consumer through a bounded channel — so `decode`-style
-/// consumers overlap file I/O + decompression with their own work.
+/// thread frames packed segments off the input and submits each to a
+/// bounded [`WorkerPool`] the moment it is read; every worker pulls the
+/// next frame as soon as it finishes its last one — there is no
+/// batch-of-`threads` barrier, so one slow segment never idles the other
+/// workers. Results flow to the consumer through a bounded channel and an
+/// ordered reassembly map keyed by sequence number, so `read` always sees
+/// segments in exact stream order. Segment buffers cycle back to the
+/// workers once consumed.
 #[derive(Debug)]
 pub struct ReadaheadReader {
-    rx: Option<Receiver<io::Result<Vec<u8>>>>,
+    rx: Option<Receiver<(u64, io::Result<Vec<u8>>)>>,
     feeder: Option<JoinHandle<()>>,
+    /// Decompressed segments that arrived ahead of their turn.
+    pending: BTreeMap<u64, io::Result<Vec<u8>>>,
+    /// Sequence number of the next segment to hand to the consumer.
+    next_seq: u64,
     current: Vec<u8>,
     pos: usize,
     /// First error seen, replayed on every subsequent read (matching the
     /// serial `CodecReader`, which keeps erroring rather than turning a
-    /// poisoned stream into a clean EOF).
+    /// poisoned stream into a clean EOF). A mid-stream CRC failure
+    /// therefore fails *all* reads after the error point, forever.
     error: Option<(io::ErrorKind, String)>,
+    /// Consumed segment buffers, recycled back to the decompress workers.
+    out_pool: Arc<BufPool>,
 }
 
 impl ReadaheadReader {
     /// Spawns the readahead pipeline over a terminated codec stream.
     ///
-    /// `threads` is the per-batch decompression parallelism (`0`/`1` =
-    /// one segment at a time, still overlapped with the consumer).
+    /// `threads` is the decompression parallelism (`0`/`1` = one segment
+    /// at a time on the feeder thread, still overlapped with the
+    /// consumer).
     pub fn new<R: Read + Send + 'static>(inner: R, codec: Arc<dyn Codec>, threads: usize) -> Self {
         let threads = threads.max(1);
-        let (tx, rx) = mpsc::sync_channel(threads * IN_FLIGHT_PER_WORKER);
-        let feeder = std::thread::Builder::new()
-            .name("atc-codec-readahead".into())
-            .spawn(move || feed(inner, codec, threads, tx))
-            .expect("spawn readahead thread");
+        let window = threads * IN_FLIGHT_PER_WORKER;
+        let (tx, rx) = mpsc::sync_channel(window);
+        let out_pool = Arc::new(BufPool::new(window + 2));
+        // Flipped by a worker when the consumer is gone; the feeder polls
+        // it and stops reading ahead.
+        let dead = Arc::new(AtomicBool::new(false));
+        let feeder = {
+            let out_pool = Arc::clone(&out_pool);
+            std::thread::Builder::new()
+                .name("atc-codec-readahead".into())
+                .spawn(move || feed(inner, codec, threads, tx, out_pool, dead))
+                .expect("spawn readahead thread")
+        };
         Self {
             rx: Some(rx),
             feeder: Some(feeder),
+            pending: BTreeMap::new(),
+            next_seq: 0,
             current: Vec::new(),
             pos: 0,
             error: None,
+            out_pool,
         }
+    }
+
+    fn latch(&mut self, e: &io::Error) {
+        self.error = Some((e.kind(), e.to_string()));
+        self.shutdown();
     }
 
     fn refill(&mut self) -> io::Result<bool> {
         if let Some((kind, msg)) = &self.error {
             return Err(io::Error::new(*kind, msg.clone()));
         }
-        let Some(rx) = &self.rx else {
-            return Ok(false);
-        };
-        match rx.recv() {
-            Ok(Ok(segment)) => {
-                debug_assert!(!segment.is_empty());
-                self.current = segment;
-                self.pos = 0;
-                Ok(true)
+        loop {
+            // Deliver strictly in order: only the segment numbered
+            // `next_seq` may leave the reassembly map.
+            if let Some(result) = self.pending.remove(&self.next_seq) {
+                self.next_seq += 1;
+                match result {
+                    Ok(segment) => {
+                        debug_assert!(!segment.is_empty());
+                        let consumed = std::mem::replace(&mut self.current, segment);
+                        self.out_pool.put(consumed);
+                        self.pos = 0;
+                        return Ok(true);
+                    }
+                    Err(e) => {
+                        self.latch(&e);
+                        return Err(e);
+                    }
+                }
             }
-            Ok(Err(e)) => {
-                self.error = Some((e.kind(), e.to_string()));
-                self.shutdown();
-                Err(e)
-            }
-            Err(_) => {
-                // Feeder finished cleanly after the end-of-stream marker.
-                self.shutdown();
-                Ok(false)
+            let Some(rx) = &self.rx else {
+                return Ok(false);
+            };
+            match rx.recv() {
+                Ok((seq, result)) => {
+                    self.pending.insert(seq, result);
+                }
+                Err(_) => {
+                    // All senders gone: every produced result has been
+                    // drained into `pending`. An empty map means the
+                    // feeder finished cleanly after the end-of-stream
+                    // marker; a gap means a worker died mid-segment.
+                    if self.pending.is_empty() {
+                        self.shutdown();
+                        return Ok(false);
+                    }
+                    let e = io::Error::other("readahead worker died mid-stream");
+                    self.latch(&e);
+                    return Err(e);
+                }
             }
         }
     }
@@ -511,78 +710,130 @@ impl ReadaheadReader {
         if let Some(feeder) = self.feeder.take() {
             let _ = feeder.join();
         }
+        self.pending.clear();
     }
 }
 
-/// Feeder-thread body: frame, batch, decompress in parallel, emit in order.
+/// Decompresses one packed segment into a pooled buffer.
+fn decode_segment(codec: &dyn Codec, packed: &[u8], out_pool: &BufPool) -> io::Result<Vec<u8>> {
+    let mut out = out_pool.get();
+    match codec.decompress_into(packed, &mut out) {
+        Ok(_) if out.is_empty() => {
+            // A zero-raw-byte segment is never written; treat as corrupt
+            // (mirrors the serial CodecReader).
+            out_pool.put(out);
+            Err(io::Error::from(CodecError::Corrupt("empty segment".into())))
+        }
+        Ok(_) => Ok(out),
+        Err(e) => {
+            out_pool.put(out);
+            Err(io::Error::from(e))
+        }
+    }
+}
+
+/// Feeder-thread body: frame segments off the input and keep the worker
+/// pool saturated; ordering is restored on the consumer side.
 fn feed<R: Read>(
     mut inner: R,
     codec: Arc<dyn Codec>,
     threads: usize,
-    tx: SyncSender<io::Result<Vec<u8>>>,
+    tx: SyncSender<(u64, io::Result<Vec<u8>>)>,
+    out_pool: Arc<BufPool>,
+    dead: Arc<AtomicBool>,
 ) {
-    loop {
-        // Read up to `threads` packed segments sequentially.
-        let mut batch: Vec<Vec<u8>> = Vec::with_capacity(threads);
-        let mut end = false;
-        while batch.len() < threads {
+    let packed_pool = Arc::new(BufPool::new(threads * IN_FLIGHT_PER_WORKER + 2));
+    let mut seq = 0u64;
+
+    if threads <= 1 {
+        // Single-threaded readahead: decode inline on this thread (still
+        // fully overlapped with the consumer through the channel).
+        loop {
             let seg_len = match varint::read_u64(&mut inner) {
                 Ok(n) => n as usize,
                 Err(e) => {
-                    let _ = tx.send(Err(e));
+                    let _ = tx.send((seq, Err(e)));
                     return;
                 }
             };
             if seg_len == 0 {
-                end = true;
-                break;
-            }
-            let mut packed = vec![0u8; seg_len];
-            if let Err(e) = inner.read_exact(&mut packed) {
-                let _ = tx.send(Err(e));
                 return;
             }
-            batch.push(packed);
-        }
-
-        // Decompress the batch in parallel, preserving order.
-        let results: Vec<Result<Vec<u8>, CodecError>> = if batch.len() <= 1 {
-            batch.iter().map(|p| codec.decompress(p)).collect()
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|packed| {
-                        let codec = &codec;
-                        s.spawn(move || codec.decompress(packed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("decompression worker panicked"))
-                    .collect()
-            })
-        };
-
-        for result in results {
-            let send = match result {
-                Ok(segment) if segment.is_empty() => {
-                    // A zero-raw-byte segment is never written; treat as
-                    // corrupt (mirrors the serial CodecReader).
-                    Err(io::Error::from(CodecError::Corrupt("empty segment".into())))
-                }
-                Ok(segment) => Ok(segment),
-                Err(e) => Err(io::Error::from(e)),
-            };
-            let failed = send.is_err();
-            if tx.send(send).is_err() || failed {
+            let mut packed = packed_pool.get();
+            packed.resize(seg_len, 0);
+            if let Err(e) = inner.read_exact(&mut packed) {
+                let _ = tx.send((seq, Err(e)));
+                return;
+            }
+            let result = decode_segment(&*codec, &packed, &out_pool);
+            packed_pool.put(packed);
+            let failed = result.is_err();
+            if tx.send((seq, result)).is_err() || failed {
                 return; // consumer dropped, or stream is poisoned
             }
-        }
-        if end {
-            return;
+            seq += 1;
         }
     }
+
+    // Free-running pool: every frame is submitted the moment it is read;
+    // workers pull the next job as soon as they finish the last. The job
+    // queue and the result channel are both bounded, so readahead depth
+    // (and therefore memory) stays capped without any per-batch barrier.
+    let pool = {
+        let codec = Arc::clone(&codec);
+        let tx = tx.clone();
+        let out_pool = Arc::clone(&out_pool);
+        let packed_pool = Arc::clone(&packed_pool);
+        let dead = Arc::clone(&dead);
+        WorkerPool::spawn(
+            threads,
+            threads * IN_FLIGHT_PER_WORKER,
+            "atc-codec-readahead",
+            move |(seq, packed): (u64, Vec<u8>)| {
+                let result = decode_segment(&*codec, &packed, &out_pool);
+                packed_pool.put(packed);
+                if tx.send((seq, result)).is_err() {
+                    // Consumer is gone; tell the feeder to stop reading.
+                    dead.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+    };
+
+    loop {
+        if dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let seg_len = match varint::read_u64(&mut inner) {
+            Ok(n) => n as usize,
+            Err(e) => {
+                // Tagged with the next unused sequence number, the error
+                // sorts after every submitted segment: the consumer sees
+                // all good data, then the failure — exactly the serial
+                // reader's ordering.
+                let _ = tx.send((seq, Err(e)));
+                break;
+            }
+        };
+        if seg_len == 0 {
+            break;
+        }
+        let mut packed = packed_pool.get();
+        packed.resize(seg_len, 0);
+        if let Err(e) = inner.read_exact(&mut packed) {
+            let _ = tx.send((seq, Err(e)));
+            break;
+        }
+        if pool.submit((seq, packed)).is_err() {
+            break; // every worker died
+        }
+        seq += 1;
+    }
+    // Dropping the pool closes the job queue and joins the workers after
+    // they drain what is already queued; their results (and channel
+    // senders) are delivered/dropped before the consumer can observe a
+    // disconnect, so no segment is ever silently lost.
+    drop(pool);
 }
 
 impl Read for ReadaheadReader {
@@ -617,10 +868,33 @@ mod tests {
         (0..n).map(|i| (i % 251) as u8).collect()
     }
 
+    /// Thread counts exercised by the identity tests; override with
+    /// `ATC_TEST_THREADS` (single value or comma list) to pin the counts
+    /// on a CI matrix runner.
+    fn test_threads() -> Vec<usize> {
+        match std::env::var("ATC_TEST_THREADS") {
+            Ok(s) => {
+                let parsed: Vec<usize> = s
+                    .split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .filter(|&t| (1..=64).contains(&t))
+                    .collect();
+                if parsed.is_empty() {
+                    vec![1, 2, 4, 8]
+                } else {
+                    parsed
+                }
+            }
+            Err(_) => vec![1, 2, 4, 8],
+        }
+    }
+
     #[test]
     fn output_byte_identical_to_serial() {
         let data = sample(300_000);
-        for threads in [0usize, 1, 2, 4, 8] {
+        let mut threads_axis = vec![0usize];
+        threads_axis.extend(test_threads());
+        for threads in threads_axis {
             let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(4096));
             let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 10_000);
             serial.write_all(&data).unwrap();
@@ -664,7 +938,28 @@ mod tests {
         let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 9000);
         w.write_all(&data).unwrap();
         let file = w.finish().unwrap();
-        for threads in [1usize, 2, 4] {
+        for threads in test_threads() {
+            let mut r = ReadaheadReader::new(
+                std::io::Cursor::new(file.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, data, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn readahead_many_small_segments_stay_ordered() {
+        // Far more segments than any in-flight window: exercises the
+        // reorder map under sustained free-running load.
+        let data = sample(64_000);
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 64);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+        for threads in [2usize, 4, 8] {
             let mut r = ReadaheadReader::new(
                 std::io::Cursor::new(file.clone()),
                 Arc::clone(&codec),
@@ -705,6 +1000,58 @@ mod tests {
         assert!(r.read(&mut byte).is_err());
     }
 
+    /// Regression test: a CRC failure in a *middle* segment must deliver
+    /// the earlier segments intact, then fail — and keep failing on every
+    /// subsequent `read` call, at every thread count, instead of decaying
+    /// into a clean EOF once the erroring batch has drained.
+    #[test]
+    fn mid_stream_crc_error_latches_forever() {
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let segment = 5000usize;
+        let data = sample(segment * 6);
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), segment);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+
+        // Walk the varint framing to find the 4th segment's payload and
+        // flip a bit deep inside it (past the block header), so framing
+        // still parses but the CRC check fails.
+        let mut corrupted = file.clone();
+        let mut cursor = &file[..];
+        let mut offset = 0usize;
+        for _ in 0..3 {
+            let before = cursor.len();
+            let len = varint::read_u64(&mut cursor).unwrap() as usize;
+            offset += before - cursor.len() + len;
+            cursor = &cursor[len..];
+        }
+        let before = cursor.len();
+        let len = varint::read_u64(&mut cursor).unwrap() as usize;
+        offset += before - cursor.len();
+        corrupted[offset + len - 8] ^= 0x40;
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut r = ReadaheadReader::new(
+                std::io::Cursor::new(corrupted.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            let mut back = Vec::new();
+            let err = r.read_to_end(&mut back).unwrap_err();
+            // Everything before the corrupt segment is delivered, in
+            // order, before the error surfaces.
+            assert_eq!(back.len(), segment * 3, "threads={threads}");
+            assert_eq!(back, data[..segment * 3], "threads={threads}");
+            let kind = err.kind();
+            // The latch replays the same error on every later call.
+            let mut byte = [0u8; 1];
+            for _ in 0..3 {
+                let again = r.read(&mut byte).unwrap_err();
+                assert_eq!(again.kind(), kind, "threads={threads}");
+            }
+        }
+    }
+
     #[test]
     fn worker_pool_runs_all_jobs_and_joins() {
         use std::sync::atomic::{AtomicUsize, Ordering};
@@ -722,11 +1069,57 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_spawn_with_keeps_per_worker_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc::channel;
+        // Each worker accumulates into private state created by `init`;
+        // totals must add up with zero sharing between workers.
+        let inits = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::<usize>();
+        let tx = Arc::new(Mutex::new(tx));
+        let pool = {
+            let inits = Arc::clone(&inits);
+            WorkerPool::spawn_with(4, 2, "stateful-pool", move || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                let tx = tx.lock().unwrap().clone();
+                let mut local_sum = 0usize;
+                move |n: usize| {
+                    local_sum += n;
+                    tx.send(n).unwrap();
+                    let _ = local_sum; // state persists across jobs
+                }
+            })
+        };
+        for n in 0..50usize {
+            pool.submit(n).unwrap();
+        }
+        pool.join().unwrap();
+        assert_eq!(inits.load(Ordering::SeqCst), 4, "init once per worker");
+        assert_eq!(rx.try_iter().sum::<usize>(), (0..50).sum::<usize>());
+    }
+
+    #[test]
     fn drop_without_finish_reaps_workers() {
         let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
         let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), codec, 4096, 4);
         w.write_all(&sample(100_000)).unwrap();
         drop(w); // must not hang or leak threads
+    }
+
+    #[test]
+    fn drop_readahead_mid_stream_reaps_threads() {
+        // Consumer walks away after one segment; feeder + workers must
+        // exit promptly instead of decoding the rest of the stream.
+        let data = sample(400_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 4096);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+        let mut r = ReadaheadReader::new(std::io::Cursor::new(file), codec, 4);
+        let mut first = vec![0u8; 1000];
+        r.read_exact(&mut first).unwrap();
+        assert_eq!(first, data[..1000]);
+        drop(r); // must not hang
     }
 
     #[test]
@@ -743,5 +1136,39 @@ mod tests {
         let serial_len = serial.finish().unwrap().len();
         let parallel_out = parallel.finish().unwrap();
         assert_eq!(parallel_out.len(), serial_len);
+    }
+
+    #[test]
+    fn steady_state_allocates_no_fresh_buffers() {
+        // 100 segments on 3 workers: fresh buffers stop at the in-flight
+        // window; the rest of the stream rides recycled buffers.
+        let data = sample(100 * 1024);
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1024, 3);
+        w.write_all(&data).unwrap();
+        let stats = w.scratch_stats();
+        let window = 3 * IN_FLIGHT_PER_WORKER;
+        // Two buffer kinds (raw + packed) per in-flight slot, plus the
+        // writer's own accumulator slack.
+        let fresh_cap = (2 * (window + 1)) as u64;
+        assert!(
+            stats.fresh <= fresh_cap,
+            "fresh {} exceeds warm-up bound {fresh_cap}",
+            stats.fresh
+        );
+        assert!(
+            stats.recycled >= 2 * 100 - fresh_cap,
+            "recycled only {} of ~200 buffer uses",
+            stats.recycled
+        );
+        w.finish().unwrap();
+
+        // Inline serial path: one fresh packed buffer total.
+        let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1024, 1);
+        w.write_all(&data).unwrap();
+        let stats = w.scratch_stats();
+        assert_eq!(stats.fresh, 1, "serial path allocates one packed scratch");
+        assert_eq!(stats.recycled, 99);
+        w.finish().unwrap();
     }
 }

@@ -33,6 +33,18 @@ impl Codec for Store {
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         Ok(data.to_vec())
     }
+
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        out.clear();
+        out.extend_from_slice(data);
+        data.len()
+    }
+
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+        out.clear();
+        out.extend_from_slice(data);
+        Ok(data.len())
+    }
 }
 
 #[cfg(test)]
@@ -45,5 +57,17 @@ mod tests {
         assert_eq!(c.compress(b"xyz"), b"xyz");
         assert_eq!(c.decompress(b"xyz").unwrap(), b"xyz");
         assert!(c.compress(b"").is_empty());
+    }
+
+    #[test]
+    fn into_identity_clears_scratch() {
+        let c = Store;
+        let mut out = vec![1u8; 32];
+        assert_eq!(c.compress_into(b"xyz", &mut out), 3);
+        assert_eq!(out, b"xyz");
+        assert_eq!(c.decompress_into(b"ab", &mut out).unwrap(), 2);
+        assert_eq!(out, b"ab");
+        assert_eq!(c.compress_into(b"", &mut out), 0);
+        assert!(out.is_empty());
     }
 }

@@ -43,7 +43,32 @@ use crate::Codec;
 /// Default raw-bytes-per-segment for streaming adapters.
 pub const DEFAULT_SEGMENT_SIZE: usize = 1 << 20;
 
+/// Reusable buffers for one codec stream: the raw segment accumulator and
+/// the compressed-segment scratch.
+///
+/// A [`CodecWriter`] owns one of these internally; workloads that open
+/// many short streams back to back (the lossy container writes one stream
+/// per chunk file) can thread a `StreamScratch` through
+/// [`CodecWriter::with_scratch`] / [`CodecWriter::finish_with_scratch`] so
+/// every stream after the first reuses the same two allocations.
+#[derive(Debug, Default)]
+pub struct StreamScratch {
+    buf: Vec<u8>,
+    packed: Vec<u8>,
+}
+
+impl StreamScratch {
+    /// Heap capacity currently held, in bytes (diagnostics only).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity() + self.packed.capacity()
+    }
+}
+
 /// A `Write` adapter that compresses through a [`Codec`].
+///
+/// Segments are compressed with [`Codec::compress_into`] into a scratch
+/// buffer owned by the writer, so the steady-state write path performs no
+/// per-segment allocation.
 ///
 /// Call [`CodecWriter::finish`] to write the end-of-stream marker and
 /// recover the inner writer; dropping without `finish` leaves the stream
@@ -53,6 +78,7 @@ pub struct CodecWriter<W: Write> {
     inner: W,
     codec: Arc<dyn Codec>,
     buf: Vec<u8>,
+    packed: Vec<u8>,
     segment_size: usize,
     raw_bytes: u64,
     compressed_bytes: u64,
@@ -70,11 +96,32 @@ impl<W: Write> CodecWriter<W> {
     ///
     /// Panics if `segment_size` is zero.
     pub fn with_segment_size(inner: W, codec: Arc<dyn Codec>, segment_size: usize) -> Self {
+        Self::with_scratch(inner, codec, segment_size, StreamScratch::default())
+    }
+
+    /// Creates a writer that reuses `scratch` from an earlier stream
+    /// (see [`StreamScratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is zero.
+    pub fn with_scratch(
+        inner: W,
+        codec: Arc<dyn Codec>,
+        segment_size: usize,
+        scratch: StreamScratch,
+    ) -> Self {
         assert!(segment_size > 0, "segment size must be positive");
+        let StreamScratch { mut buf, packed } = scratch;
+        buf.clear();
+        if buf.capacity() == 0 {
+            buf.reserve(segment_size.min(1 << 22));
+        }
         Self {
             inner,
             codec,
-            buf: Vec::with_capacity(segment_size.min(1 << 22)),
+            buf,
+            packed,
             segment_size,
             raw_bytes: 0,
             compressed_bytes: 0,
@@ -95,13 +142,16 @@ impl<W: Write> CodecWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let packed = self.codec.compress(&self.buf);
-        let mut header = Vec::with_capacity(10);
-        varint::write_u64(&mut header, packed.len() as u64)?;
-        self.inner.write_all(&header)?;
-        self.inner.write_all(&packed)?;
-        self.compressed_bytes += (header.len() + packed.len()) as u64;
+        let n = self.codec.compress_into(&self.buf, &mut self.packed);
         self.buf.clear();
+        // Fixed-size stack header: a u64 varint never exceeds 10 bytes.
+        let mut header = [0u8; 10];
+        let mut cursor = &mut header[..];
+        varint::write_u64(&mut cursor, n as u64)?;
+        let header_len = 10 - cursor.len();
+        self.inner.write_all(&header[..header_len])?;
+        self.inner.write_all(&self.packed[..n])?;
+        self.compressed_bytes += (header_len + n) as u64;
         Ok(())
     }
 
@@ -111,14 +161,32 @@ impl<W: Write> CodecWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the inner writer.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(self) -> io::Result<W> {
+        self.finish_with_scratch().map(|(inner, _)| inner)
+    }
+
+    /// Like [`CodecWriter::finish`], but also hands back the stream's
+    /// scratch buffers for reuse by a later [`CodecWriter::with_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer.
+    pub fn finish_with_scratch(mut self) -> io::Result<(W, StreamScratch)> {
         self.flush_segment()?;
-        let mut eos = Vec::with_capacity(1);
-        varint::write_u64(&mut eos, 0)?;
-        self.inner.write_all(&eos)?;
-        self.compressed_bytes += eos.len() as u64;
+        let mut eos = [0u8; 10];
+        let mut cursor = &mut eos[..];
+        varint::write_u64(&mut cursor, 0)?;
+        let eos_len = 10 - cursor.len();
+        self.inner.write_all(&eos[..eos_len])?;
+        self.compressed_bytes += eos_len as u64;
         self.inner.flush()?;
-        Ok(self.inner)
+        Ok((
+            self.inner,
+            StreamScratch {
+                buf: self.buf,
+                packed: self.packed,
+            },
+        ))
     }
 }
 
@@ -147,10 +215,15 @@ impl<W: Write> Write for CodecWriter<W> {
 }
 
 /// A `Read` adapter that decompresses a [`CodecWriter`] stream.
+///
+/// The packed-segment buffer and the decompressed-segment buffer are both
+/// reused across segments ([`Codec::decompress_into`]), so steady-state
+/// reads perform no per-segment allocation.
 #[derive(Debug)]
 pub struct CodecReader<R: Read> {
     inner: R,
     codec: Arc<dyn Codec>,
+    packed: Vec<u8>,
     current: Vec<u8>,
     pos: usize,
     finished: bool,
@@ -162,6 +235,7 @@ impl<R: Read> CodecReader<R> {
         Self {
             inner,
             codec,
+            packed: Vec::new(),
             current: Vec::new(),
             pos: 0,
             finished: false,
@@ -183,10 +257,19 @@ impl<R: Read> CodecReader<R> {
             self.finished = true;
             return Ok(false);
         }
-        let mut packed = vec![0u8; seg_len];
-        self.inner.read_exact(&mut packed)?;
-        self.current = self.codec.decompress(&packed).map_err(io::Error::from)?;
+        self.packed.clear();
+        self.packed.resize(seg_len, 0);
+        self.inner.read_exact(&mut self.packed)?;
+        // Reset the consumer view *before* decoding: decompress_into
+        // reuses `current`, so a decode error must never leave a stale
+        // `pos` pointing into partial output (a retried `read` would
+        // panic or hand out bytes of the corrupt segment).
         self.pos = 0;
+        self.current.clear();
+        if let Err(e) = self.codec.decompress_into(&self.packed, &mut self.current) {
+            self.current.clear();
+            return Err(io::Error::from(e));
+        }
         if self.current.is_empty() {
             // A zero-raw-byte segment is never written; treat as corrupt.
             return Err(io::Error::from(CodecError::Corrupt("empty segment".into())));
@@ -254,6 +337,41 @@ mod tests {
         }
     }
 
+    /// Regression test: a decode error in a later segment must not leave
+    /// `pos` pointing into the (reused, now shorter) segment buffer — a
+    /// retried `read` used to underflow `current.len() - pos` and panic,
+    /// or hand out bytes of the corrupt segment.
+    #[test]
+    fn read_after_decode_error_never_panics_or_leaks() {
+        let codec: Arc<dyn Codec> = Arc::new(Lz::default());
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 101) as u8).collect();
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 3000);
+        w.write_all(&data).unwrap();
+        let mut file = w.finish().unwrap();
+        // Corrupt the second segment's payload, deep enough that framing
+        // still parses (CRC/structure check fails instead).
+        let first_len = {
+            let mut cursor = &file[..];
+            let len = varint::read_u64(&mut cursor).unwrap() as usize;
+            (file.len() - cursor.len()) + len
+        };
+        let pos = file.len() - 8;
+        assert!(pos > first_len, "corruption must land in segment 2");
+        file[pos] ^= 0x40;
+
+        let mut r = CodecReader::new(&file[..], Arc::clone(&codec));
+        let mut back = Vec::new();
+        assert!(r.read_to_end(&mut back).is_err());
+        // First segment was delivered intact before the error.
+        assert_eq!(back, data[..3000]);
+        // Retried reads must not panic; any bytes they return would be
+        // corrupt-segment leakage, so only Err or clean EOF is allowed.
+        let mut byte = [0u8; 1];
+        for _ in 0..3 {
+            assert!(matches!(r.read(&mut byte), Err(_) | Ok(0)));
+        }
+    }
+
     #[test]
     fn unterminated_stream_errors() {
         let mut file = Vec::new();
@@ -284,6 +402,36 @@ mod tests {
         let mut b = Vec::new();
         r2.read_to_end(&mut b).unwrap();
         assert_eq!(b, b"second");
+    }
+
+    #[test]
+    fn scratch_threads_through_streams() {
+        // Two streams sharing one scratch: the second must reuse the
+        // first's capacity and produce an independent, correct stream.
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 193) as u8).collect();
+
+        let mut w = CodecWriter::with_scratch(
+            Vec::new(),
+            Arc::clone(&codec),
+            4096,
+            StreamScratch::default(),
+        );
+        w.write_all(&data).unwrap();
+        let (file1, scratch) = w.finish_with_scratch().unwrap();
+        let cap_after_first = scratch.capacity();
+        assert!(cap_after_first > 0);
+
+        let mut w = CodecWriter::with_scratch(Vec::new(), Arc::clone(&codec), 4096, scratch);
+        w.write_all(&data).unwrap();
+        let (file2, scratch) = w.finish_with_scratch().unwrap();
+        assert_eq!(file1, file2, "scratch reuse must not change the stream");
+        assert!(scratch.capacity() >= cap_after_first);
+
+        let mut r = CodecReader::new(&file2[..], codec);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, data);
     }
 
     #[test]

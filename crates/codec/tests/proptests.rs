@@ -14,6 +14,30 @@ use atc_codec::rle::{rle_decode, rle_encode};
 use atc_codec::sais::suffix_array;
 use atc_codec::{Bzip, Codec, CodecReader, CodecWriter, Lz, ParallelCodecWriter, Store};
 
+/// Thread counts exercised by the byte-identity tests.
+///
+/// Defaults to `[1, 2, 4, 8]`; the CI thread matrix overrides it with
+/// `ATC_TEST_THREADS` (a single value or a comma list) so byte identity
+/// across thread counts is pinned on real multi-core runners, not just
+/// simulated on a single-core container.
+fn test_threads() -> Vec<usize> {
+    match std::env::var("ATC_TEST_THREADS") {
+        Ok(s) => {
+            let parsed: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| (1..=64).contains(&t))
+                .collect();
+            if parsed.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                parsed
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -117,7 +141,7 @@ proptest! {
         serial.write_all(&data).unwrap();
         let serial_file = serial.finish().unwrap();
 
-        for threads in [1usize, 2, 4, 8] {
+        for threads in test_threads() {
             let mut w = ParallelCodecWriter::with_segment_size(
                 Vec::new(),
                 Arc::clone(&codec),
@@ -142,19 +166,19 @@ proptest! {
     #[test]
     fn parallel_bzip_interoperates_with_serial(
         data in vec(any::<u8>(), 0..24_000),
-        threads in 2usize..9,
     ) {
         let serial = Bzip::with_block_size(1024); // force many blocks
-        let parallel = Bzip::with_block_size(1024).threads(threads);
-
         let packed_serial = serial.compress(&data);
-        let packed_parallel = parallel.compress(&data);
-        prop_assert_eq!(&packed_serial, &packed_parallel, "compressed bytes");
+        for threads in test_threads() {
+            let parallel = Bzip::with_block_size(1024).threads(threads);
+            let packed_parallel = parallel.compress(&data);
+            prop_assert_eq!(&packed_serial, &packed_parallel, "compressed bytes, threads={}", threads);
 
-        // serial compress -> parallel decompress
-        prop_assert_eq!(&parallel.decompress(&packed_serial).unwrap(), &data);
-        // parallel compress -> serial decompress
-        prop_assert_eq!(&serial.decompress(&packed_parallel).unwrap(), &data);
+            // serial compress -> parallel decompress
+            prop_assert_eq!(&parallel.decompress(&packed_serial).unwrap(), &data);
+            // parallel compress -> serial decompress
+            prop_assert_eq!(&serial.decompress(&packed_parallel).unwrap(), &data);
+        }
     }
 
     #[test]
@@ -172,5 +196,84 @@ proptest! {
             serial.decompress(&packed).is_err(),
             parallel.decompress(&packed).is_err()
         );
+    }
+}
+
+/// Every built-in codec, sized so multi-block paths are exercised.
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Bzip::with_block_size(1024)),
+        Box::new(Bzip::with_block_size(1024).threads(4)),
+        Box::new(Lz::with_block_size(1024)),
+        Box::new(Store),
+    ]
+}
+
+/// Asserts the streaming entry points agree byte-for-byte with the
+/// one-shot ones, through a dirty scratch buffer (stale contents and
+/// pre-existing capacity must not leak into the output).
+fn assert_into_matches_oneshot(codec: &dyn Codec, data: &[u8], scratch: &mut Vec<u8>) {
+    let packed = codec.compress(data);
+    let n = codec.compress_into(data, scratch);
+    assert_eq!(n, scratch.len(), "{}: returned length", codec.name());
+    assert_eq!(&packed, scratch, "{}: compressed bytes", codec.name());
+
+    let raw = codec.decompress(&packed).expect("own output decompresses");
+    let packed_copy = scratch.clone();
+    let m = codec
+        .decompress_into(&packed_copy, scratch)
+        .expect("own output decompresses (into)");
+    assert_eq!(m, scratch.len(), "{}: returned length", codec.name());
+    assert_eq!(&raw, scratch, "{}: decompressed bytes", codec.name());
+    assert_eq!(raw, data, "{}: roundtrip", codec.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The streaming API is only a scratch-reuse variant: its bytes must be
+    // exactly the one-shot bytes for every codec and every input,
+    // regardless of what the scratch buffer held before.
+    #[test]
+    fn compress_into_is_byte_identical_to_compress(
+        data in vec(any::<u8>(), 0..12_000),
+        stale in vec(any::<u8>(), 0..256),
+    ) {
+        for codec in all_codecs() {
+            let mut scratch = stale.clone();
+            assert_into_matches_oneshot(&*codec, &data, &mut scratch);
+            // Second call through the now-warm scratch: still identical.
+            assert_into_matches_oneshot(&*codec, &data, &mut scratch);
+        }
+    }
+}
+
+/// The degenerate segment sizes the streaming writers can produce: the
+/// empty segment (never framed, but the API must handle it) and the
+/// 1-byte segment, plus the sizes around the block boundary.
+#[test]
+fn compress_into_edge_segment_sizes() {
+    for size in [0usize, 1, 2, 1023, 1024, 1025, 4096] {
+        let data: Vec<u8> = (0..size).map(|i| (i % 17) as u8).collect();
+        for codec in all_codecs() {
+            let mut scratch = vec![0xEE; 64]; // dirty scratch
+            assert_into_matches_oneshot(&*codec, &data, &mut scratch);
+        }
+    }
+}
+
+/// `compress_into` on an empty input must clear the scratch and write
+/// nothing, for every codec (the writers rely on "empty in, empty out").
+#[test]
+fn compress_into_empty_input_clears_scratch() {
+    for codec in all_codecs() {
+        let mut scratch = vec![1u8; 100];
+        assert_eq!(
+            codec.compress_into(b"", &mut scratch),
+            0,
+            "{}",
+            codec.name()
+        );
+        assert!(scratch.is_empty(), "{}", codec.name());
     }
 }

@@ -26,10 +26,12 @@ pub struct ReadOptions {
     pub chunk_cache: usize,
     /// Decompression worker threads. `0`/`1` decode on the calling thread
     /// (the original behavior); `n > 1` reads payload streams through a
-    /// background readahead pipeline that decompresses up to `n` segments
-    /// concurrently, so `decode`/`decode_all` overlap decompression with
-    /// the consumer. Works on any trace — the on-disk format does not
-    /// record thread counts.
+    /// free-running readahead pipeline: `n` workers each pull the next
+    /// framed segment the moment they finish their last one (no batch
+    /// barrier), and an ordered reassembly stage hands segments to
+    /// `decode`/`decode_all` in stream order, overlapping decompression
+    /// with the consumer. Works on any trace — the on-disk format does
+    /// not record thread counts.
     pub threads: usize,
 }
 
@@ -227,7 +229,10 @@ impl AtcReader {
     ///
     /// Propagates the first error from [`AtcReader::decode`].
     pub fn decode_all(&mut self) -> Result<Vec<u64>> {
-        let mut out = Vec::new();
+        // The header's count is untrusted until the trace is fully read,
+        // so cap the header-driven preallocation.
+        let remaining = self.meta.count.saturating_sub(self.produced);
+        let mut out = Vec::with_capacity(remaining.min(1 << 24) as usize);
         while let Some(v) = self.decode()? {
             out.push(v);
         }

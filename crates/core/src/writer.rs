@@ -6,7 +6,9 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use atc_codec::{codec_by_name, Codec, CodecWriter, ParallelCodecWriter, WorkerPool};
+use atc_codec::{
+    codec_by_name, Codec, CodecWriter, ParallelCodecWriter, StreamScratch, WorkerPool,
+};
 
 use crate::error::{AtcError, Result};
 use crate::format::{self, IntervalRecord, Meta, FORMAT_VERSION};
@@ -200,15 +202,25 @@ impl ChunkPool {
         let worker_latch = Arc::clone(&latch);
         // Bound queued chunks to 2x threads: each job holds a whole
         // interval of addresses, so the queue is the dominant memory cost.
-        let pool = WorkerPool::spawn(threads, threads * 2, "atc-chunk", move |job: ChunkJob| {
-            if !matches!(
-                *worker_latch.lock().expect("error latch poisoned"),
-                ErrorLatch::Ok
-            ) {
-                return; // drain cheaply once failed
-            }
-            if let Err(e) = write_chunk_file(&codec, &job.path, &job.addrs, job.buffer) {
-                worker_latch.lock().expect("error latch poisoned").record(e);
+        // Each worker owns a StreamScratch threaded through every chunk
+        // file it writes, so only its first chunk pays the segment-buffer
+        // allocations.
+        let pool = WorkerPool::spawn_with(threads, threads * 2, "atc-chunk", move || {
+            let codec = Arc::clone(&codec);
+            let worker_latch = Arc::clone(&worker_latch);
+            let mut scratch = StreamScratch::default();
+            move |job: ChunkJob| {
+                if !matches!(
+                    *worker_latch.lock().expect("error latch poisoned"),
+                    ErrorLatch::Ok
+                ) {
+                    return; // drain cheaply once failed
+                }
+                if let Err(e) =
+                    write_chunk_file_with(&codec, &job.path, &job.addrs, job.buffer, &mut scratch)
+                {
+                    worker_latch.lock().expect("error latch poisoned").record(e);
+                }
             }
         });
         Self { pool, latch }
@@ -238,19 +250,42 @@ impl ChunkPool {
     }
 }
 
-/// Compresses one chunk file (shared by the inline path and the workers).
+/// Compresses one chunk file (inline path, no scratch carried over).
 fn write_chunk_file(
     codec: &Arc<dyn Codec>,
     path: &Path,
     addrs: &[u64],
     buffer: usize,
 ) -> Result<()> {
+    let mut scratch = StreamScratch::default();
+    write_chunk_file_with(codec, path, addrs, buffer, &mut scratch)
+}
+
+/// Compresses one chunk file, cycling `scratch` through the stream so a
+/// worker writing many chunks reuses its segment buffers (shared by the
+/// inline path and the pool workers).
+fn write_chunk_file_with(
+    codec: &Arc<dyn Codec>,
+    path: &Path,
+    addrs: &[u64],
+    buffer: usize,
+    scratch: &mut StreamScratch,
+) -> Result<()> {
     let file = BufWriter::new(File::create(path)?);
-    let mut out = CodecWriter::new(file, Arc::clone(codec));
+    let mut out = CodecWriter::with_scratch(
+        file,
+        Arc::clone(codec),
+        atc_codec::DEFAULT_SEGMENT_SIZE,
+        std::mem::take(scratch),
+    );
     for chunk in addrs.chunks(buffer) {
         format::write_frame(&mut out, chunk)?;
     }
-    out.finish()?;
+    // On success the stream's buffers come back for the next chunk; on
+    // error they are dropped with the failed stream (the pool is poisoned
+    // at that point anyway).
+    let (_, reclaimed) = out.finish_with_scratch()?;
+    *scratch = reclaimed;
     Ok(())
 }
 

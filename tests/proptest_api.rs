@@ -19,6 +19,20 @@ fn scratch(tag: u64) -> std::path::PathBuf {
     dir
 }
 
+/// Thread count override for the threaded container proptests.
+///
+/// The CI thread matrix sets `ATC_TEST_THREADS` (a single value, or a
+/// comma list whose first entry is used here) so the byte-identity
+/// invariant is exercised at a pinned parallelism on real multi-core
+/// runners; unset, the proptest strategy picks the count.
+fn env_threads() -> Option<usize> {
+    std::env::var("ATC_TEST_THREADS")
+        .ok()?
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .find(|&t| (1..=64).contains(&t))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -160,6 +174,7 @@ proptest! {
         threads in 2usize..6,
         seed in any::<u64>(),
     ) {
+        let threads = env_threads().unwrap_or(threads);
         let write = |threads: usize, tag: u64| {
             let dir = scratch(tag);
             let mut w = AtcWriter::with_options(

@@ -13,8 +13,15 @@
 //! ```
 //!
 //! Honors `ATC_BENCH_QUICK=1` to run a single sample per benchmark (used
-//! by CI smoke runs).
+//! by CI smoke runs), and `ATC_BENCH_JSON=<path>` to append one JSON
+//! object per benchmark to `<path>` (JSON Lines), which CI collects as a
+//! machine-readable artifact and gates against a checked-in baseline:
+//!
+//! ```text
+//! {"id":"codec/compress/bzip","ns_per_iter":11030000.0,"mib_per_s":90.7}
+//! ```
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
@@ -177,7 +184,56 @@ impl BenchmarkGroup<'_> {
             None => String::new(),
         };
         println!("{label:<44} time: {}{thrpt}", format_ns(ns));
+        if let Some(path) = std::env::var_os("ATC_BENCH_JSON") {
+            if let Err(e) = append_json_record(&path, &label, ns, self.throughput) {
+                eprintln!("warning: cannot write bench record to {path:?}: {e}");
+            }
+        }
     }
+}
+
+/// Appends one JSON-Lines record for a finished benchmark.
+fn append_json_record(
+    path: &std::ffi::OsStr,
+    label: &str,
+    ns: f64,
+    throughput: Option<Throughput>,
+) -> std::io::Result<()> {
+    let mut record = format!("{{\"id\":{},\"ns_per_iter\":{ns:.1}", json_string(label));
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mib = n as f64 / (1 << 20) as f64 / (ns / 1e9);
+            record.push_str(&format!(",\"mib_per_s\":{mib:.3}"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let me = n as f64 / 1e6 / (ns / 1e9);
+            record.push_str(&format!(",\"melem_per_s\":{me:.3}"));
+        }
+        None => {}
+    }
+    record.push('}');
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{record}")
+}
+
+/// Minimal JSON string encoder (benchmark ids are plain ASCII, but quote
+/// and backslash must still never break the record).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn effective_samples(configured: usize) -> usize {
@@ -305,5 +361,35 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("compress", "bzip").id, "compress/bzip");
         assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain/id"), "\"plain/id\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("a\nb"), "\"a\\u000ab\"");
+    }
+
+    #[test]
+    fn json_records_appended() {
+        let path = std::env::temp_dir().join(format!("atc-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_record(
+            path.as_os_str(),
+            "group/f/p",
+            2e9,
+            Some(Throughput::Bytes(1 << 20)),
+        )
+        .unwrap();
+        append_json_record(path.as_os_str(), "group/g", 1500.0, None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"group/f/p\",\"ns_per_iter\":2000000000.0,\"mib_per_s\":0.500}"
+        );
+        assert_eq!(lines[1], "{\"id\":\"group/g\",\"ns_per_iter\":1500.0}");
+        std::fs::remove_file(&path).unwrap();
     }
 }
