@@ -21,7 +21,12 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BwtError {
     /// `primary` is outside `1..=data.len()` (or nonzero for empty data).
-    InvalidPrimary { primary: u32, len: usize },
+    InvalidPrimary {
+        /// The rejected primary row index.
+        primary: u32,
+        /// Length of the last-column input.
+        len: usize,
+    },
     /// The LF cycle did not close where expected; the input is corrupt.
     BrokenCycle,
 }

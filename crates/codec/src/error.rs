@@ -11,7 +11,12 @@ pub enum CodecError {
     /// A header field or bitstream is structurally invalid.
     Corrupt(String),
     /// The block checksum did not match the decompressed data.
-    ChecksumMismatch { expected: u32, actual: u32 },
+    ChecksumMismatch {
+        /// CRC-32 recorded in the block header.
+        expected: u32,
+        /// CRC-32 of the decompressed bytes.
+        actual: u32,
+    },
     /// An underlying I/O error (streaming wrappers only).
     Io(std::io::Error),
 }

@@ -28,6 +28,8 @@
 //! assert_eq!(codec.decompress(&packed).unwrap(), data);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bitio;
 pub mod bwt;
 mod bzip;

@@ -49,7 +49,7 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -601,6 +601,12 @@ impl BufPool {
 /// ordered reassembly map keyed by sequence number, so `read` always sees
 /// segments in exact stream order. Segment buffers cycle back to the
 /// workers once consumed.
+///
+/// Also implements [`BufRead`]: [`BufRead::fill_buf`] hands out the
+/// unconsumed tail of the current decoded segment straight from the
+/// reassembly buffer, so frame-granular consumers (the container layer's
+/// `next_frame`) can parse decoded bytes in place without the `Read::read`
+/// copy into their own buffer.
 #[derive(Debug)]
 pub struct ReadaheadReader {
     rx: Option<Receiver<(u64, io::Result<Vec<u8>>)>>,
@@ -853,6 +859,24 @@ impl Read for ReadaheadReader {
     }
 }
 
+impl BufRead for ReadaheadReader {
+    /// Returns the unconsumed tail of the current decoded segment,
+    /// refilling from the reorder pool if it is exhausted. An empty slice
+    /// means clean end of stream. Errors latch exactly like `read`.
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        while self.pos == self.current.len() {
+            if !self.refill()? {
+                return Ok(&[]);
+            }
+        }
+        Ok(&self.current[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.current.len());
+    }
+}
+
 impl Drop for ReadaheadReader {
     fn drop(&mut self) {
         self.shutdown();
@@ -1050,6 +1074,47 @@ mod tests {
                 assert_eq!(again.kind(), kind, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn bufread_matches_read_and_latches_errors() {
+        // fill_buf/consume must walk the same bytes as read(), and a
+        // truncated stream must keep erroring through the BufRead face.
+        let data = sample(50_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 3000);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+        for threads in [1usize, 4] {
+            let mut r = ReadaheadReader::new(
+                std::io::Cursor::new(file.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            let mut back = Vec::new();
+            loop {
+                let buf = r.fill_buf().unwrap();
+                if buf.is_empty() {
+                    break;
+                }
+                let n = buf.len().min(777);
+                back.extend_from_slice(&buf[..n]);
+                r.consume(n);
+            }
+            assert_eq!(back, data, "threads={threads}");
+            assert!(r.fill_buf().unwrap().is_empty());
+        }
+
+        let mut truncated = Vec::new();
+        varint::write_u64(&mut truncated, 4).unwrap();
+        truncated.extend_from_slice(b"da");
+        let mut r = ReadaheadReader::new(
+            std::io::Cursor::new(truncated),
+            Arc::new(Store) as Arc<dyn Codec>,
+            2,
+        );
+        assert!(r.fill_buf().is_err());
+        assert!(r.fill_buf().is_err(), "error must latch for BufRead too");
     }
 
     #[test]

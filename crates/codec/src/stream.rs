@@ -33,7 +33,7 @@
 //! # }
 //! ```
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::sync::Arc;
 
 use crate::error::CodecError;
@@ -219,6 +219,11 @@ impl<W: Write> Write for CodecWriter<W> {
 /// The packed-segment buffer and the decompressed-segment buffer are both
 /// reused across segments ([`Codec::decompress_into`]), so steady-state
 /// reads perform no per-segment allocation.
+///
+/// Also implements [`BufRead`]: [`BufRead::fill_buf`] hands out the
+/// not-yet-consumed tail of the *decoded segment buffer itself*, so
+/// frame-granular consumers can parse decoded bytes in place instead of
+/// paying the `Read::read` copy into their own buffer.
 #[derive(Debug)]
 pub struct CodecReader<R: Read> {
     inner: R,
@@ -292,6 +297,24 @@ impl<R: Read> Read for CodecReader<R> {
         buf[..n].copy_from_slice(&self.current[self.pos..self.pos + n]);
         self.pos += n;
         Ok(n)
+    }
+}
+
+impl<R: Read> BufRead for CodecReader<R> {
+    /// Returns the unconsumed tail of the current decoded segment,
+    /// refilling (and decompressing the next segment) if it is exhausted.
+    /// An empty slice means clean end of stream.
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        while self.pos == self.current.len() {
+            if !self.refill()? {
+                return Ok(&[]);
+            }
+        }
+        Ok(&self.current[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.current.len());
     }
 }
 
@@ -432,6 +455,34 @@ mod tests {
         let mut back = Vec::new();
         r.read_to_end(&mut back).unwrap();
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bufread_hands_out_decoded_segments_in_place() {
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 4096);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+
+        let mut r = CodecReader::new(&file[..], codec);
+        let mut back = Vec::new();
+        loop {
+            let buf = r.fill_buf().unwrap();
+            if buf.is_empty() {
+                break; // clean EOF
+            }
+            // The in-place view matches the stream position exactly.
+            assert_eq!(buf, &data[back.len()..back.len() + buf.len()]);
+            // Consume in odd-sized bites to exercise partial consumes.
+            let n = buf.len().min(1000);
+            back.extend_from_slice(&buf[..n]);
+            r.consume(n);
+        }
+        assert_eq!(back, data);
+        // fill_buf after EOF stays empty; consume past the end is a no-op.
+        assert!(r.fill_buf().unwrap().is_empty());
+        r.consume(10_000);
     }
 
     #[test]

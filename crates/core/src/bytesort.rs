@@ -100,18 +100,92 @@ pub fn bytesort_inverse(cols: &[Vec<u8>]) -> Result<Vec<u64>, AtcError> {
             "bytesort columns have unequal lengths".into(),
         ));
     }
-    let mut addrs = vec![0u64; n];
-    // perm[i] = position of original address i in the encoder's current
-    // order when column `level` was emitted. Identity at level 0.
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    let mut newpos: Vec<u32> = vec![0; n];
-    for (level, col) in cols.iter().enumerate() {
-        let shift = 8 * (COLUMNS - 1 - level) as u32;
-        for (i, p) in perm.iter().enumerate() {
-            addrs[i] |= (col[*p as usize] as u64) << shift;
+    let mut inverse = BytesortInverse::default();
+    inverse.begin(n);
+    for col in cols {
+        inverse.push_column(col)?;
+    }
+    inverse.into_addrs()
+}
+
+/// Column-at-a-time decoder for the bytesort transformation.
+///
+/// [`bytesort_inverse`] needs all eight columns materialized side by side;
+/// this streaming form consumes them one at a time, in emission order.
+/// That is exactly the shape of the on-disk frame (`varint(n)` then the
+/// eight columns back to back), so the container's zero-copy read path can
+/// feed each column *borrowed straight from the decoded segment buffer*
+/// instead of first copying it into an owned vector. All internal state
+/// (the address accumulator, the permutation, the sort scratch) is reused
+/// across frames: steady-state decoding allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use atc_core::bytesort::{bytesort_forward, BytesortInverse};
+///
+/// let addrs: Vec<u64> = (0..100u64).map(|i| i * 64).collect();
+/// let cols = bytesort_forward(&addrs);
+/// let mut inv = BytesortInverse::default();
+/// inv.begin(addrs.len());
+/// for col in &cols {
+///     inv.push_column(col).unwrap();
+/// }
+/// assert_eq!(inv.finish().unwrap(), &addrs[..]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BytesortInverse {
+    addrs: Vec<u64>,
+    /// perm[i] = position of original address i in the encoder's current
+    /// order when the upcoming column was emitted. Identity at level 0.
+    perm: Vec<u32>,
+    newpos: Vec<u32>,
+    /// Columns consumed so far for the current frame.
+    level: usize,
+    n: usize,
+}
+
+impl BytesortInverse {
+    /// Starts decoding a frame of `n` addresses, resetting (and reusing)
+    /// all internal state.
+    pub fn begin(&mut self, n: usize) {
+        self.n = n;
+        self.level = 0;
+        self.addrs.clear();
+        self.addrs.resize(n, 0);
+        self.perm.clear();
+        self.perm.extend(0..n as u32);
+        self.newpos.clear();
+        self.newpos.resize(n, 0);
+    }
+
+    /// Feeds the next emitted column (most-significant first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] if the column's length differs from
+    /// the `n` passed to [`BytesortInverse::begin`] or all [`COLUMNS`]
+    /// columns were already consumed.
+    pub fn push_column(&mut self, col: &[u8]) -> Result<(), AtcError> {
+        if col.len() != self.n {
+            return Err(AtcError::Format(format!(
+                "bytesort column holds {} bytes, frame says {}",
+                col.len(),
+                self.n
+            )));
         }
-        if level == COLUMNS - 1 {
-            break;
+        if self.level >= COLUMNS {
+            return Err(AtcError::Format(format!(
+                "bytesort frame has more than {COLUMNS} columns"
+            )));
+        }
+        let shift = 8 * (COLUMNS - 1 - self.level) as u32;
+        for (i, p) in self.perm.iter().enumerate() {
+            self.addrs[i] |= (col[*p as usize] as u64) << shift;
+        }
+        self.level += 1;
+        if self.level == COLUMNS {
+            return Ok(());
         }
         // Replay the encoder's stable counting sort of this column.
         let mut hist = [0u32; 256];
@@ -125,14 +199,43 @@ pub fn bytesort_inverse(cols: &[Vec<u8>]) -> Result<Vec<u64>, AtcError> {
             sum += hist[c];
         }
         for (p, &c) in col.iter().enumerate() {
-            newpos[p] = offs[c as usize];
+            self.newpos[p] = offs[c as usize];
             offs[c as usize] += 1;
         }
-        for p in perm.iter_mut() {
-            *p = newpos[*p as usize];
+        for p in self.perm.iter_mut() {
+            *p = self.newpos[*p as usize];
         }
+        Ok(())
     }
-    Ok(addrs)
+
+    /// Completes the frame and returns the decoded addresses (valid until
+    /// the next [`BytesortInverse::begin`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] if fewer than [`COLUMNS`] columns were
+    /// pushed since the last `begin`.
+    pub fn finish(&self) -> Result<&[u64], AtcError> {
+        if self.level != COLUMNS {
+            return Err(AtcError::Format(format!(
+                "bytesort frame ended after {} of {COLUMNS} columns",
+                self.level
+            )));
+        }
+        Ok(&self.addrs)
+    }
+
+    /// Like [`BytesortInverse::finish`], but consumes the decoder and
+    /// hands its output buffer over without a copy (the one-shot
+    /// [`bytesort_inverse`] path).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BytesortInverse::finish`].
+    pub fn into_addrs(self) -> Result<Vec<u64>, AtcError> {
+        self.finish()?;
+        Ok(self.addrs)
+    }
 }
 
 /// Plain byte-unshuffling (§4.1's first idea, the paper's `us` baseline):
@@ -330,6 +433,32 @@ mod tests {
         assert_eq!(bytes.len(), 800);
         let back = bytes_to_columns(&bytes).unwrap();
         assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn streaming_inverse_reuses_state_across_frames() {
+        let mut inv = BytesortInverse::default();
+        for n in [1000usize, 1, 0, 500] {
+            let addrs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let cols = bytesort_forward(&addrs);
+            inv.begin(n);
+            for col in &cols {
+                inv.push_column(col).unwrap();
+            }
+            assert_eq!(inv.finish().unwrap(), &addrs[..], "n={n}");
+        }
+    }
+
+    #[test]
+    fn streaming_inverse_rejects_misuse() {
+        let mut inv = BytesortInverse::default();
+        inv.begin(4);
+        assert!(inv.finish().is_err(), "too few columns");
+        assert!(inv.push_column(&[0u8; 3]).is_err(), "wrong length");
+        for _ in 0..COLUMNS {
+            inv.push_column(&[0u8; 4]).unwrap();
+        }
+        assert!(inv.push_column(&[0u8; 4]).is_err(), "too many columns");
     }
 
     #[test]

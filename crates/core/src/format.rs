@@ -23,11 +23,11 @@
 //! 0x02  varint(chunk_id) u8(mask) [256 B]*      -- Imitate (tables for set bits, ascending j)
 //! ```
 
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 
 use atc_codec::varint;
 
-use crate::bytesort;
+use crate::bytesort::{self, BytesortInverse};
 use crate::error::{AtcError, Result};
 use crate::hist::{Translation, COLUMNS};
 
@@ -185,6 +185,74 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u64>>> {
     bytesort::bytesort_inverse(&cols).map(Some)
 }
 
+/// Accounting for the borrowed (zero-copy) frame-read path
+/// ([`read_frame_borrowed`]): how many column bytes were consumed in place
+/// versus copied. The analogue of
+/// [`atc_codec::ParallelCodecWriter::scratch_stats`] for the decode side —
+/// regression tests pin `copied_bytes == 0` whenever frames do not
+/// straddle segment boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameReadStats {
+    /// Frames decoded.
+    pub frames: u64,
+    /// Column bytes fed to the bytesort inverse borrowed straight from
+    /// the stream's decoded segment buffer (no copy).
+    pub borrowed_bytes: u64,
+    /// Column bytes copied into scratch first because the column
+    /// straddled a segment boundary.
+    pub copied_bytes: u64,
+}
+
+/// Reads one bytesorted frame through a buffered stream, feeding each
+/// column to `inverse` *borrowed from the stream's internal decoded
+/// buffer* whenever the column is contiguous in it; only columns that
+/// straddle a segment boundary are copied (into `scratch`, which is
+/// reused). Returns `Ok(false)` at clean end of stream; on `Ok(true)` the
+/// decoded addresses are in `inverse` (see [`BytesortInverse::finish`]).
+///
+/// This is the zero-copy path behind `AtcReader::next_frame`: with
+/// [`atc_codec::ReadaheadReader`] as the stream, decoded segments travel
+/// worker → reassembly buffer → bytesort inverse with no intermediate
+/// copy into a caller-owned buffer.
+///
+/// # Errors
+///
+/// Same failure modes as [`read_frame`].
+pub fn read_frame_borrowed<R: BufRead>(
+    r: &mut R,
+    inverse: &mut BytesortInverse,
+    scratch: &mut Vec<u8>,
+    stats: &mut FrameReadStats,
+) -> Result<bool> {
+    let n = match try_read_varint(r)? {
+        Some(n) => n as usize,
+        None => return Ok(false),
+    };
+    inverse.begin(n);
+    for _ in 0..COLUMNS {
+        let buf = r.fill_buf()?;
+        if buf.len() >= n {
+            // The whole column is visible in the decoded segment buffer:
+            // hand it over in place.
+            inverse.push_column(&buf[..n])?;
+            r.consume(n);
+            stats.borrowed_bytes += n as u64;
+        } else {
+            // The column straddles a segment boundary (or the stream is
+            // truncated): stitch it together through the reused scratch.
+            // resize alone suffices — shrinking is free and only growth
+            // zero-fills, so a warm scratch pays no redundant memset.
+            scratch.resize(n, 0);
+            r.read_exact(scratch)?;
+            inverse.push_column(scratch)?;
+            stats.copied_bytes += n as u64;
+        }
+    }
+    inverse.finish()?;
+    stats.frames += 1;
+    Ok(true)
+}
+
 /// Reads a varint, mapping clean EOF (before the first byte) to `None`.
 fn try_read_varint<R: Read>(r: &mut R) -> Result<Option<u64>> {
     let mut first = [0u8; 1];
@@ -291,6 +359,120 @@ impl Meta {
     }
 }
 
+/// Name of the plain-text manifest file at the root of a sharded store.
+pub const STORE_MANIFEST_FILE: &str = "store-manifest";
+
+/// Directory name for shard `index` inside a store root.
+pub fn shard_dir_name(index: usize) -> String {
+    format!("shard-{index:03}")
+}
+
+/// The plain-text `store-manifest` header of a sharded multi-trace store:
+/// the multi-directory analogue of [`Meta`].
+///
+/// A store is a root directory holding one complete ATC trace directory
+/// per shard ([`shard_dir_name`]) plus this manifest, which records how
+/// addresses were routed so a reader can reassemble the stream:
+///
+/// ```text
+/// store.atc/
+///   store-manifest    this header
+///   shard-000/        a complete ATC trace directory (meta, data.atc | chunks)
+///   shard-001/
+///   ...
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Format version (shares [`FORMAT_VERSION`] with the trace format).
+    pub version: u32,
+    /// Shard-routing policy name, e.g. `"round-robin"`, `"addr-range:12"`,
+    /// `"thread-id"` (parsed by the store layer).
+    pub policy: String,
+    /// Total number of addresses across all shards.
+    pub count: u64,
+    /// Per-shard address counts, shard 0 first; its length is the shard
+    /// count.
+    pub shard_counts: Vec<u64>,
+}
+
+impl StoreManifest {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_counts.len()
+    }
+
+    /// Serializes as `key=value` lines.
+    pub fn to_text(&self) -> String {
+        let counts: Vec<String> = self.shard_counts.iter().map(u64::to_string).collect();
+        format!(
+            "version={}\npolicy={}\ncount={}\nshard_counts={}\n",
+            self.version,
+            self.policy,
+            self.count,
+            counts.join(",")
+        )
+    }
+
+    /// Parses the `store-manifest` file contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on missing or malformed keys, or if
+    /// the per-shard counts do not sum to `count`.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut map = std::collections::HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| AtcError::Format(format!("malformed manifest line {line:?}")))?;
+            map.insert(k.to_string(), v.to_string());
+        }
+        let get = |k: &str| {
+            map.get(k)
+                .cloned()
+                .ok_or_else(|| AtcError::Format(format!("manifest key {k:?} missing")))
+        };
+        let version: u64 = get("version")?
+            .parse()
+            .map_err(|_| AtcError::Format("manifest key \"version\" is not an integer".into()))?;
+        let count: u64 = get("count")?
+            .parse()
+            .map_err(|_| AtcError::Format("manifest key \"count\" is not an integer".into()))?;
+        let counts_text = get("shard_counts")?;
+        let shard_counts: Vec<u64> = if counts_text.is_empty() {
+            Vec::new()
+        } else {
+            counts_text
+                .split(',')
+                .map(|t| {
+                    t.trim().parse().map_err(|_| {
+                        AtcError::Format(format!("manifest shard count {t:?} is not an integer"))
+                    })
+                })
+                .collect::<Result<_>>()?
+        };
+        if shard_counts.is_empty() {
+            return Err(AtcError::Format("manifest lists no shards".into()));
+        }
+        let sum: u64 = shard_counts.iter().sum();
+        if sum != count {
+            return Err(AtcError::Format(format!(
+                "manifest shard counts sum to {sum}, count says {count}"
+            )));
+        }
+        Ok(StoreManifest {
+            version: version as u32,
+            policy: get("policy")?,
+            count,
+            shard_counts,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +554,82 @@ mod tests {
         buf.extend_from_slice(&[7u8; 256]); // constant table: not a permutation
         let mut cur = &buf[..];
         assert!(IntervalRecord::read(&mut cur).is_err());
+    }
+
+    #[test]
+    fn borrowed_frame_read_matches_copying_read() {
+        let addrs: Vec<u64> = (0..777u64).map(|i| i * 997).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &addrs).unwrap();
+        write_frame(&mut buf, &addrs[..10]).unwrap();
+        write_frame(&mut buf, &[]).unwrap();
+
+        // A `&[u8]` is a BufRead whose fill_buf exposes everything at
+        // once: every column must ride the borrowed path.
+        let mut cur = &buf[..];
+        let mut inv = BytesortInverse::default();
+        let mut scratch = Vec::new();
+        let mut stats = FrameReadStats::default();
+        assert!(read_frame_borrowed(&mut cur, &mut inv, &mut scratch, &mut stats).unwrap());
+        assert_eq!(inv.finish().unwrap(), &addrs[..]);
+        assert!(read_frame_borrowed(&mut cur, &mut inv, &mut scratch, &mut stats).unwrap());
+        assert_eq!(inv.finish().unwrap(), &addrs[..10]);
+        assert!(read_frame_borrowed(&mut cur, &mut inv, &mut scratch, &mut stats).unwrap());
+        assert_eq!(inv.finish().unwrap(), &[] as &[u64]);
+        assert!(!read_frame_borrowed(&mut cur, &mut inv, &mut scratch, &mut stats).unwrap());
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.borrowed_bytes, (777 + 10) * 8);
+        assert_eq!(stats.copied_bytes, 0);
+
+        // A tiny BufReader window forces every column through the
+        // stitching path; the decoded frames must be identical.
+        let mut small = std::io::BufReader::with_capacity(7, &buf[..]);
+        let mut stats = FrameReadStats::default();
+        assert!(read_frame_borrowed(&mut small, &mut inv, &mut scratch, &mut stats).unwrap());
+        assert_eq!(inv.finish().unwrap(), &addrs[..]);
+        assert!(stats.copied_bytes > 0);
+    }
+
+    #[test]
+    fn borrowed_frame_read_detects_truncation() {
+        let addrs: Vec<u64> = (0..100u64).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &addrs).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut cur = &buf[..];
+        let mut inv = BytesortInverse::default();
+        let mut scratch = Vec::new();
+        let mut stats = FrameReadStats::default();
+        assert!(read_frame_borrowed(&mut cur, &mut inv, &mut scratch, &mut stats).is_err());
+    }
+
+    #[test]
+    fn store_manifest_roundtrip() {
+        let m = StoreManifest {
+            version: FORMAT_VERSION,
+            policy: "addr-range:12".into(),
+            count: 60,
+            shard_counts: vec![10, 20, 30],
+        };
+        let back = StoreManifest::parse(&m.to_text()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.shards(), 3);
+    }
+
+    #[test]
+    fn store_manifest_rejects_bad_input() {
+        assert!(StoreManifest::parse("version=1\n").is_err(), "missing keys");
+        let no_shards = "version=1\npolicy=round-robin\ncount=0\nshard_counts=\n";
+        assert!(StoreManifest::parse(no_shards).is_err(), "no shards");
+        let bad_sum = "version=1\npolicy=round-robin\ncount=5\nshard_counts=1,2\n";
+        assert!(StoreManifest::parse(bad_sum).is_err(), "counts don't sum");
+    }
+
+    #[test]
+    fn shard_names_sortable() {
+        assert_eq!(shard_dir_name(0), "shard-000");
+        assert_eq!(shard_dir_name(999), "shard-999");
+        assert!(shard_dir_name(1) < shard_dir_name(2));
     }
 
     #[test]

@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bytesort;
 mod error;
 pub mod format;
@@ -57,6 +59,7 @@ mod verify;
 mod writer;
 
 pub use error::{AtcError, Result};
+pub use format::{FrameReadStats, StoreManifest};
 pub use lossy::{Classification, LossyConfig, PhaseClassifier};
 pub use reader::{AtcReader, ReadOptions, Values, DEFAULT_CHUNK_CACHE};
 pub use verify::{verify, VerifyReport};

@@ -3,14 +3,15 @@
 
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use atc_codec::{codec_by_name, Codec, CodecReader, ReadaheadReader};
 
+use crate::bytesort::BytesortInverse;
 use crate::error::{AtcError, Result};
-use crate::format::{self, IntervalRecord, Meta};
+use crate::format::{self, FrameReadStats, IntervalRecord, Meta};
 use crate::hist::{translate_addr, Translation, COLUMNS};
 
 /// Default number of decompressed chunks kept in memory.
@@ -74,6 +75,22 @@ impl Read for SegmentStream {
     }
 }
 
+impl BufRead for SegmentStream {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        match self {
+            Self::Serial(r) => r.fill_buf(),
+            Self::Readahead(r) => r.fill_buf(),
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        match self {
+            Self::Serial(r) => r.consume(amt),
+            Self::Readahead(r) => r.consume(amt),
+        }
+    }
+}
+
 /// A streaming ATC decompressor over a trace directory.
 ///
 /// # Examples
@@ -107,6 +124,21 @@ pub struct AtcReader {
     /// Decoded values not yet handed out.
     pending: VecDeque<u64>,
     produced: u64,
+    /// Streaming bytesort decoder for the zero-copy frame path; its
+    /// output buffer is what lossless [`AtcReader::next_frame`] hands out.
+    inverse: BytesortInverse,
+    /// Frame buffer for [`AtcReader::next_frame`] when the frame cannot
+    /// be borrowed (lossy intervals, values buffered by `decode`).
+    frame: Vec<u64>,
+    /// Scratch for columns that straddle a segment boundary.
+    col_scratch: Vec<u8>,
+    frame_stats: FrameReadStats,
+    /// First error's message; once set, every later `decode`/`next_frame`
+    /// fails. The serial codec stream does not latch on its own (the
+    /// readahead pipeline does), and after a failed segment the byte
+    /// stream has a hole, so anything "decoded" past it would be garbage
+    /// that happens to parse — fail fast at every thread count instead.
+    poisoned: Option<String>,
 }
 
 #[derive(Debug)]
@@ -191,6 +223,11 @@ impl AtcReader {
             state,
             pending: VecDeque::new(),
             produced: 0,
+            inverse: BytesortInverse::default(),
+            frame: Vec::new(),
+            col_scratch: Vec::new(),
+            frame_stats: FrameReadStats::default(),
+            poisoned: None,
         })
     }
 
@@ -206,21 +243,131 @@ impl AtcReader {
     ///
     /// Propagates I/O, codec, and format errors.
     pub fn decode(&mut self) -> Result<Option<u64>> {
+        self.check_poisoned()?;
+        let result = self.decode_inner();
+        if let Err(e) = &result {
+            self.poisoned = Some(e.to_string());
+        }
+        result
+    }
+
+    fn decode_inner(&mut self) -> Result<Option<u64>> {
         loop {
             if let Some(v) = self.pending.pop_front() {
                 self.produced += 1;
                 return Ok(Some(v));
             }
             if !self.refill()? {
-                if self.produced != self.meta.count {
-                    return Err(AtcError::Format(format!(
-                        "trace ended after {} of {} addresses",
-                        self.produced, self.meta.count
-                    )));
-                }
+                self.check_complete()?;
                 return Ok(None);
             }
         }
+    }
+
+    /// Decodes the next whole frame — one bytesort buffer (lossless mode)
+    /// or one interval (lossy mode) — and hands it out as a borrowed
+    /// slice, valid until the next call on this reader.
+    ///
+    /// This is the zero-copy bulk path: in lossless mode, columns are fed
+    /// to the bytesort inverse straight out of the stream's decoded
+    /// segment buffer (the readahead reassembly buffer when
+    /// [`ReadOptions::threads`] > 1) instead of first being copied through
+    /// `Read::read` into an owned buffer — [`AtcReader::frame_stats`]
+    /// counts borrowed vs copied column bytes. Lossy intervals are
+    /// materialized through the chunk cache as before (translations must
+    /// rewrite the bytes anyway).
+    ///
+    /// `next_frame` and [`AtcReader::decode`] may be interleaved: values
+    /// already buffered by `decode` are drained (as one frame) before the
+    /// next on-disk frame is parsed. The concatenation of all frames is
+    /// exactly the `decode` value sequence; `Ok(None)` means clean end of
+    /// trace. Errors (including a mid-stream integrity failure) latch
+    /// exactly like the `decode` path: every later call keeps failing
+    /// rather than decaying into a clean end of trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, codec, and format errors.
+    pub fn next_frame(&mut self) -> Result<Option<&[u64]>> {
+        self.check_poisoned()?;
+        match self.next_frame_inner() {
+            Ok(Some(FrameSlot::Inverse)) => Ok(Some(self.inverse.finish()?)),
+            Ok(Some(FrameSlot::Buffer)) => Ok(Some(&self.frame)),
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes the next frame, reporting *where* it landed (so the
+    /// borrowed slice can be produced after error handling releases
+    /// `&mut self`).
+    fn next_frame_inner(&mut self) -> Result<Option<FrameSlot>> {
+        if !self.pending.is_empty() {
+            // Interleaved with decode(): hand out its buffered tail as a
+            // frame so the value sequence stays exact.
+            self.frame.clear();
+            self.frame.extend(self.pending.drain(..));
+            self.produced += self.frame.len() as u64;
+            self.frame_stats.frames += 1;
+            return Ok(Some(FrameSlot::Buffer));
+        }
+        match &mut self.state {
+            State::Lossless { stream } => {
+                if format::read_frame_borrowed(
+                    stream,
+                    &mut self.inverse,
+                    &mut self.col_scratch,
+                    &mut self.frame_stats,
+                )? {
+                    self.produced += self.inverse.finish()?.len() as u64;
+                    Ok(Some(FrameSlot::Inverse))
+                } else {
+                    self.check_complete()?;
+                    Ok(None)
+                }
+            }
+            State::Lossy { info, cache } => {
+                let Some(record) = IntervalRecord::read(info)? else {
+                    self.check_complete()?;
+                    return Ok(None);
+                };
+                self.frame.clear();
+                materialize_interval(&self.dir, &self.codec, cache, record, &mut self.frame)?;
+                self.produced += self.frame.len() as u64;
+                self.frame_stats.frames += 1;
+                Ok(Some(FrameSlot::Buffer))
+            }
+        }
+    }
+
+    /// Accounting for the [`AtcReader::next_frame`] path: frames decoded
+    /// and column bytes borrowed in place vs copied through scratch.
+    pub fn frame_stats(&self) -> FrameReadStats {
+        self.frame_stats
+    }
+
+    /// Fails if an earlier `decode`/`next_frame` call errored.
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(msg) => Err(AtcError::Format(format!(
+                "reader poisoned by earlier error: {msg}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Fails if the stream ended before `meta.count` addresses.
+    fn check_complete(&self) -> Result<()> {
+        if self.produced != self.meta.count {
+            return Err(AtcError::Format(format!(
+                "trace ended after {} of {} addresses",
+                self.produced, self.meta.count
+            )));
+        }
+        Ok(())
     }
 
     /// Decodes the remainder of the trace into a vector.
@@ -257,35 +404,58 @@ impl AtcReader {
                 let Some(record) = IntervalRecord::read(info)? else {
                     return Ok(false);
                 };
-                match record {
-                    IntervalRecord::NewChunk { chunk_id, len } => {
-                        let addrs = cache.load(&self.dir, &self.codec, chunk_id)?;
-                        if addrs.len() as u64 != len {
-                            return Err(AtcError::Format(format!(
-                                "chunk {chunk_id} holds {} addresses, record says {len}",
-                                addrs.len()
-                            )));
-                        }
-                        self.pending.extend(addrs.iter().copied());
-                    }
-                    IntervalRecord::Imitate {
-                        chunk_id,
-                        translations,
-                    } => {
-                        let addrs = cache.load(&self.dir, &self.codec, chunk_id)?;
-                        if translations.iter().all(Option::is_none) {
-                            self.pending.extend(addrs.iter().copied());
-                        } else {
-                            let t: &[Option<Translation>; COLUMNS] = &translations;
-                            self.pending
-                                .extend(addrs.iter().map(|&a| translate_addr(a, t)));
-                        }
-                    }
-                }
+                materialize_interval(&self.dir, &self.codec, cache, record, &mut self.pending)?;
                 Ok(true)
             }
         }
     }
+}
+
+/// Decodes one interval record into `out`: loads its chunk (through the
+/// cache) and applies the recorded translations. Shared by the value
+/// ([`AtcReader::decode`]) and frame ([`AtcReader::next_frame`]) paths so
+/// the chunk-length validation and translation handling cannot drift
+/// apart.
+fn materialize_interval<C: Extend<u64>>(
+    dir: &Path,
+    codec: &Arc<dyn Codec>,
+    cache: &mut ChunkCache,
+    record: IntervalRecord,
+    out: &mut C,
+) -> Result<()> {
+    match record {
+        IntervalRecord::NewChunk { chunk_id, len } => {
+            let addrs = cache.load(dir, codec, chunk_id)?;
+            if addrs.len() as u64 != len {
+                return Err(AtcError::Format(format!(
+                    "chunk {chunk_id} holds {} addresses, record says {len}",
+                    addrs.len()
+                )));
+            }
+            out.extend(addrs.iter().copied());
+        }
+        IntervalRecord::Imitate {
+            chunk_id,
+            translations,
+        } => {
+            let addrs = cache.load(dir, codec, chunk_id)?;
+            if translations.iter().all(Option::is_none) {
+                out.extend(addrs.iter().copied());
+            } else {
+                let t: &[Option<Translation>; COLUMNS] = &translations;
+                out.extend(addrs.iter().map(|&a| translate_addr(a, t)));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Where [`AtcReader::next_frame`] left the decoded frame.
+enum FrameSlot {
+    /// In the bytesort inverse's output buffer (borrowed lossless path).
+    Inverse,
+    /// In the reader's own frame buffer (lossy / interleave path).
+    Buffer,
 }
 
 /// Iterator over decoded values (see [`AtcReader::values`]).
@@ -589,6 +759,226 @@ mod tests {
             std::fs::remove_dir_all(&dir).unwrap();
         }
         std::fs::remove_dir_all(&serial_dir).unwrap();
+    }
+
+    #[test]
+    fn next_frame_agrees_with_decode_lossless() {
+        let addrs: Vec<u64> = (0..25_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let dir = tmp("frames-lossless");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 1000,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        for threads in [1usize, 4] {
+            let open = || {
+                AtcReader::open_with(
+                    &dir,
+                    ReadOptions {
+                        threads,
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap()
+            };
+            let mut by_decode = open();
+            let expect = by_decode.decode_all().unwrap();
+            let mut by_frames = open();
+            let mut got = Vec::new();
+            let mut frames = 0u64;
+            while let Some(frame) = by_frames.next_frame().unwrap() {
+                got.extend_from_slice(frame);
+                frames += 1;
+            }
+            assert_eq!(got, expect, "threads={threads}");
+            assert_eq!(got, addrs, "threads={threads}");
+            assert_eq!(frames, 25, "threads={threads}");
+            // Clean end of trace is sticky, not an error.
+            assert!(by_frames.next_frame().unwrap().is_none());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_frame_borrows_segments_without_copy() {
+        // 10k addresses in 512-address frames = ~80 KiB of column bytes:
+        // well inside one 1 MiB codec segment, so every column must ride
+        // the borrowed path — the counter test pinning that next_frame
+        // eliminates the per-segment copy the read() path pays.
+        let addrs: Vec<u64> = (0..10_000u64).map(|i| i * 64).collect();
+        let dir = tmp("frames-zero-copy");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "bzip".into(),
+                buffer: 512,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        for threads in [1usize, 2] {
+            let mut r = AtcReader::open_with(
+                &dir,
+                ReadOptions {
+                    threads,
+                    ..ReadOptions::default()
+                },
+            )
+            .unwrap();
+            let mut got = Vec::new();
+            while let Some(frame) = r.next_frame().unwrap() {
+                got.extend_from_slice(frame);
+            }
+            assert_eq!(got, addrs, "threads={threads}");
+            let stats = r.frame_stats();
+            assert_eq!(stats.frames, 20, "threads={threads}");
+            assert_eq!(stats.borrowed_bytes, 10_000 * 8, "threads={threads}");
+            assert_eq!(stats.copied_bytes, 0, "threads={threads}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_frame_agrees_with_decode_lossy() {
+        let dir = tmp("frames-lossy");
+        let cfg = LossyConfig {
+            interval_len: 256,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 128,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for region in [0xF2u64, 0xF3, 0xA1, 0xB7] {
+            w.code_all((0..256u64).map(|i| (region << 8) + i)).unwrap();
+        }
+        w.code_all((0..100u64).map(|i| i * 8)).unwrap(); // partial tail
+        w.finish().unwrap();
+
+        let mut by_decode = AtcReader::open(&dir).unwrap();
+        let expect = by_decode.decode_all().unwrap();
+        let mut by_frames = AtcReader::open(&dir).unwrap();
+        let mut got = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(frame) = by_frames.next_frame().unwrap() {
+            sizes.push(frame.len());
+            got.extend_from_slice(frame);
+        }
+        assert_eq!(got, expect);
+        assert_eq!(
+            sizes,
+            vec![256, 256, 256, 256, 100],
+            "one frame per interval"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_frame_interleaves_with_decode() {
+        let addrs: Vec<u64> = (0..3000u64).map(|i| i * 13).collect();
+        let dir = tmp("frames-interleave");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 1000,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        let mut got = Vec::new();
+        // Pull a few values through decode (buffering a frame), then
+        // switch to frames: the buffered tail must come out first.
+        for _ in 0..5 {
+            got.push(r.decode().unwrap().unwrap());
+        }
+        while let Some(frame) = r.next_frame().unwrap() {
+            got.extend_from_slice(frame);
+        }
+        assert_eq!(got, addrs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn next_frame_latches_mid_stream_errors() {
+        // Corrupt the *middle* of data.atc so framing still parses but a
+        // later segment fails its integrity check: next_frame must
+        // deliver the early frames, then fail, then keep failing — at
+        // every thread count (the readahead latch regression shape).
+        // 300k addresses = 2.4 MB raw = 3 codec segments, so the flipped
+        // bit lands mid-stream with good frames before and after it.
+        let addrs: Vec<u64> = (0..300_000u64).map(|i| i.wrapping_mul(0x517C)).collect();
+        let dir = tmp("frames-latch");
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: "lz".into(),
+                buffer: 1000,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+        let data_path = dir.join(format::DATA_FILE);
+        let mut data = std::fs::read(&data_path).unwrap();
+        let flip = data.len() - data.len() / 4;
+        data[flip] ^= 0x40;
+        std::fs::write(&data_path, &data).unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let mut r = AtcReader::open_with(
+                &dir,
+                ReadOptions {
+                    threads,
+                    ..ReadOptions::default()
+                },
+            )
+            .unwrap();
+            let mut got = Vec::new();
+            let err = loop {
+                match r.next_frame() {
+                    Ok(Some(frame)) => got.extend_from_slice(frame),
+                    Ok(None) => panic!("corruption must not decay into clean EOF"),
+                    Err(e) => break e,
+                }
+            };
+            let _ = err;
+            // Everything delivered before the failure is intact and
+            // frame-aligned.
+            assert!(got.len() < addrs.len(), "threads={threads}");
+            assert_eq!(got.len() % 1000, 0, "threads={threads}");
+            assert_eq!(got, addrs[..got.len()], "threads={threads}");
+            // The error latches: later calls must keep failing.
+            for _ in 0..3 {
+                assert!(r.next_frame().is_err(), "threads={threads}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

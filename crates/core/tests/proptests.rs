@@ -5,10 +5,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use atc_core::bytesort::{bytes_to_columns, bytesort_forward, columns_to_bytes};
+use atc_core::bytesort::{bytes_to_columns, bytesort_forward, columns_to_bytes, BytesortInverse};
 use atc_core::format::{read_frame, write_frame, IntervalRecord, Meta};
 use atc_core::hist::{ByteHistograms, Translation, COLUMNS};
 use atc_core::lossy::{Classification, LossyConfig, PhaseClassifier};
+use atc_core::{AtcOptions, AtcReader, AtcWriter, Mode, ReadOptions};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -36,6 +37,62 @@ proptest! {
         let bytes = columns_to_bytes(&cols);
         prop_assert_eq!(bytes.len(), addrs.len() * 8);
         prop_assert_eq!(bytes_to_columns(&bytes).unwrap(), cols);
+    }
+
+    #[test]
+    fn streaming_inverse_matches_batch_inverse(
+        frames in vec(vec(any::<u64>(), 0..300), 1..4),
+    ) {
+        // One decoder instance across several frames must agree with the
+        // batch inverse on each.
+        let mut inv = BytesortInverse::default();
+        for addrs in &frames {
+            let cols = bytesort_forward(addrs);
+            inv.begin(addrs.len());
+            for col in &cols {
+                inv.push_column(col).unwrap();
+            }
+            prop_assert_eq!(inv.finish().unwrap(), &addrs[..]);
+        }
+    }
+
+    #[test]
+    fn next_frame_agrees_with_decode(
+        addrs in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..500,
+        threads_idx in 0usize..2,
+    ) {
+        let threads = [1usize, 4][threads_idx];
+        // The frame path and the value path must produce the same stream
+        // at any buffer size and thread count, and the frame path must
+        // cut frames exactly at bytesort-buffer boundaries.
+        let dir = std::env::temp_dir().join(format!(
+            "atc-prop-frames-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions { codec: "lz".into(), buffer, threads: 1 },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        let options = || ReadOptions { threads, ..ReadOptions::default() };
+        let mut by_decode = AtcReader::open_with(&dir, options()).unwrap();
+        let expect = by_decode.decode_all().unwrap();
+        let mut by_frames = AtcReader::open_with(&dir, options()).unwrap();
+        let mut got = Vec::new();
+        while let Some(frame) = by_frames.next_frame().unwrap() {
+            prop_assert!(frame.len() <= buffer);
+            got.extend_from_slice(frame);
+        }
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(&got, &addrs);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! # atc-store — a sharded multi-trace store
+//!
+//! The single-trace layer ([`atc_core`]) compresses *one* address stream
+//! into *one* ATC trace directory. Production tracing workloads manage
+//! fleets of streams — per-core pipelines, per-workload captures — so
+//! this crate scales the container sideways: an [`AtcStore`] is a root
+//! directory holding `N` complete ATC trace directories (*shards*) plus a
+//! `store-manifest`, with incoming addresses routed across shards by a
+//! pluggable [`ShardPolicy`]:
+//!
+//! * [`ShardPolicy::RoundRobin`] — deal addresses across shards; the
+//!   merged read-back reproduces the global arrival order exactly.
+//! * [`ShardPolicy::AddressRange`] — keep each aligned address region in
+//!   one shard (spatial locality stays shard-local).
+//! * [`ShardPolicy::ThreadId`] — keep each caller-keyed sub-stream
+//!   (thread, core) in one shard, the natural layout for per-thread
+//!   traces.
+//!
+//! Every shard is an ordinary trace directory: lossless or lossy mode,
+//! any codec, readable by plain [`atc_core::AtcReader`]. Writing divides
+//! one compression-thread budget across the shard writers (each of which
+//! runs the parallel segment/chunk pipelines from [`atc_codec`]); reading
+//! merges shards back through the zero-copy
+//! [`atc_core::AtcReader::next_frame`] path, or hands out per-shard
+//! cursors ([`StoreReader::into_shards`]) for parallel analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use atc_core::Mode;
+//! use atc_store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
+//!
+//! let root = std::env::temp_dir().join("atc-store-lib-doc");
+//! # let _ = std::fs::remove_dir_all(&root);
+//! let mut store = AtcStore::create(
+//!     &root,
+//!     Mode::Lossless,
+//!     StoreOptions {
+//!         shards: 4,
+//!         policy: ShardPolicy::RoundRobin,
+//!         ..StoreOptions::default()
+//!     },
+//! )?;
+//! store.code_all((0..10_000u64).map(|i| 0x4000_0000 + i * 64))?;
+//! let stats = store.finish()?;
+//! assert_eq!(stats.count, 10_000);
+//!
+//! let mut reader = StoreReader::open(&root)?;
+//! let back = reader.decode_all()?;
+//! assert_eq!(back.len(), 10_000);
+//! assert_eq!(back[1], 0x4000_0040);
+//! # std::fs::remove_dir_all(&root)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod policy;
+mod reader;
+mod writer;
+
+pub use policy::ShardPolicy;
+pub use reader::StoreReader;
+pub use writer::{AtcStore, StoreOptions, StoreStats};

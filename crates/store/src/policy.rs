@@ -1,0 +1,154 @@
+//! Shard-routing policies: which shard each incoming address lands in.
+
+/// How an [`AtcStore`](crate::AtcStore) routes incoming addresses across
+/// its shards.
+///
+/// The policy (with its parameters) is recorded in the store manifest, so
+/// a reader always knows how the stream was split — and, for
+/// [`ShardPolicy::RoundRobin`], how to re-interleave it exactly.
+///
+/// # Examples
+///
+/// ```
+/// use atc_store::ShardPolicy;
+///
+/// let p = ShardPolicy::AddressRange { shift: 12 };
+/// assert_eq!(p.to_name(), "addr-range:12");
+/// assert_eq!(ShardPolicy::parse(&p.to_name()), Some(p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Deal addresses across shards one at a time, in arrival order.
+    ///
+    /// The only policy whose merged read-back reproduces the *global*
+    /// arrival order exactly (the reader deals them back in the same
+    /// rotation); the other policies preserve order per shard.
+    RoundRobin,
+    /// Route by address region: shard `(addr >> shift) % shards`, so each
+    /// aligned `1 << shift`-byte region always lands in the same shard
+    /// (spatial locality stays shard-local, which is what the bytesort
+    /// transform feeds on).
+    AddressRange {
+        /// Region size exponent: addresses sharing `addr >> shift` are
+        /// routed together.
+        shift: u32,
+    },
+    /// Route by the caller-supplied stream key of
+    /// [`AtcStore::code_from`](crate::AtcStore::code_from) (thread id,
+    /// core id, …): shard `key % shards`. Each key's sub-stream is
+    /// preserved in order, the natural layout for per-thread traces.
+    ThreadId,
+}
+
+impl ShardPolicy {
+    /// Shard index for one address.
+    ///
+    /// `seq` is the global arrival index, `key` the caller's stream key
+    /// (0 unless [`AtcStore::code_from`](crate::AtcStore::code_from) was
+    /// used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn route(&self, seq: u64, key: u64, addr: u64, shards: usize) -> usize {
+        assert!(shards > 0, "store needs at least one shard");
+        let n = shards as u64;
+        (match self {
+            ShardPolicy::RoundRobin => seq % n,
+            ShardPolicy::AddressRange { shift } => (addr >> (*shift).min(63)) % n,
+            ShardPolicy::ThreadId => key % n,
+        }) as usize
+    }
+
+    /// Whether a merged read can reproduce the global arrival order
+    /// exactly (true only for [`ShardPolicy::RoundRobin`]; the others
+    /// interleave shard-by-shard).
+    pub fn merge_is_exact(&self) -> bool {
+        matches!(self, ShardPolicy::RoundRobin)
+    }
+
+    /// The manifest/CLI spelling: `round-robin`, `addr-range:<shift>`,
+    /// or `thread-id`.
+    pub fn to_name(&self) -> String {
+        match self {
+            ShardPolicy::RoundRobin => "round-robin".into(),
+            ShardPolicy::AddressRange { shift } => format!("addr-range:{shift}"),
+            ShardPolicy::ThreadId => "thread-id".into(),
+        }
+    }
+
+    /// Parses [`ShardPolicy::to_name`] spellings; `None` for anything
+    /// else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "round-robin" => Some(ShardPolicy::RoundRobin),
+            "thread-id" => Some(ShardPolicy::ThreadId),
+            other => {
+                let shift = other.strip_prefix("addr-range:")?;
+                Some(ShardPolicy::AddressRange {
+                    shift: shift.parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+impl Default for ShardPolicy {
+    /// Round-robin: the only policy with exact merged read-back.
+    fn default() -> Self {
+        ShardPolicy::RoundRobin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::AddressRange { shift: 0 },
+            ShardPolicy::AddressRange { shift: 22 },
+            ShardPolicy::ThreadId,
+        ] {
+            assert_eq!(ShardPolicy::parse(&p.to_name()), Some(p));
+        }
+        assert_eq!(ShardPolicy::parse("nope"), None);
+        assert_eq!(ShardPolicy::parse("addr-range:x"), None);
+    }
+
+    #[test]
+    fn round_robin_deals_in_rotation() {
+        let p = ShardPolicy::RoundRobin;
+        let hits: Vec<usize> = (0..7u64).map(|seq| p.route(seq, 0, 0xABCD, 3)).collect();
+        assert_eq!(hits, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert!(p.merge_is_exact());
+    }
+
+    #[test]
+    fn addr_range_keeps_regions_together() {
+        let p = ShardPolicy::AddressRange { shift: 12 };
+        let base = 0x4000_0000u64;
+        let s = p.route(0, 0, base, 4);
+        for off in 0..0x1000u64 {
+            assert_eq!(p.route(off, 99, base + off, 4), s);
+        }
+        assert_ne!(p.route(0, 0, base + 0x1000, 4), s);
+        assert!(!p.merge_is_exact());
+    }
+
+    #[test]
+    fn thread_id_routes_by_key() {
+        let p = ShardPolicy::ThreadId;
+        assert_eq!(p.route(5, 0, 0xFFFF, 4), 0);
+        assert_eq!(p.route(6, 7, 0xFFFF, 4), 3);
+    }
+
+    #[test]
+    fn extreme_shift_saturates() {
+        let p = ShardPolicy::AddressRange { shift: 200 };
+        // shift clamps to 63: u64::MAX >> 63 == 1, 1 % 5 == 1.
+        assert_eq!(p.route(0, 0, u64::MAX, 5), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! The sharded store reader: merged and per-shard cursors.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+use atc_core::format::{shard_dir_name, StoreManifest, STORE_MANIFEST_FILE};
+use atc_core::{AtcError, AtcReader, ReadOptions, Result};
+
+use crate::policy::ShardPolicy;
+
+/// A reader over a store written by [`AtcStore`](crate::AtcStore).
+///
+/// Two read shapes:
+///
+/// * **Merged** ([`StoreReader::decode`] / [`StoreReader::decode_all`]) —
+///   one logical stream across all shards. Under
+///   [`ShardPolicy::RoundRobin`] the reader deals addresses back in the
+///   writer's rotation, reproducing the original arrival order *exactly*;
+///   under the other policies shards are concatenated in shard order
+///   (each shard's sub-stream stays exact — the global interleaving is
+///   not recorded on disk).
+/// * **Per-shard** ([`StoreReader::shard`] / [`StoreReader::into_shards`])
+///   — direct access to each shard's [`AtcReader`] cursor, e.g. to fan
+///   shards out to analysis threads.
+///
+/// Shard payloads refill through the zero-copy
+/// [`AtcReader::next_frame`] path, so the merged cursor rides the
+/// readahead reassembly buffers when [`ReadOptions::threads`] > 1.
+#[derive(Debug)]
+pub struct StoreReader {
+    manifest: StoreManifest,
+    policy: ShardPolicy,
+    shards: Vec<AtcReader>,
+    /// Per-shard decoded values not yet merged out.
+    bufs: Vec<VecDeque<u64>>,
+    /// Addresses handed out by the merged cursor.
+    produced: u64,
+    /// Current shard for shard-ordered (non-round-robin) merging.
+    cursor: usize,
+    /// Whether the end-of-store drain check already passed.
+    end_verified: bool,
+}
+
+impl StoreReader {
+    /// Opens a store root with default [`ReadOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StoreReader::open_with`].
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self> {
+        Self::open_with(root, ReadOptions::default())
+    }
+
+    /// Opens a store root. `options.chunk_cache` applies to every shard
+    /// reader; `options.threads` is the store's *total* decompression
+    /// budget, divided across the shard readers exactly like the write
+    /// side (so opening a store never multiplies the requested thread
+    /// count by the shard count — with `threads <= shards` every shard
+    /// reads serially and no pipeline threads spawn at all).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the manifest is missing/malformed, names an unknown
+    /// policy, or any shard trace fails to open.
+    pub fn open_with<P: AsRef<Path>>(root: P, options: ReadOptions) -> Result<Self> {
+        let root: PathBuf = root.as_ref().to_path_buf();
+        let manifest_text =
+            std::fs::read_to_string(root.join(STORE_MANIFEST_FILE)).map_err(|e| {
+                AtcError::Format(format!(
+                    "cannot read {}/{STORE_MANIFEST_FILE}: {e}",
+                    root.display()
+                ))
+            })?;
+        let manifest = StoreManifest::parse(&manifest_text)?;
+        let policy = ShardPolicy::parse(&manifest.policy).ok_or_else(|| {
+            AtcError::Format(format!("unknown shard policy {:?}", manifest.policy))
+        })?;
+        let shards = (0..manifest.shards())
+            .map(|i| {
+                AtcReader::open_with(
+                    root.join(shard_dir_name(i)),
+                    ReadOptions {
+                        threads: crate::writer::shard_thread_budget(
+                            options.threads,
+                            manifest.shards(),
+                            i,
+                        ),
+                        ..options.clone()
+                    },
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // The manifest's per-shard counts must agree with what each shard
+        // records about itself — a tampered manifest whose counts merely
+        // sum correctly would otherwise make `stat` (and the merge
+        // bookkeeping) report fabricated numbers.
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.meta().count != manifest.shard_counts[i] {
+                return Err(AtcError::Format(format!(
+                    "manifest says shard {i} holds {} addresses, its trace says {}",
+                    manifest.shard_counts[i],
+                    shard.meta().count
+                )));
+            }
+        }
+        let bufs = shards.iter().map(|_| VecDeque::new()).collect();
+        Ok(Self {
+            manifest,
+            policy,
+            shards,
+            bufs,
+            produced: 0,
+            cursor: 0,
+            end_verified: false,
+        })
+    }
+
+    /// The store manifest.
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
+    }
+
+    /// The routing policy recorded in the manifest.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard cursor for shard `index`.
+    ///
+    /// Reading through it advances that shard; the merged cursor and the
+    /// per-shard cursors share position, so use one shape per reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.shards()`.
+    pub fn shard(&mut self, index: usize) -> &mut AtcReader {
+        &mut self.shards[index]
+    }
+
+    /// Splits the store into its per-shard cursors (shard 0 first), e.g.
+    /// to hand each shard to its own analysis thread.
+    pub fn into_shards(self) -> Vec<AtcReader> {
+        self.shards
+    }
+
+    /// Decodes the next merged value; `Ok(None)` at clean end of store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard reader errors, and reports a store whose shards
+    /// end before — or hold data beyond — the manifest's count.
+    pub fn decode(&mut self) -> Result<Option<u64>> {
+        if self.produced == self.manifest.count {
+            self.verify_drained()?;
+            return Ok(None);
+        }
+        let shard = if self.policy.merge_is_exact() {
+            // Deal back in the writer's rotation.
+            (self.produced % self.shards.len() as u64) as usize
+        } else {
+            // Shard-ordered concatenation: advance past drained shards.
+            while self.cursor < self.shards.len()
+                && self.bufs[self.cursor].is_empty()
+                && !self.refill(self.cursor)?
+            {
+                self.cursor += 1;
+            }
+            if self.cursor == self.shards.len() {
+                return Err(AtcError::Format(format!(
+                    "store ended after {} of {} addresses",
+                    self.produced, self.manifest.count
+                )));
+            }
+            self.cursor
+        };
+        while self.bufs[shard].is_empty() {
+            if !self.refill(shard)? {
+                return Err(AtcError::Format(format!(
+                    "shard {shard} ended after {} of {} store addresses",
+                    self.produced, self.manifest.count
+                )));
+            }
+        }
+        let v = self.bufs[shard].pop_front().expect("refilled above");
+        self.produced += 1;
+        Ok(Some(v))
+    }
+
+    /// Decodes the remainder of the merged stream into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`StoreReader::decode`].
+    pub fn decode_all(&mut self) -> Result<Vec<u64>> {
+        let remaining = self.manifest.count.saturating_sub(self.produced);
+        let mut out = Vec::with_capacity(remaining.min(1 << 24) as usize);
+        while let Some(v) = self.decode()? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Confirms every shard is exactly drained once the manifest's count
+    /// has been handed out: leftover data means the manifest undercounts
+    /// (the mirror of the "ended early" checks), and silently dropping
+    /// it would hide tampering or truncated-manifest bugs.
+    fn verify_drained(&mut self) -> Result<()> {
+        if self.end_verified {
+            return Ok(());
+        }
+        for shard in 0..self.shards.len() {
+            if !self.bufs[shard].is_empty() || self.refill(shard)? {
+                return Err(AtcError::Format(format!(
+                    "shard {shard} holds addresses beyond the manifest count {}",
+                    self.manifest.count
+                )));
+            }
+        }
+        self.end_verified = true;
+        Ok(())
+    }
+
+    /// Pulls the next frame of `shard` into its merge buffer; `Ok(false)`
+    /// at that shard's clean end.
+    fn refill(&mut self, shard: usize) -> Result<bool> {
+        // Empty frames are legal in the format (never written by the
+        // store): keep pulling so one never masquerades as end-of-shard.
+        loop {
+            match self.shards[shard].next_frame()? {
+                Some(frame) => {
+                    self.bufs[shard].extend(frame.iter().copied());
+                    if !self.bufs[shard].is_empty() {
+                        return Ok(true);
+                    }
+                }
+                None => return Ok(false),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{AtcStore, StoreOptions};
+    use atc_core::{AtcOptions, LossyConfig, Mode};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atc-store-r-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(shards: usize, policy: ShardPolicy, threads: usize) -> StoreOptions {
+        StoreOptions {
+            shards,
+            policy,
+            atc: AtcOptions {
+                codec: "bzip".into(),
+                buffer: 500,
+                threads,
+            },
+        }
+    }
+
+    #[test]
+    fn round_robin_merged_read_is_exact() {
+        let addrs: Vec<u64> = (0..7001u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for shards in [1usize, 2, 5] {
+            let root = tmp(&format!("rr-{shards}"));
+            let mut s = AtcStore::create(
+                &root,
+                Mode::Lossless,
+                opts(shards, ShardPolicy::RoundRobin, 1),
+            )
+            .unwrap();
+            s.code_all(addrs.iter().copied()).unwrap();
+            s.finish().unwrap();
+            let mut r = StoreReader::open(&root).unwrap();
+            assert_eq!(r.shards(), shards);
+            assert_eq!(r.decode_all().unwrap(), addrs, "shards={shards}");
+            assert_eq!(r.decode().unwrap(), None, "end is sticky");
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+    }
+
+    #[test]
+    fn addr_range_concatenates_shards_in_order() {
+        // Two regions interleaved; addr-range routing splits them apart,
+        // and the merged read returns shard 0's region then shard 1's.
+        let root = tmp("ar");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            opts(2, ShardPolicy::AddressRange { shift: 16 }, 1),
+        )
+        .unwrap();
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for i in 0..2000u64 {
+            let a = i * 8; // region 0
+            let b = (1 << 16) + i * 8; // region 1
+            s.code(a).unwrap();
+            s.code(b).unwrap();
+            lo.push(a);
+            hi.push(b);
+        }
+        s.finish().unwrap();
+        let mut r = StoreReader::open(&root).unwrap();
+        let merged = r.decode_all().unwrap();
+        let mut expect = lo.clone();
+        expect.extend(&hi);
+        assert_eq!(merged, expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn per_shard_cursors_see_their_substreams() {
+        let root = tmp("cursors");
+        let mut s =
+            AtcStore::create(&root, Mode::Lossless, opts(3, ShardPolicy::ThreadId, 1)).unwrap();
+        for i in 0..300u64 {
+            s.code_from(i % 3, 0x4000 + i).unwrap();
+        }
+        s.finish().unwrap();
+        let mut r = StoreReader::open(&root).unwrap();
+        for shard in 0..3 {
+            let expect: Vec<u64> = (0..300u64)
+                .filter(|i| i % 3 == shard)
+                .map(|i| 0x4000 + i)
+                .collect();
+            assert_eq!(r.shard(shard as usize).decode_all().unwrap(), expect);
+        }
+        // into_shards hands out independent readers.
+        let r2 = StoreReader::open(&root).unwrap();
+        let mut shards = r2.into_shards();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[1].decode_all().unwrap().len(), 100);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lossy_store_roundtrips_stationary_trace() {
+        // Lossy shards: each shard sees a stationary sub-stream, so every
+        // shard collapses to imitations — the store composes with the
+        // paper's phase machinery unchanged.
+        let root = tmp("lossy");
+        let interval: Vec<u64> = (0..200u64).map(|i| i * 64).collect();
+        let cfg = LossyConfig {
+            interval_len: 200,
+            ..LossyConfig::default()
+        };
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossy(cfg),
+            StoreOptions {
+                shards: 2,
+                policy: ShardPolicy::RoundRobin,
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 128,
+                    threads: 1,
+                },
+            },
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        for _ in 0..8 {
+            s.code_all(interval.iter().copied()).unwrap();
+            expect.extend(&interval);
+        }
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.count, 1600);
+        let mut r = StoreReader::open(&root).unwrap();
+        assert_eq!(r.decode_all().unwrap(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_missing_or_bad_manifest() {
+        assert!(StoreReader::open("/nonexistent/store/root").is_err());
+        let root = tmp("badpolicy");
+        let s = AtcStore::create(&root, Mode::Lossless, StoreOptions::default()).unwrap();
+        s.finish().unwrap();
+        let path = root.join(STORE_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("round-robin", "mystery")).unwrap();
+        assert!(StoreReader::open(&root).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn undercounted_manifest_detected() {
+        // Tamper the manifest to claim one *fewer* address per shard (sum
+        // check still passes): open must reject the manifest/meta
+        // disagreement rather than let the tail values be dropped.
+        let root = tmp("undercount");
+        let mut s =
+            AtcStore::create(&root, Mode::Lossless, opts(2, ShardPolicy::RoundRobin, 1)).unwrap();
+        s.code_all(0..10u64).unwrap();
+        s.finish().unwrap();
+        let path = root.join(STORE_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace("count=10", "count=8")
+                .replace("shard_counts=5,5", "shard_counts=4,4"),
+        )
+        .unwrap();
+        assert!(StoreReader::open(&root).is_err());
+
+        // Deeper tamper: shard metas adjusted to match the shrunken
+        // manifest, so open's cross-check passes — the end-of-store drain
+        // check must still refuse to silently drop the real tail data.
+        for shard in 0..2 {
+            let meta_path = root.join(shard_dir_name(shard)).join("meta");
+            let meta_text = std::fs::read_to_string(&meta_path).unwrap();
+            std::fs::write(&meta_path, meta_text.replace("count=5", "count=4")).unwrap();
+        }
+        let mut r = StoreReader::open(&root).unwrap();
+        assert!(r.decode_all().is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_detected() {
+        // Tamper with the manifest to claim one more address than stored:
+        // open must reject the manifest/meta disagreement.
+        let root = tmp("truncated");
+        let mut s =
+            AtcStore::create(&root, Mode::Lossless, opts(2, ShardPolicy::RoundRobin, 1)).unwrap();
+        s.code_all(0..10u64).unwrap();
+        s.finish().unwrap();
+        let path = root.join(STORE_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace("count=10", "count=11")
+                .replace("shard_counts=5,5", "shard_counts=6,5"),
+        )
+        .unwrap();
+        assert!(StoreReader::open(&root).is_err());
+
+        // Deeper tamper: shard 0's meta inflated to match, so open's
+        // cross-check passes — the shard reader's own end-of-trace check
+        // must still catch the shortfall mid-merge.
+        let meta_path = root.join(shard_dir_name(0)).join("meta");
+        let meta_text = std::fs::read_to_string(&meta_path).unwrap();
+        std::fs::write(&meta_path, meta_text.replace("count=5", "count=6")).unwrap();
+        let mut r = StoreReader::open(&root).unwrap();
+        assert!(r.decode_all().is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,406 @@
+//! The sharded store writer.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use atc_core::format::{shard_dir_name, StoreManifest, FORMAT_VERSION, STORE_MANIFEST_FILE};
+use atc_core::{AtcError, AtcOptions, AtcStats, AtcWriter, Mode, Result};
+
+use crate::policy::ShardPolicy;
+
+/// Tuning knobs for [`AtcStore::create`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Number of shard trace directories (must be at least 1).
+    pub shards: usize,
+    /// How addresses are routed across shards (recorded in the manifest).
+    pub policy: ShardPolicy,
+    /// Per-trace options (codec, bytesort buffer). `atc.threads` is the
+    /// store's *total* compression-thread budget: it is divided across
+    /// the shard writers (each shard gets at least one, i.e. its producer
+    /// thread), whose `ParallelCodecWriter`/chunk pools then run the
+    /// shard payloads concurrently.
+    pub atc: AtcOptions,
+}
+
+impl Default for StoreOptions {
+    /// One round-robin shard with [`AtcOptions::default`] — behaves like
+    /// a plain [`AtcWriter`] wrapped in a store directory.
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            policy: ShardPolicy::default(),
+            atc: AtcOptions::default(),
+        }
+    }
+}
+
+/// Statistics returned by [`AtcStore::finish`].
+#[derive(Debug, Clone)]
+pub struct StoreStats {
+    /// Addresses accepted across all shards.
+    pub count: u64,
+    /// Per-shard compression statistics, shard 0 first.
+    pub shards: Vec<AtcStats>,
+    /// Total size of the store (all shard directories + manifest).
+    pub compressed_bytes: u64,
+}
+
+impl StoreStats {
+    /// Average compressed bits per address across the whole store.
+    pub fn bits_per_address(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.compressed_bytes as f64 * 8.0 / self.count as f64
+        }
+    }
+}
+
+/// Divides a total thread budget across `shards`, remainder to the low
+/// indices; every shard keeps at least one thread (its producer/consumer
+/// thread — `threads == 1` is the inline serial path of the single-trace
+/// layer). Shared by [`AtcStore::create`] and the store reader so the
+/// write and read sides always split a budget the same way.
+pub(crate) fn shard_thread_budget(total: usize, shards: usize, shard: usize) -> usize {
+    let budget = total.max(1);
+    (budget / shards + usize::from(shard < budget % shards)).max(1)
+}
+
+/// A sharded multi-trace store writer: one root directory holding `N`
+/// complete ATC trace directories (`shard-000/`, `shard-001/`, …) plus a
+/// `store-manifest` recording how the stream was routed.
+///
+/// Every shard is an ordinary trace — any shard directory opens with
+/// [`atc_core::AtcReader`] — so the store composes with everything the
+/// single-trace layer already does: lossless or lossy mode, any codec,
+/// and the parallel write pipeline (the thread budget in
+/// [`StoreOptions::atc`] is divided across the shard writers).
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use atc_core::Mode;
+/// use atc_store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
+///
+/// let root = std::env::temp_dir().join("atc-store-doc");
+/// # let _ = std::fs::remove_dir_all(&root);
+/// let mut store = AtcStore::create(
+///     &root,
+///     Mode::Lossless,
+///     StoreOptions { shards: 3, ..StoreOptions::default() },
+/// )?;
+/// store.code_all((0..1000u64).map(|i| i * 64))?;
+/// let stats = store.finish()?;
+/// assert_eq!(stats.count, 1000);
+///
+/// let mut r = StoreReader::open(&root)?;
+/// assert_eq!(r.decode_all()?, (0..1000u64).map(|i| i * 64).collect::<Vec<_>>());
+/// # std::fs::remove_dir_all(&root)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AtcStore {
+    root: PathBuf,
+    policy: ShardPolicy,
+    writers: Vec<AtcWriter>,
+    /// Global arrival index of the next address.
+    seq: u64,
+}
+
+impl AtcStore {
+    /// Creates a store root with `options.shards` shard trace
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `shards` is zero, the root already contains a store, or
+    /// any shard writer cannot be created (same failure modes as
+    /// [`AtcWriter::with_options`]).
+    pub fn create<P: AsRef<Path>>(root: P, mode: Mode, options: StoreOptions) -> Result<Self> {
+        let StoreOptions {
+            shards,
+            policy,
+            atc,
+        } = options;
+        if shards == 0 {
+            return Err(AtcError::Format("store needs at least one shard".into()));
+        }
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        if root.join(STORE_MANIFEST_FILE).exists() {
+            return Err(AtcError::Format(format!(
+                "directory {} already contains a store",
+                root.display()
+            )));
+        }
+        // No manifest but shard directories present means an interrupted
+        // pack: silently reusing the root could leave stale shards from
+        // the aborted run next to (or beyond) the new ones. Refuse, like
+        // the single-trace writer refuses a populated trace directory.
+        for entry in fs::read_dir(&root)? {
+            let name = entry?.file_name();
+            if name.to_string_lossy().starts_with("shard-") {
+                return Err(AtcError::Format(format!(
+                    "directory {} holds leftover shard directories (interrupted pack?); \
+                     remove them or use a fresh root",
+                    root.display()
+                )));
+            }
+        }
+        let writers = (0..shards)
+            .map(|i| {
+                AtcWriter::with_options(
+                    root.join(shard_dir_name(i)),
+                    mode.clone(),
+                    AtcOptions {
+                        codec: atc.codec.clone(),
+                        buffer: atc.buffer,
+                        threads: shard_thread_budget(atc.threads, shards, i),
+                    },
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            root,
+            policy,
+            writers,
+            seq: 0,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Addresses accepted so far.
+    pub fn count(&self) -> u64 {
+        self.seq
+    }
+
+    /// Routes one address (stream key 0) to its shard and compresses it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and codec errors from the shard writer.
+    pub fn code(&mut self, addr: u64) -> Result<()> {
+        self.code_from(0, addr)
+    }
+
+    /// Routes one address carrying an explicit stream `key` (thread id,
+    /// core id, …). Only [`ShardPolicy::ThreadId`] inspects the key; the
+    /// other policies ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and codec errors from the shard writer.
+    pub fn code_from(&mut self, key: u64, addr: u64) -> Result<()> {
+        let shard = self.policy.route(self.seq, key, addr, self.writers.len());
+        self.writers[shard].code(addr)?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Compresses every value from an iterator (stream key 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`AtcStore::code`].
+    pub fn code_all<I: IntoIterator<Item = u64>>(&mut self, values: I) -> Result<()> {
+        for v in values {
+            self.code(v)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes every shard trace, writes the store manifest, and returns
+    /// the aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard writer failure; the manifest is only
+    /// written after every shard landed completely.
+    pub fn finish(self) -> Result<StoreStats> {
+        let mut shard_counts = Vec::with_capacity(self.writers.len());
+        let mut shard_stats = Vec::with_capacity(self.writers.len());
+        for w in self.writers {
+            shard_counts.push(w.count());
+            shard_stats.push(w.finish()?);
+        }
+        let manifest = StoreManifest {
+            version: FORMAT_VERSION,
+            policy: self.policy.to_name(),
+            count: self.seq,
+            shard_counts,
+        };
+        let manifest_text = manifest.to_text();
+        fs::write(self.root.join(STORE_MANIFEST_FILE), &manifest_text)?;
+        let compressed_bytes = shard_stats.iter().map(|s| s.compressed_bytes).sum::<u64>()
+            + manifest_text.len() as u64;
+        Ok(StoreStats {
+            count: self.seq,
+            shards: shard_stats,
+            compressed_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atc-store-w-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn creates_shard_layout_and_manifest() {
+        let root = tmp("layout");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 3,
+                policy: ShardPolicy::RoundRobin,
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 64,
+                    threads: 1,
+                },
+            },
+        )
+        .unwrap();
+        s.code_all(0..100u64).unwrap();
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.shards.len(), 3);
+        // Round-robin over 100 addresses: 34 + 33 + 33.
+        assert_eq!(stats.shards[0].count, 34);
+        assert_eq!(stats.shards[1].count, 33);
+        assert_eq!(stats.shards[2].count, 33);
+        let manifest =
+            StoreManifest::parse(&fs::read_to_string(root.join(STORE_MANIFEST_FILE)).unwrap())
+                .unwrap();
+        assert_eq!(manifest.policy, "round-robin");
+        assert_eq!(manifest.shard_counts, vec![34, 33, 33]);
+        for i in 0..3 {
+            assert!(root.join(shard_dir_name(i)).join("meta").exists());
+        }
+        assert!(stats.bits_per_address() > 0.0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_double_create() {
+        let root = tmp("guards");
+        assert!(AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 0,
+                ..StoreOptions::default()
+            }
+        )
+        .is_err());
+        let s = AtcStore::create(&root, Mode::Lossless, StoreOptions::default()).unwrap();
+        s.finish().unwrap();
+        assert!(AtcStore::create(&root, Mode::Lossless, StoreOptions::default()).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rejects_leftover_shards_from_interrupted_pack() {
+        // Shard directories but no manifest: an aborted pack. Re-packing
+        // (possibly with fewer shards) must refuse rather than leave
+        // stale shard dirs beside the new ones.
+        let root = tmp("interrupted");
+        fs::create_dir_all(root.join(shard_dir_name(2))).unwrap();
+        assert!(AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                ..StoreOptions::default()
+            }
+        )
+        .is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn thread_budget_divides_across_shards() {
+        // 5 threads over 2 shards: writers get 3 and 2 — observable only
+        // indirectly (identical output at every thread count), so this
+        // just exercises the path end to end.
+        let root = tmp("budget");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                policy: ShardPolicy::RoundRobin,
+                atc: AtcOptions {
+                    codec: "bzip".into(),
+                    buffer: 500,
+                    threads: 5,
+                },
+            },
+        )
+        .unwrap();
+        s.code_all((0..10_000u64).map(|i| i * 64)).unwrap();
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.count, 10_000);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn thread_budget_split_covers_and_floors() {
+        // 5 threads over 2 shards: 3 + 2; 4 over 7: everyone gets the floor.
+        assert_eq!(shard_thread_budget(5, 2, 0), 3);
+        assert_eq!(shard_thread_budget(5, 2, 1), 2);
+        for i in 0..7 {
+            assert_eq!(shard_thread_budget(4, 7, i), 1);
+        }
+        assert_eq!(shard_thread_budget(0, 3, 0), 1, "zero budget still runs");
+        let total: usize = (0..4).map(|i| shard_thread_budget(10, 4, i)).sum();
+        assert_eq!(total, 10, "budget is fully assigned");
+    }
+
+    #[test]
+    fn thread_id_policy_splits_by_key() {
+        let root = tmp("tid");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                policy: ShardPolicy::ThreadId,
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 64,
+                    threads: 1,
+                },
+            },
+        )
+        .unwrap();
+        for i in 0..60u64 {
+            s.code_from(i % 3, 0x1000 + i).unwrap();
+        }
+        let stats = s.finish().unwrap();
+        // Keys 0 and 2 land in shard 0 (40 addresses), key 1 in shard 1.
+        assert_eq!(stats.shards[0].count, 40);
+        assert_eq!(stats.shards[1].count, 20);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the sharded store: sharded write → merged
+//! read must reproduce the input stream exactly for every (shard count,
+//! thread count) combination, and per-key sub-streams must survive
+//! thread-id routing byte-for-byte.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use atc_core::{AtcOptions, Mode, ReadOptions};
+use atc_store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "atc-store-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The (shard count, thread count) grid the roundtrip invariants run on:
+/// 1 (degenerate), 2 (even), 7 (odd, larger than the thread budget) ×
+/// serial and 4-thread pipelines.
+const SHARDS: [usize; 3] = [1, 2, 7];
+const THREADS: [usize; 2] = [1, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn round_robin_roundtrip_exact_for_all_shard_thread_combos(
+        addrs in vec(any::<u64>(), 0..4000),
+        buffer in 1usize..700,
+    ) {
+        for shards in SHARDS {
+            for threads in THREADS {
+                let root = tmp(&format!("rr-{shards}-{threads}"));
+                let mut s = AtcStore::create(
+                    &root,
+                    Mode::Lossless,
+                    StoreOptions {
+                        shards,
+                        policy: ShardPolicy::RoundRobin,
+                        atc: AtcOptions {
+                            codec: "bzip".into(),
+                            buffer,
+                            threads,
+                        },
+                    },
+                )
+                .unwrap();
+                s.code_all(addrs.iter().copied()).unwrap();
+                let stats = s.finish().unwrap();
+                prop_assert_eq!(stats.count, addrs.len() as u64);
+
+                // Read back at the same thread count and serially: the
+                // on-disk store never records threading.
+                for read_threads in [1usize, threads] {
+                    let mut r = StoreReader::open_with(
+                        &root,
+                        ReadOptions {
+                            threads: read_threads,
+                            ..ReadOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    let back = r.decode_all().unwrap();
+                    prop_assert_eq!(
+                        &back,
+                        &addrs,
+                        "shards={} threads={} read_threads={}",
+                        shards,
+                        threads,
+                        read_threads
+                    );
+                    prop_assert!(r.decode().unwrap().is_none());
+                }
+                std::fs::remove_dir_all(&root).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn thread_id_substreams_survive_sharding(
+        addrs in vec(any::<u64>(), 1..2000),
+        keys in 1u64..5,
+    ) {
+        for shards in SHARDS {
+            let root = tmp(&format!("tid-{shards}"));
+            let mut s = AtcStore::create(
+                &root,
+                Mode::Lossless,
+                StoreOptions {
+                    shards,
+                    policy: ShardPolicy::ThreadId,
+                    atc: AtcOptions {
+                        codec: "lz".into(),
+                        buffer: 256,
+                        threads: 1,
+                    },
+                },
+            )
+            .unwrap();
+            for (i, &a) in addrs.iter().enumerate() {
+                s.code_from(i as u64 % keys, a).unwrap();
+            }
+            s.finish().unwrap();
+
+            // Each shard must hold exactly the concatenation of its
+            // keys' sub-streams, in arrival order.
+            let mut r = StoreReader::open(&root).unwrap();
+            for shard in 0..shards {
+                let expect: Vec<u64> = addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (*i as u64 % keys) % shards as u64 == shard as u64)
+                    .map(|(_, &a)| a)
+                    .collect();
+                let got = r.shard(shard).decode_all().unwrap();
+                prop_assert_eq!(&got, &expect, "shards={} shard={}", shards, shard);
+            }
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+    }
+
+    #[test]
+    fn addr_range_merged_read_is_shard_concatenation(
+        addrs in vec(any::<u64>(), 0..2000),
+        shift in 4u32..40,
+    ) {
+        let shards = 3usize;
+        let policy = ShardPolicy::AddressRange { shift };
+        let root = tmp("ar");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards,
+                policy,
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 128,
+                    threads: 1,
+                },
+            },
+        )
+        .unwrap();
+        s.code_all(addrs.iter().copied()).unwrap();
+        s.finish().unwrap();
+
+        let mut expect = Vec::new();
+        for shard in 0..shards {
+            expect.extend(
+                addrs
+                    .iter()
+                    .filter(|&&a| policy.route(0, 0, a, shards) == shard),
+            );
+        }
+        let mut r = StoreReader::open(&root).unwrap();
+        prop_assert_eq!(r.decode_all().unwrap(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

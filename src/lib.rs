@@ -20,6 +20,9 @@
 //!   compressor, the paper's lossless baseline.
 //! * [`prefetch`] (`atc-prefetch`) — the C/DC GHB address predictor used to
 //!   assess lossy fidelity.
+//! * [`store`] (`atc-store`) — the sharded multi-trace store: N ATC trace
+//!   directories under one root with pluggable shard routing and merged
+//!   or per-shard read-back.
 //!
 //! # Quick start
 //!
@@ -54,5 +57,6 @@ pub use atc_cache as cache;
 pub use atc_codec as codec;
 pub use atc_core as core;
 pub use atc_prefetch as prefetch;
+pub use atc_store as store;
 pub use atc_tcgen as tcgen;
 pub use atc_trace as trace;
