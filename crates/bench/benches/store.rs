@@ -73,6 +73,23 @@ fn bench_store_shards(c: &mut Criterion) {
                 black_box(r.decode_all().unwrap().len())
             });
         });
+        // The pre-batching merged cursor (one value at a time through the
+        // per-shard buffers): the gap to `read` is the per-value overhead
+        // the frame-sized zipper removes (ROADMAP item).
+        g.bench_function(BenchmarkId::new("read_stepwise", shards), |b| {
+            b.iter(|| {
+                let mut r = StoreReader::open_with(
+                    &root,
+                    ReadOptions {
+                        threads: 4,
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap();
+                r.merge_batching(false);
+                black_box(r.decode_all().unwrap().len())
+            });
+        });
         let _ = std::fs::remove_dir_all(&root);
     }
     g.finish();

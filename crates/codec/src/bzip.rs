@@ -19,6 +19,8 @@
 //! assert_eq!(codec.decompress(&packed).unwrap(), data);
 //! ```
 
+use atc_engine::Engine;
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::bwt::{bwt_forward_in, bwt_inverse};
 use crate::crc::crc32;
@@ -38,15 +40,29 @@ pub const MIN_BLOCK_SIZE: usize = 1024;
 
 /// The bzip2-class block codec.
 ///
-/// Cheap to clone and construct; holds only the configured block size and
-/// thread count. Blocks are compressed independently, so multi-block
-/// inputs parallelize across threads (see [`Bzip::with_threads`]) while
-/// the output stays byte-identical to the single-threaded encoding.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Cheap to clone and construct; holds the configured block size, thread
+/// count, and (optionally) an injected execution engine. Blocks are
+/// compressed independently, so multi-block inputs parallelize as scoped
+/// tasks on the shared [`Engine`] (see [`Bzip::with_threads`]) while the
+/// output stays byte-identical to the single-threaded encoding.
+#[derive(Debug, Clone)]
 pub struct Bzip {
     block_size: usize,
     threads: usize,
+    /// Explicit engine; `None` uses the process-wide default when a
+    /// multi-block input actually parallelizes.
+    engine: Option<Engine>,
 }
+
+/// Two codecs are equal when they produce the same bytes: the engine a
+/// codec happens to run on never affects its output.
+impl PartialEq for Bzip {
+    fn eq(&self, other: &Self) -> bool {
+        self.block_size == other.block_size && self.threads == other.threads
+    }
+}
+
+impl Eq for Bzip {}
 
 /// Per-thread reusable buffers for the block pipeline.
 ///
@@ -91,6 +107,7 @@ impl Bzip {
         Self {
             block_size: DEFAULT_BLOCK_SIZE,
             threads: 1,
+            engine: None,
         }
     }
 
@@ -112,11 +129,13 @@ impl Bzip {
         Self {
             block_size,
             threads: 1,
+            engine: None,
         }
     }
 
     /// Creates a codec compressing/decompressing up to `threads` blocks
-    /// concurrently (default block size).
+    /// concurrently (default block size) as scoped tasks on the
+    /// process-wide [`Engine`].
     ///
     /// `0` and `1` both mean single-threaded. Because blocks share no
     /// state, the compressed output is byte-identical at every thread
@@ -129,6 +148,21 @@ impl Bzip {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Submits multi-block work to an explicit `engine` instead of the
+    /// process-wide default (builder style; the injection point for
+    /// tests). Output bytes never depend on the engine.
+    pub fn on_engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The engine multi-block work runs on.
+    fn engine(&self) -> Engine {
+        self.engine
+            .clone()
+            .unwrap_or_else(|| Engine::global_with(self.threads))
     }
 
     /// The configured block size in bytes.
@@ -288,29 +322,28 @@ impl Codec for Bzip {
 
         // Partition the independent blocks into contiguous runs, one per
         // worker; concatenating the runs in order reproduces the serial
-        // byte stream exactly (the framing is self-delimiting).
+        // byte stream exactly (the framing is self-delimiting). The run
+        // partition depends only on `threads`, never on the engine's
+        // worker count, so the bytes are identical on any engine.
         let blocks: Vec<&[u8]> = data.chunks(self.block_size).collect();
         let per_worker = blocks.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = blocks
-                .chunks(per_worker)
-                .map(|run| {
-                    s.spawn(move || {
-                        let mut scratch = BlockScratch::default();
-                        let mut run_out =
-                            Vec::with_capacity(run.iter().map(|b| b.len()).sum::<usize>() / 3 + 64);
-                        for block in run {
-                            self.compress_block(block, &mut run_out, &mut scratch);
-                        }
-                        run_out
-                    })
-                })
-                .collect();
-            out.reserve(data.len() / 3 + 64);
-            for h in handles {
-                out.extend_from_slice(&h.join().expect("bzip compression worker panicked"));
+        let runs: Vec<&[&[u8]]> = blocks.chunks(per_worker).collect();
+        let mut run_outs: Vec<Vec<u8>> = runs.iter().map(|_| Vec::new()).collect();
+        self.engine().scope(|s| {
+            for (&run, run_out) in runs.iter().zip(run_outs.iter_mut()) {
+                s.spawn(move || {
+                    let mut scratch = BlockScratch::default();
+                    run_out.reserve(run.iter().map(|b| b.len()).sum::<usize>() / 3 + 64);
+                    for block in run {
+                        self.compress_block(block, run_out, &mut scratch);
+                    }
+                });
             }
         });
+        out.reserve(data.len() / 3 + 64);
+        for run_out in &run_outs {
+            out.extend_from_slice(run_out);
+        }
         out.len()
     }
 
@@ -353,31 +386,35 @@ impl Codec for Bzip {
 
         // Every block's decoded length is in its header, so the output
         // can be sized once and split into disjoint per-run slices:
-        // workers write in place, no second buffer and no serial copy.
+        // tasks write in place, no second buffer and no serial copy.
         out.resize(total, 0);
         let per_worker = blocks.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(workers);
+        let runs: Vec<&[RawBlock<'_>]> = blocks.chunks(per_worker).collect();
+        let mut results: Vec<Result<(), CodecError>> = runs.iter().map(|_| Ok(())).collect();
+        self.engine().scope(|s| {
             let mut rest: &mut [u8] = out;
-            for run in blocks.chunks(per_worker) {
+            for (&run, result) in runs.iter().zip(results.iter_mut()) {
                 let run_len: usize = run.iter().map(|b| b.raw_len).sum();
                 let (dest, tail) = rest.split_at_mut(run_len);
                 rest = tail;
-                handles.push(s.spawn(move || -> Result<(), CodecError> {
+                s.spawn(move || {
                     let mut dest = dest;
                     for block in run {
                         let (block_dest, tail) = dest.split_at_mut(block.raw_len);
                         dest = tail;
-                        block_dest.copy_from_slice(&Self::decode_block(block)?);
+                        match Self::decode_block(block) {
+                            Ok(bytes) => block_dest.copy_from_slice(&bytes),
+                            Err(e) => {
+                                *result = Err(e);
+                                break;
+                            }
+                        }
                     }
-                    Ok(())
-                }));
+                });
             }
-            for h in handles {
-                h.join().expect("bzip decompression worker panicked")?;
-            }
-            Ok::<(), CodecError>(())
-        })?;
+        });
+        // Surface failures in run order, matching the serial scan.
+        results.into_iter().collect::<Result<(), CodecError>>()?;
         Ok(out.len())
     }
 }

@@ -45,10 +45,11 @@ mod store;
 mod stream;
 pub mod varint;
 
+pub use atc_engine::{Engine, EngineStats};
 pub use bzip::{Bzip, DEFAULT_BLOCK_SIZE};
 pub use error::CodecError;
 pub use lz::Lz;
-pub use parallel::{ParallelCodecWriter, ReadaheadReader, ScratchStats, WorkerPool};
+pub use parallel::{ParallelCodecWriter, ReadaheadReader, ScratchStats};
 pub use store::Store;
 pub use stream::{CodecReader, CodecWriter, StreamScratch, DEFAULT_SEGMENT_SIZE};
 

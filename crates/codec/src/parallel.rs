@@ -1,29 +1,35 @@
-//! Parallel streaming adapters: a worker-pool [`ParallelCodecWriter`] and a
-//! free-running [`ReadaheadReader`], both producing/consuming exactly the
-//! [`CodecWriter`](crate::CodecWriter) stream format.
+//! Parallel streaming adapters: an engine-backed [`ParallelCodecWriter`]
+//! and a free-running [`ReadaheadReader`], both producing/consuming
+//! exactly the [`CodecWriter`](crate::CodecWriter) stream format.
 //!
 //! The serial [`CodecWriter`](crate::CodecWriter) compresses every segment
 //! on the producer thread, so compression throughput caps trace-generation
-//! throughput. [`ParallelCodecWriter`] instead hands full segments to a
-//! bounded pool of worker threads and writes the `varint(len) ++ block`
-//! frames back **in submission order**, so the on-disk format is
-//! byte-identical to the serial writer at every thread count — existing
-//! readers work unchanged. This is the shape proven by rr's
-//! `CompressedWriter`: independent blocks, ordered reassembly, bounded
-//! in-flight buffering for backpressure.
+//! throughput. [`ParallelCodecWriter`] instead submits full segments as
+//! tasks to a shared work-stealing [`Engine`] and writes the
+//! `varint(len) ++ block` frames back **in submission order**, so the
+//! on-disk format is byte-identical to the serial writer at every worker
+//! count — existing readers work unchanged. This is the shape proven by
+//! rr's `CompressedWriter`: independent blocks, ordered reassembly,
+//! bounded in-flight buffering for backpressure.
 //!
 //! Both adapters are streaming-first: segments are compressed with
 //! [`Codec::compress_into`] / decompressed with [`Codec::decompress_into`]
-//! into *owned scratch buffers that cycle through the pool* (producer →
-//! worker → reassembly → back to the producer), so the steady state
-//! performs no per-segment allocation on either side.
+//! into *owned scratch buffers that cycle through the pipeline* (producer
+//! → engine task → reassembly → back to the producer), so the steady
+//! state performs no per-segment allocation on either side.
 //!
-//! [`ReadaheadReader`] mirrors the writer on the consume side with a
-//! free-running reorder pool: a feeder thread frames packed segments off
-//! the input and submits each one to a bounded worker pool the moment it
-//! is read; workers pull the next frame as soon as they finish the last
-//! (no batch barrier), and an ordered reassembly map on the consumer side
-//! delivers decompressed segments strictly in stream order.
+//! [`ReadaheadReader`] mirrors the writer on the consume side: a feeder
+//! thread frames packed segments off the input and submits each one to
+//! the engine the moment it is read (an in-flight gate bounds readahead
+//! depth); tasks decode independently, and an ordered reassembly map on
+//! the consumer side delivers decompressed segments strictly in stream
+//! order.
+//!
+//! Neither adapter owns threads. By default they share the process-wide
+//! engine ([`Engine::global_with`], grown to the requested `threads`);
+//! tests and multi-stream containers (the sharded store) inject an
+//! explicit [`Engine`] instead, so many streams feed one worker set and
+//! an idle stream's capacity is stolen by a busy one.
 //!
 //! # Examples
 //!
@@ -50,21 +56,26 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use atc_engine::Engine;
 
 use crate::error::CodecError;
 use crate::stream::DEFAULT_SEGMENT_SIZE;
 use crate::varint;
 use crate::Codec;
 
-/// Upper bound on segments queued or in flight per worker.
+/// Upper bound on segments queued or in flight per configured thread.
 ///
 /// Bounds memory to roughly `2 * threads * segment_size` raw bytes while
 /// keeping every worker busy (one segment compressing, one queued).
 const IN_FLIGHT_PER_WORKER: usize = 2;
+
+use atc_engine::panic_message;
 
 /// Scratch-buffer accounting for a [`ParallelCodecWriter`] (see
 /// [`ParallelCodecWriter::scratch_stats`]).
@@ -80,22 +91,25 @@ pub struct ScratchStats {
     pub recycled: u64,
 }
 
-/// A `Write` adapter that compresses segments on a bounded worker pool.
+/// A `Write` adapter that compresses segments on the shared engine.
 ///
 /// Produces the exact byte stream of the serial
 /// [`CodecWriter`](crate::CodecWriter): segments framed as
 /// `varint(compressed_len) ++ compressed bytes`, terminated by a
 /// zero-length varint, emitted in submission order. `threads <= 1` runs
-/// inline on the caller thread with no pool at all (today's serial path).
+/// inline on the caller thread with no tasks at all (today's serial
+/// path); `threads > 1` bounds the writer's in-flight window and, when no
+/// engine is injected, grows the process-wide engine to that worker
+/// count.
 ///
 /// Raw-segment and compressed-segment buffers are owned `Vec<u8>`s that
-/// cycle producer → worker → reassembly → producer, so the steady-state
-/// write path allocates nothing per segment (see
+/// cycle producer → engine task → reassembly → producer, so the
+/// steady-state write path allocates nothing per segment (see
 /// [`ParallelCodecWriter::scratch_stats`]).
 ///
-/// Call [`ParallelCodecWriter::finish`] to drain the pool, write the
-/// end-of-stream marker, and recover the inner writer; dropping without
-/// `finish` leaves the stream unterminated (readers will report
+/// Call [`ParallelCodecWriter::finish`] to drain the in-flight segments,
+/// write the end-of-stream marker, and recover the inner writer; dropping
+/// without `finish` leaves the stream unterminated (readers will report
 /// truncation), exactly like the serial writer.
 #[derive(Debug)]
 pub struct ParallelCodecWriter<W: Write> {
@@ -110,184 +124,62 @@ pub struct ParallelCodecWriter<W: Write> {
     next_seq: u64,
     /// Sequence number of the next segment to write to `inner`.
     next_write: u64,
-    /// Compressed segments that arrived ahead of their turn.
-    done: BTreeMap<u64, Vec<u8>>,
+    /// Completed segments (or task failures) that arrived ahead of their
+    /// turn.
+    done: BTreeMap<u64, io::Result<Vec<u8>>>,
     /// Segments submitted but not yet written out.
     in_flight: usize,
-    /// Recycled raw-segment buffers (returned by workers with results).
+    /// Recycled raw-segment buffers (returned by tasks with results).
     raw_pool: Vec<Vec<u8>>,
     /// Recycled compressed-segment buffers (drained after frame writes).
     packed_pool: Vec<Vec<u8>>,
     stats: ScratchStats,
-    /// First inner-writer error; once set, every later call fails with
-    /// it. A failed frame write may have landed partially, so retrying
-    /// would silently corrupt the stream — fail fast instead.
+    /// First inner-writer (or task) error; once set, every later call
+    /// fails with it. A failed frame write may have landed partially, so
+    /// retrying would silently corrupt the stream — fail fast instead.
     poisoned: Option<(io::ErrorKind, String)>,
 }
 
-/// A bounded pool of named worker threads consuming jobs from one queue.
-///
-/// This is the worker-pool substrate shared by the compression adapters
-/// here and the container layer's chunk pool (and available to future
-/// sharding/async backends): N threads pull jobs from a shared bounded
-/// queue, holding the queue lock only to pull — never while working.
-/// Dropping (or [`WorkerPool::join`]ing) the pool closes the queue; each
-/// worker finishes its queued jobs and exits.
-pub struct WorkerPool<J> {
-    jobs: Option<SyncSender<J>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl<J> std::fmt::Debug for WorkerPool<J> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool")
-            .field("workers", &self.workers.len())
-            .finish()
-    }
-}
-
-impl<J: Send + 'static> WorkerPool<J> {
-    /// Spawns `threads` workers (named `{name}-{i}`) running `handler` on
-    /// every job; at most `queue_cap` jobs wait in the queue
-    /// (backpressure: `submit` blocks past that).
-    pub fn spawn<F>(threads: usize, queue_cap: usize, name: &str, handler: F) -> Self
-    where
-        F: Fn(J) + Clone + Send + 'static,
-    {
-        Self::spawn_with(threads, queue_cap, name, move || handler.clone())
-    }
-
-    /// Like [`WorkerPool::spawn`], but each worker builds its own stateful
-    /// handler by calling `init` once on the worker thread.
-    ///
-    /// This is how per-worker scratch (reused across jobs, never shared or
-    /// locked) is threaded into a pool: the closure returned by `init` owns
-    /// the scratch and is called `FnMut`-style for every job the worker
-    /// pulls.
-    pub fn spawn_with<F, H>(threads: usize, queue_cap: usize, name: &str, init: F) -> Self
-    where
-        F: Fn() -> H + Clone + Send + 'static,
-        H: FnMut(J),
-    {
-        let (jobs, job_rx) = mpsc::sync_channel::<J>(queue_cap.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let workers = (0..threads.max(1))
-            .map(|i| {
-                let job_rx = Arc::clone(&job_rx);
-                let init = init.clone();
-                std::thread::Builder::new()
-                    .name(format!("{name}-{i}"))
-                    .spawn(move || {
-                        let mut handler = init();
-                        loop {
-                            // Hold the lock only to pull the next job,
-                            // never while working on it.
-                            let job = job_rx.lock().expect("job queue poisoned").recv();
-                            let Ok(job) = job else { break };
-                            handler(job);
-                        }
-                    })
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        Self {
-            jobs: Some(jobs),
-            workers,
-        }
-    }
-
-    /// Number of worker threads.
-    pub fn threads(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Queues a job, blocking if `queue_cap` jobs are already waiting.
-    ///
-    /// # Errors
-    ///
-    /// Fails only if every worker has died (panicked).
-    pub fn submit(&self, job: J) -> Result<(), mpsc::SendError<J>> {
-        self.jobs
-            .as_ref()
-            .expect("jobs sender lives until drop")
-            .send(job)
-    }
-
-    /// Closes the queue without joining: workers finish the queued jobs
-    /// and exit. Use when results must still be collected from a side
-    /// channel before the pool is dropped.
-    pub fn close(&mut self) {
-        self.jobs.take();
-    }
-
-    /// Closes the queue and waits for the workers to drain it.
-    ///
-    /// # Errors
-    ///
-    /// Reports the panic payload of the first worker that panicked.
-    pub fn join(mut self) -> std::thread::Result<()> {
-        self.jobs.take();
-        for worker in self.workers.drain(..) {
-            worker.join()?;
-        }
-        Ok(())
-    }
-}
-
-impl<J> Drop for WorkerPool<J> {
-    /// Closes the job queue and reaps the workers; queued jobs still run.
-    fn drop(&mut self) {
-        self.jobs.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-/// One segment handed to a compression worker: the raw bytes plus the
-/// scratch buffer the compressed output lands in. Both buffers come back
-/// with the result and return to the writer's cycling pools.
-struct CompressJob {
-    seq: u64,
-    raw: Vec<u8>,
-    out: Vec<u8>,
-}
-
+/// The writer's engine attachment: where tasks go and where results come
+/// back.
 #[derive(Debug)]
 struct Pool {
-    workers: WorkerPool<CompressJob>,
-    /// `(seq, raw buffer back for recycling, compressed segment)`.
-    results: Receiver<(u64, Vec<u8>, Vec<u8>)>,
+    engine: Engine,
+    /// Home worker for this writer's tasks (idle workers steal from it).
+    home: usize,
+    /// Configured parallelism: bounds the in-flight window.
+    threads: usize,
+    /// `(seq, raw buffer back for recycling, compressed segment or task
+    /// failure)`.
+    results: Receiver<(u64, Vec<u8>, io::Result<Vec<u8>>)>,
+    tx: Sender<(u64, Vec<u8>, io::Result<Vec<u8>>)>,
 }
 
 impl Pool {
-    fn spawn(codec: &Arc<dyn Codec>, threads: usize) -> Self {
-        let (result_tx, results) = mpsc::channel();
-        let codec = Arc::clone(codec);
-        let workers = WorkerPool::spawn(
+    fn attach(engine: Engine, threads: usize) -> Self {
+        let (tx, results) = mpsc::channel();
+        let home = engine.assign_home();
+        Self {
+            engine,
+            home,
             threads,
-            threads * IN_FLIGHT_PER_WORKER,
-            "atc-codec-compress",
-            move |mut job: CompressJob| {
-                codec.compress_into(&job.raw, &mut job.out);
-                // The writer may already be dropped; an unfinished stream
-                // is unterminated either way, so a dead receiver is fine.
-                let _ = result_tx.send((job.seq, job.raw, job.out));
-            },
-        );
-        Self { workers, results }
+            results,
+            tx,
+        }
     }
 }
 
 impl<W: Write> ParallelCodecWriter<W> {
     /// Creates a writer with the default segment size and `threads`
-    /// compression workers (`0`/`1` = inline serial).
+    /// in-flight segments (`0`/`1` = inline serial) on the process-wide
+    /// engine.
     pub fn new(inner: W, codec: Arc<dyn Codec>, threads: usize) -> Self {
         Self::with_segment_size(inner, codec, DEFAULT_SEGMENT_SIZE, threads)
     }
 
-    /// Creates a writer compressing every `segment_size` raw bytes on a
-    /// pool of `threads` workers.
+    /// Creates a writer compressing every `segment_size` raw bytes with
+    /// up to `threads` segments in flight on the process-wide engine
+    /// (grown to at least `threads` workers).
     ///
     /// # Panics
     ///
@@ -298,8 +190,38 @@ impl<W: Write> ParallelCodecWriter<W> {
         segment_size: usize,
         threads: usize,
     ) -> Self {
+        let engine = (threads > 1).then(|| Engine::global_with(threads));
+        Self::build(inner, codec, segment_size, threads, engine)
+    }
+
+    /// Creates a writer submitting its segments to an explicit `engine`
+    /// (the injection point for tests and multi-stream containers; the
+    /// engine's worker count is whatever it was created with — `threads`
+    /// only bounds this writer's in-flight window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is zero.
+    pub fn with_engine(
+        inner: W,
+        codec: Arc<dyn Codec>,
+        segment_size: usize,
+        threads: usize,
+        engine: Engine,
+    ) -> Self {
+        let engine = (threads > 1).then_some(engine);
+        Self::build(inner, codec, segment_size, threads, engine)
+    }
+
+    fn build(
+        inner: W,
+        codec: Arc<dyn Codec>,
+        segment_size: usize,
+        threads: usize,
+        engine: Option<Engine>,
+    ) -> Self {
         assert!(segment_size > 0, "segment size must be positive");
-        let pool = (threads > 1).then(|| Pool::spawn(&codec, threads));
+        let pool = engine.map(|e| Pool::attach(e, threads));
         Self {
             inner,
             codec,
@@ -334,14 +256,15 @@ impl<W: Write> ParallelCodecWriter<W> {
     }
 
     /// Compressed bytes emitted so far (excluding data still buffered or
-    /// in flight on the pool).
+    /// in flight on the engine).
     pub fn compressed_bytes(&self) -> u64 {
         self.compressed_bytes
     }
 
-    /// Number of worker threads (0 = inline serial).
+    /// Configured parallelism: the in-flight window in segments (0 =
+    /// inline serial, no engine tasks).
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(0, |p| p.workers.threads())
+        self.pool.as_ref().map_or(0, |p| p.threads)
     }
 
     /// Segment-buffer allocation accounting: how many buffers were newly
@@ -387,19 +310,34 @@ impl<W: Write> ParallelCodecWriter<W> {
     }
 
     /// Writes every completed segment that is next in line, recycling its
-    /// buffer afterwards.
+    /// buffer afterwards. A failed *task* (compression panicked) poisons
+    /// the writer when its turn comes up, preserving everything emitted
+    /// before it.
     fn drain_ready(&mut self) -> io::Result<()> {
-        while let Some(packed) = self.done.remove(&self.next_write) {
-            if let Err(e) = self.write_frame(&packed) {
-                // Keep the accounting consistent (no deadlock waiting for
-                // a result that was already consumed); the poison latch
-                // set by write_frame stops any further writes.
-                self.done.insert(self.next_write, packed);
-                return Err(e);
+        while let Some(result) = self.done.remove(&self.next_write) {
+            match result {
+                Ok(packed) => {
+                    if let Err(e) = self.write_frame(&packed) {
+                        // Keep the accounting consistent (no deadlock
+                        // waiting for a result that was already consumed);
+                        // the poison latch set by write_frame stops any
+                        // further writes.
+                        self.done.insert(self.next_write, Ok(packed));
+                        return Err(e);
+                    }
+                    self.next_write += 1;
+                    self.in_flight -= 1;
+                    self.recycle_packed(packed);
+                }
+                Err(e) => {
+                    // The segment can never be produced: the stream is
+                    // unfinishable from here on.
+                    self.next_write += 1;
+                    self.in_flight -= 1;
+                    self.poisoned = Some((e.kind(), e.to_string()));
+                    return Err(e);
+                }
             }
-            self.next_write += 1;
-            self.in_flight -= 1;
-            self.recycle_packed(packed);
         }
         Ok(())
     }
@@ -414,22 +352,24 @@ impl<W: Write> ParallelCodecWriter<W> {
         self.raw_pool.push(raw);
     }
 
-    /// Files one worker result: the raw buffer re-enters the cycle, the
-    /// compressed segment waits for its turn.
-    fn file_result(&mut self, seq: u64, raw: Vec<u8>, packed: Vec<u8>) {
+    /// Files one task result: the raw buffer re-enters the cycle, the
+    /// compressed segment (or the task's failure) waits for its turn.
+    fn file_result(&mut self, seq: u64, raw: Vec<u8>, result: io::Result<Vec<u8>>) {
         self.recycle_raw(raw);
-        self.done.insert(seq, packed);
+        self.done.insert(seq, result);
     }
 
-    /// Receives one completed segment from the pool, blocking.
+    /// Receives one completed segment from the engine, blocking.
     fn recv_one(&mut self) -> io::Result<()> {
         let pool = self.pool.as_ref().expect("recv_one requires a pool");
         match pool.results.recv() {
-            Ok((seq, raw, packed)) => {
-                self.file_result(seq, raw, packed);
+            Ok((seq, raw, result)) => {
+                self.file_result(seq, raw, result);
                 Ok(())
             }
-            Err(_) => Err(io::Error::other("compression worker pool died")),
+            // The writer holds its own Sender, so this is unreachable;
+            // keep the guard anyway.
+            Err(_) => Err(io::Error::other("compression result channel closed")),
         }
     }
 
@@ -451,9 +391,9 @@ impl<W: Write> ParallelCodecWriter<W> {
 
         // Backpressure: cap segments in flight so memory stays bounded
         // even when compression is slower than production. Drain before
-        // blocking on the pool: after a transient write error the
-        // next-in-line frame sits in `done` with no pool result left to
-        // wait for, and recv_one would block forever.
+        // blocking on the engine: after a transient write error the
+        // next-in-line frame sits in `done` with no result left to wait
+        // for, and recv_one would block forever.
         let max_in_flight = self.threads() * IN_FLIGHT_PER_WORKER;
         while self.in_flight >= max_in_flight {
             self.drain_ready()?;
@@ -466,44 +406,57 @@ impl<W: Write> ParallelCodecWriter<W> {
         let raw_capacity = self.segment_size.min(1 << 22);
         let replacement = Self::take_buffer(&mut self.raw_pool, &mut self.stats, raw_capacity);
         let raw = std::mem::replace(&mut self.buf, replacement);
-        let out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
+        let mut out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
         let seq = self.next_seq;
         self.next_seq += 1;
         let pool = self.pool.as_ref().expect("pool checked above");
-        pool.workers
-            .submit(CompressJob { seq, raw, out })
-            .map_err(|_| io::Error::other("compression worker pool died"))?;
+        let tx = pool.tx.clone();
+        let codec = Arc::clone(&self.codec);
+        pool.engine.submit(pool.home, move || {
+            // A panicking codec must not strand the writer waiting for a
+            // result that will never come: catch it and deliver the
+            // failure through the ordered reassembly path instead.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                codec.compress_into(&raw, &mut out);
+            }));
+            let result = match outcome {
+                Ok(()) => Ok(out),
+                Err(p) => Err(io::Error::other(format!(
+                    "compression task panicked: {}",
+                    panic_message(&*p)
+                ))),
+            };
+            // The writer may already be dropped; an unfinished stream is
+            // unterminated either way, so a dead receiver is fine.
+            let _ = tx.send((seq, raw, result));
+        });
         self.in_flight += 1;
 
         // Opportunistically collect finished segments without blocking.
-        while let Ok((seq, raw, packed)) = self
+        while let Ok((seq, raw, result)) = self
             .pool
             .as_ref()
             .expect("pool checked above")
             .results
             .try_recv()
         {
-            self.file_result(seq, raw, packed);
+            self.file_result(seq, raw, result);
         }
         self.drain_ready()
     }
 
-    /// Flushes the final segment, drains the pool, writes the
+    /// Flushes the final segment, drains the in-flight tasks, writes the
     /// end-of-stream marker, and returns the inner writer.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the inner writer and pool failures.
+    /// Propagates I/O errors from the inner writer and task failures.
     pub fn finish(mut self) -> io::Result<W> {
         self.check_poisoned()?;
         self.flush_segment()?;
-        if let Some(pool) = &mut self.pool {
-            // Closing the job queue lets workers exit as they go idle.
-            pool.workers.close();
-        }
         while self.in_flight > 0 {
             // Same ordering as the backpressure loop: retry anything
-            // already buffered in `done` before blocking on the pool.
+            // already buffered in `done` before blocking on the engine.
             self.drain_ready()?;
             if self.in_flight == 0 {
                 break;
@@ -511,7 +464,7 @@ impl<W: Write> ParallelCodecWriter<W> {
             self.recv_one()?;
         }
         debug_assert!(self.done.is_empty());
-        self.pool.take(); // joins the (now idle) workers
+        self.pool.take();
         let mut eos = [0u8; 10];
         let mut cursor = &mut eos[..];
         varint::write_u64(&mut cursor, 0)?;
@@ -550,8 +503,8 @@ impl<W: Write> Write for ParallelCodecWriter<W> {
 
 /// A shared free list of segment buffers.
 ///
-/// Readahead buffers cycle consumer → pool → worker → consumer (and
-/// packed buffers feeder → worker → pool → feeder). `cap` bounds how many
+/// Readahead buffers cycle consumer → pool → task → consumer (and
+/// packed buffers feeder → task → pool → feeder). `cap` bounds how many
 /// idle buffers are retained; beyond it, returned buffers are simply
 /// dropped so a burst never pins memory forever.
 #[derive(Debug)]
@@ -588,19 +541,81 @@ impl BufPool {
     }
 }
 
-/// A `Read` adapter that decompresses a codec stream on a free-running
-/// background pool.
+/// Counting gate bounding the feeder's undelivered segments.
+///
+/// The engine's submit never blocks and the result channel is
+/// unbounded, so readahead depth (and therefore memory) is bounded
+/// here instead: the feeder `acquire`s one slot per message it will
+/// produce (decode task or error), and the slot is `release`d only when
+/// the **consumer** receives that message — so a consumer that stops
+/// reading stalls the feeder after `cap` undelivered segments, exactly
+/// like the old bounded channel, while engine workers never block.
+/// `cancel` wakes a blocked feeder so it can observe the dead flag when
+/// the consumer goes away with slots still held.
+#[derive(Debug)]
+struct Gate {
+    count: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Gate {
+    fn new(cap: usize) -> Self {
+        Self {
+            count: Mutex::new(0),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until a slot is free; returns `false` (no slot taken) if
+    /// `dead` is set while waiting.
+    fn acquire(&self, dead: &AtomicBool) -> bool {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if dead.load(Ordering::Relaxed) {
+                return false;
+            }
+            if *n < self.cap {
+                *n += 1;
+                return true;
+            }
+            n = self.freed.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn release(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        *n -= 1;
+        drop(n);
+        self.freed.notify_one();
+    }
+
+    /// Wakes any blocked `acquire` so it can re-check the dead flag.
+    fn cancel(&self) {
+        // Notify under the count lock: the feeder holds it from its dead
+        // check until `wait` releases it, so acquiring here means the
+        // feeder is either before the check (and will see dead) or
+        // already waiting (and gets this wakeup) — a bare notify could
+        // land in that window and be lost, hanging shutdown's join.
+        let n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        self.freed.notify_all();
+        drop(n);
+    }
+}
+
+/// A `Read` adapter that decompresses a codec stream through the shared
+/// engine, free-running ahead of the consumer.
 ///
 /// Consumes the exact stream format of
 /// [`CodecWriter`](crate::CodecWriter) / [`ParallelCodecWriter`]. A feeder
-/// thread frames packed segments off the input and submits each to a
-/// bounded [`WorkerPool`] the moment it is read; every worker pulls the
-/// next frame as soon as it finishes its last one — there is no
-/// batch-of-`threads` barrier, so one slow segment never idles the other
-/// workers. Results flow to the consumer through a bounded channel and an
-/// ordered reassembly map keyed by sequence number, so `read` always sees
-/// segments in exact stream order. Segment buffers cycle back to the
-/// workers once consumed.
+/// thread frames packed segments off the input and submits each to the
+/// engine the moment it is read; an in-flight gate bounds readahead
+/// depth, and there is no batch-of-`threads` barrier, so one slow segment
+/// never idles the other workers. Results flow to the consumer through a
+/// channel and an ordered reassembly map keyed by sequence number, so
+/// `read` always sees segments in exact stream order. Segment buffers
+/// cycle back to the tasks once consumed.
 ///
 /// Also implements [`BufRead`]: [`BufRead::fill_buf`] hands out the
 /// unconsumed tail of the current decoded segment straight from the
@@ -622,29 +637,61 @@ pub struct ReadaheadReader {
     /// poisoned stream into a clean EOF). A mid-stream CRC failure
     /// therefore fails *all* reads after the error point, forever.
     error: Option<(io::ErrorKind, String)>,
-    /// Consumed segment buffers, recycled back to the decompress workers.
+    /// Consumed segment buffers, recycled back to the decode tasks.
     out_pool: Arc<BufPool>,
+    /// One slot per undelivered message (see [`Gate`]); released as the
+    /// consumer receives each message.
+    gate: Arc<Gate>,
+    /// Tells the feeder (and its gate waits) that the consumer is gone.
+    dead: Arc<AtomicBool>,
 }
 
 impl ReadaheadReader {
-    /// Spawns the readahead pipeline over a terminated codec stream.
+    /// Spawns the readahead pipeline over a terminated codec stream on
+    /// the process-wide engine (grown to at least `threads` workers).
     ///
     /// `threads` is the decompression parallelism (`0`/`1` = one segment
     /// at a time on the feeder thread, still overlapped with the
     /// consumer).
     pub fn new<R: Read + Send + 'static>(inner: R, codec: Arc<dyn Codec>, threads: usize) -> Self {
+        let engine = (threads > 1).then(|| Engine::global_with(threads));
+        Self::build(inner, codec, threads, engine)
+    }
+
+    /// Like [`ReadaheadReader::new`], but submits decode tasks to an
+    /// explicit `engine` (the injection point for tests and multi-stream
+    /// containers).
+    pub fn with_engine<R: Read + Send + 'static>(
+        inner: R,
+        codec: Arc<dyn Codec>,
+        threads: usize,
+        engine: Engine,
+    ) -> Self {
+        let engine = (threads > 1).then_some(engine);
+        Self::build(inner, codec, threads, engine)
+    }
+
+    fn build<R: Read + Send + 'static>(
+        inner: R,
+        codec: Arc<dyn Codec>,
+        threads: usize,
+        engine: Option<Engine>,
+    ) -> Self {
         let threads = threads.max(1);
         let window = threads * IN_FLIGHT_PER_WORKER;
-        let (tx, rx) = mpsc::sync_channel(window);
+        let (tx, rx) = mpsc::channel();
         let out_pool = Arc::new(BufPool::new(window + 2));
-        // Flipped by a worker when the consumer is gone; the feeder polls
-        // it and stops reading ahead.
+        let gate = Arc::new(Gate::new(window));
+        // Flipped by a task (or shutdown) when the consumer is gone; the
+        // feeder polls it and stops reading ahead.
         let dead = Arc::new(AtomicBool::new(false));
         let feeder = {
             let out_pool = Arc::clone(&out_pool);
+            let gate = Arc::clone(&gate);
+            let dead = Arc::clone(&dead);
             std::thread::Builder::new()
                 .name("atc-codec-readahead".into())
-                .spawn(move || feed(inner, codec, threads, tx, out_pool, dead))
+                .spawn(move || feed(inner, codec, threads, engine, tx, out_pool, gate, dead))
                 .expect("spawn readahead thread")
         };
         Self {
@@ -656,6 +703,8 @@ impl ReadaheadReader {
             pos: 0,
             error: None,
             out_pool,
+            gate,
+            dead,
         }
     }
 
@@ -692,18 +741,21 @@ impl ReadaheadReader {
             };
             match rx.recv() {
                 Ok((seq, result)) => {
+                    // The message left the channel: free its readahead
+                    // slot so the feeder may produce the next one.
+                    self.gate.release();
                     self.pending.insert(seq, result);
                 }
                 Err(_) => {
                     // All senders gone: every produced result has been
                     // drained into `pending`. An empty map means the
                     // feeder finished cleanly after the end-of-stream
-                    // marker; a gap means a worker died mid-segment.
+                    // marker; a gap means a decode task was lost.
                     if self.pending.is_empty() {
                         self.shutdown();
                         return Ok(false);
                     }
-                    let e = io::Error::other("readahead worker died mid-stream");
+                    let e = io::Error::other("readahead task lost mid-stream");
                     self.latch(&e);
                     return Err(e);
                 }
@@ -712,6 +764,12 @@ impl ReadaheadReader {
     }
 
     fn shutdown(&mut self) {
+        // Order matters: mark the consumer dead and wake any blocked
+        // gate wait *before* joining the feeder, or a feeder stalled on
+        // a full window (slots held by messages we will never receive)
+        // would never exit.
+        self.dead.store(true, Ordering::Relaxed);
+        self.gate.cancel();
         self.rx.take();
         if let Some(feeder) = self.feeder.take() {
             let _ = feeder.join();
@@ -738,27 +796,36 @@ fn decode_segment(codec: &dyn Codec, packed: &[u8], out_pool: &BufPool) -> io::R
     }
 }
 
-/// Feeder-thread body: frame segments off the input and keep the worker
-/// pool saturated; ordering is restored on the consumer side.
+/// Feeder-thread body: frame segments off the input and keep the engine
+/// saturated; ordering is restored on the consumer side. Every message
+/// (result or error) carries one gate slot, released by the consumer —
+/// a consumer that stops reading therefore stalls the feeder after one
+/// window of undelivered segments.
+#[allow(clippy::too_many_arguments)]
 fn feed<R: Read>(
     mut inner: R,
     codec: Arc<dyn Codec>,
     threads: usize,
-    tx: SyncSender<(u64, io::Result<Vec<u8>>)>,
+    engine: Option<Engine>,
+    tx: Sender<(u64, io::Result<Vec<u8>>)>,
     out_pool: Arc<BufPool>,
+    gate: Arc<Gate>,
     dead: Arc<AtomicBool>,
 ) {
-    let packed_pool = Arc::new(BufPool::new(threads * IN_FLIGHT_PER_WORKER + 2));
+    let window = threads * IN_FLIGHT_PER_WORKER;
+    let packed_pool = Arc::new(BufPool::new(window + 2));
     let mut seq = 0u64;
 
-    if threads <= 1 {
+    let Some(engine) = engine else {
         // Single-threaded readahead: decode inline on this thread (still
         // fully overlapped with the consumer through the channel).
         loop {
             let seg_len = match varint::read_u64(&mut inner) {
                 Ok(n) => n as usize,
                 Err(e) => {
-                    let _ = tx.send((seq, Err(e)));
+                    if gate.acquire(&dead) {
+                        let _ = tx.send((seq, Err(e)));
+                    }
                     return;
                 }
             };
@@ -768,44 +835,28 @@ fn feed<R: Read>(
             let mut packed = packed_pool.get();
             packed.resize(seg_len, 0);
             if let Err(e) = inner.read_exact(&mut packed) {
-                let _ = tx.send((seq, Err(e)));
+                if gate.acquire(&dead) {
+                    let _ = tx.send((seq, Err(e)));
+                }
                 return;
             }
             let result = decode_segment(&*codec, &packed, &out_pool);
             packed_pool.put(packed);
             let failed = result.is_err();
+            if !gate.acquire(&dead) {
+                return; // consumer gone
+            }
             if tx.send((seq, result)).is_err() || failed {
                 return; // consumer dropped, or stream is poisoned
             }
             seq += 1;
         }
-    }
-
-    // Free-running pool: every frame is submitted the moment it is read;
-    // workers pull the next job as soon as they finish the last. The job
-    // queue and the result channel are both bounded, so readahead depth
-    // (and therefore memory) stays capped without any per-batch barrier.
-    let pool = {
-        let codec = Arc::clone(&codec);
-        let tx = tx.clone();
-        let out_pool = Arc::clone(&out_pool);
-        let packed_pool = Arc::clone(&packed_pool);
-        let dead = Arc::clone(&dead);
-        WorkerPool::spawn(
-            threads,
-            threads * IN_FLIGHT_PER_WORKER,
-            "atc-codec-readahead",
-            move |(seq, packed): (u64, Vec<u8>)| {
-                let result = decode_segment(&*codec, &packed, &out_pool);
-                packed_pool.put(packed);
-                if tx.send((seq, result)).is_err() {
-                    // Consumer is gone; tell the feeder to stop reading.
-                    dead.store(true, Ordering::Relaxed);
-                }
-            },
-        )
     };
 
+    // Free-running: every frame is submitted the moment it is read; the
+    // gate caps undelivered segments (and therefore memory) without any
+    // per-batch barrier, and without ever blocking an engine worker.
+    let home = engine.assign_home();
     loop {
         if dead.load(Ordering::Relaxed) {
             break;
@@ -817,7 +868,9 @@ fn feed<R: Read>(
                 // sorts after every submitted segment: the consumer sees
                 // all good data, then the failure — exactly the serial
                 // reader's ordering.
-                let _ = tx.send((seq, Err(e)));
+                if gate.acquire(&dead) {
+                    let _ = tx.send((seq, Err(e)));
+                }
                 break;
             }
         };
@@ -827,19 +880,53 @@ fn feed<R: Read>(
         let mut packed = packed_pool.get();
         packed.resize(seg_len, 0);
         if let Err(e) = inner.read_exact(&mut packed) {
-            let _ = tx.send((seq, Err(e)));
+            if gate.acquire(&dead) {
+                let _ = tx.send((seq, Err(e)));
+            }
             break;
         }
-        if pool.submit((seq, packed)).is_err() {
-            break; // every worker died
+        if !gate.acquire(&dead) {
+            break; // consumer gone
         }
+        let task_tx = tx.clone();
+        let codec = Arc::clone(&codec);
+        let out_pool = Arc::clone(&out_pool);
+        let packed_pool = Arc::clone(&packed_pool);
+        let gate = Arc::clone(&gate);
+        let dead = Arc::clone(&dead);
+        engine.submit(home, move || {
+            // A panicking codec must surface as a latched error, not a
+            // lost segment: catch and convert.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                decode_segment(&*codec, &packed, &out_pool)
+            }));
+            let (result, packed) = match outcome {
+                Ok(r) => (r, Some(packed)),
+                Err(p) => (
+                    Err(io::Error::other(format!(
+                        "decompression task panicked: {}",
+                        panic_message(&*p)
+                    ))),
+                    None,
+                ),
+            };
+            if let Some(packed) = packed {
+                packed_pool.put(packed);
+            }
+            if task_tx.send((seq, result)).is_err() {
+                // Consumer is gone: tell the feeder (dead first, so the
+                // release's wakeup observes it) and hand the slot back,
+                // since no consumer will.
+                dead.store(true, Ordering::Relaxed);
+                gate.release();
+            }
+        });
         seq += 1;
     }
-    // Dropping the pool closes the job queue and joins the workers after
-    // they drain what is already queued; their results (and channel
-    // senders) are delivered/dropped before the consumer can observe a
-    // disconnect, so no segment is ever silently lost.
-    drop(pool);
+    // Dropping the feeder's sender leaves only the in-flight tasks'
+    // clones; once they finish, the consumer observes the disconnect with
+    // every produced result already delivered, so no segment is ever
+    // silently lost.
 }
 
 impl Read for ReadaheadReader {
@@ -861,8 +948,8 @@ impl Read for ReadaheadReader {
 
 impl BufRead for ReadaheadReader {
     /// Returns the unconsumed tail of the current decoded segment,
-    /// refilling from the reorder pool if it is exhausted. An empty slice
-    /// means clean end of stream. Errors latch exactly like `read`.
+    /// refilling from the reorder pipeline if it is exhausted. An empty
+    /// slice means clean end of stream. Errors latch exactly like `read`.
     fn fill_buf(&mut self) -> io::Result<&[u8]> {
         while self.pos == self.current.len() {
             if !self.refill()? {
@@ -937,6 +1024,24 @@ mod tests {
     }
 
     #[test]
+    fn output_byte_identical_across_engine_worker_counts() {
+        // The submitter window (threads) and the engine worker count are
+        // now independent; the bytes must not depend on either.
+        let data = sample(150_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(4096));
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 9000);
+        serial.write_all(&data).unwrap();
+        let expect = serial.finish().unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let engine = Engine::new(workers);
+            let mut w =
+                ParallelCodecWriter::with_engine(Vec::new(), Arc::clone(&codec), 9000, 4, engine);
+            w.write_all(&data).unwrap();
+            assert_eq!(w.finish().unwrap(), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn roundtrip_through_serial_reader() {
         let data = sample(120_000);
         for codec in [
@@ -977,21 +1082,24 @@ mod tests {
     #[test]
     fn readahead_many_small_segments_stay_ordered() {
         // Far more segments than any in-flight window: exercises the
-        // reorder map under sustained free-running load.
+        // reorder map under sustained free-running load, including with
+        // fewer engine workers than the requested parallelism.
         let data = sample(64_000);
         let codec: Arc<dyn Codec> = Arc::new(Store);
         let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 64);
         w.write_all(&data).unwrap();
         let file = w.finish().unwrap();
-        for threads in [2usize, 4, 8] {
-            let mut r = ReadaheadReader::new(
+        for (threads, workers) in [(2usize, 2usize), (4, 1), (8, 3)] {
+            let engine = Engine::new(workers);
+            let mut r = ReadaheadReader::with_engine(
                 std::io::Cursor::new(file.clone()),
                 Arc::clone(&codec),
                 threads,
+                engine,
             );
             let mut back = Vec::new();
             r.read_to_end(&mut back).unwrap();
-            assert_eq!(back, data, "threads={threads}");
+            assert_eq!(back, data, "threads={threads} workers={workers}");
         }
     }
 
@@ -1076,6 +1184,93 @@ mod tests {
         }
     }
 
+    /// A codec that panics on a marked segment — stands in for any bug in
+    /// a compression task. The engine must catch the panic and convert it
+    /// into a latched stream error on both sides.
+    #[derive(Debug)]
+    struct PanicCodec {
+        /// Panic when the segment's first byte equals this marker.
+        marker: u8,
+    }
+
+    impl Codec for PanicCodec {
+        fn name(&self) -> &'static str {
+            "panic-test"
+        }
+
+        fn compress_into(&self, data: &[u8], out: &mut Vec<u8>) -> usize {
+            assert!(
+                data.first() != Some(&self.marker),
+                "injected compression panic"
+            );
+            out.clear();
+            out.extend_from_slice(data);
+            data.len()
+        }
+
+        fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+            assert!(
+                data.first() != Some(&self.marker),
+                "injected decompression panic"
+            );
+            out.clear();
+            out.extend_from_slice(data);
+            Ok(data.len())
+        }
+    }
+
+    #[test]
+    fn compress_task_panic_latches_writer() {
+        // Segment 3 (first byte 0xEE) panics inside the engine task; the
+        // writer must surface an error (on write or finish) and every
+        // later call must keep failing instead of hanging or emitting a
+        // corrupt stream.
+        let codec: Arc<dyn Codec> = Arc::new(PanicCodec { marker: 0xEE });
+        let engine = Engine::new(2);
+        let mut w =
+            ParallelCodecWriter::with_engine(Vec::new(), Arc::clone(&codec), 100, 4, engine);
+        let mut data = vec![0u8; 700];
+        data[300] = 0xEE; // first byte of segment 3
+        let write_err = w.write_all(&data).err();
+        let finish_err = w.finish().err();
+        let e = write_err.or(finish_err).expect("panic must surface");
+        assert!(
+            e.to_string().contains("panicked"),
+            "error should name the panic: {e}"
+        );
+    }
+
+    #[test]
+    fn decode_task_panic_latches_reader() {
+        // Build a valid stream with the identity half of PanicCodec, then
+        // read it back with a marker that trips on the third segment: the
+        // reader must deliver segments 0-1, error on 2, and latch.
+        let good: Arc<dyn Codec> = Arc::new(PanicCodec { marker: 0xFF });
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&good), 100);
+        let mut data = vec![0u8; 600];
+        data[200] = 0xEE; // first byte of segment 2 (the decode marker)
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap();
+
+        let trip: Arc<dyn Codec> = Arc::new(PanicCodec { marker: 0xEE });
+        for workers in [1usize, 2] {
+            let engine = Engine::new(workers);
+            let mut r = ReadaheadReader::with_engine(
+                std::io::Cursor::new(file.clone()),
+                Arc::clone(&trip),
+                4,
+                engine,
+            );
+            let mut back = Vec::new();
+            let err = r.read_to_end(&mut back).unwrap_err();
+            assert!(err.to_string().contains("panicked"), "workers={workers}");
+            assert_eq!(back, data[..200], "segments before the panic arrive");
+            let mut byte = [0u8; 1];
+            assert!(r.read(&mut byte).is_err(), "error must latch");
+            assert!(r.read(&mut byte).is_err(), "error must stay latched");
+        }
+    }
+
     #[test]
     fn bufread_matches_read_and_latches_errors() {
         // fill_buf/consume must walk the same bytes as read(), and a
@@ -1118,63 +1313,41 @@ mod tests {
     }
 
     #[test]
-    fn worker_pool_runs_all_jobs_and_joins() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = Arc::clone(&hits);
-        let pool = WorkerPool::spawn(3, 2, "test-pool", move |n: usize| {
-            h.fetch_add(n, Ordering::SeqCst);
-        });
-        assert_eq!(pool.threads(), 3);
-        for n in 0..100usize {
-            pool.submit(n).unwrap();
-        }
-        pool.join().unwrap();
-        assert_eq!(hits.load(Ordering::SeqCst), (0..100).sum::<usize>());
-    }
-
-    #[test]
-    fn worker_pool_spawn_with_keeps_per_worker_state() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::mpsc::channel;
-        // Each worker accumulates into private state created by `init`;
-        // totals must add up with zero sharing between workers.
-        let inits = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = channel::<usize>();
-        let tx = Arc::new(Mutex::new(tx));
-        let pool = {
-            let inits = Arc::clone(&inits);
-            WorkerPool::spawn_with(4, 2, "stateful-pool", move || {
-                inits.fetch_add(1, Ordering::SeqCst);
-                let tx = tx.lock().unwrap().clone();
-                let mut local_sum = 0usize;
-                move |n: usize| {
-                    local_sum += n;
-                    tx.send(n).unwrap();
-                    let _ = local_sum; // state persists across jobs
-                }
-            })
-        };
-        for n in 0..50usize {
-            pool.submit(n).unwrap();
-        }
-        pool.join().unwrap();
-        assert_eq!(inits.load(Ordering::SeqCst), 4, "init once per worker");
-        assert_eq!(rx.try_iter().sum::<usize>(), (0..50).sum::<usize>());
-    }
-
-    #[test]
-    fn drop_without_finish_reaps_workers() {
+    fn drop_without_finish_reaps_tasks() {
         let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
         let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), codec, 4096, 4);
         w.write_all(&sample(100_000)).unwrap();
         drop(w); // must not hang or leak threads
     }
 
+    /// The readahead window is consumer-released: with nobody reading,
+    /// the feeder must stall after one window of undelivered segments
+    /// (bounding memory), and dropping the reader must cancel that
+    /// stalled gate wait instead of hanging the join.
+    #[test]
+    fn drop_unread_readahead_with_full_window_does_not_hang() {
+        let data = sample(300_000);
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1024);
+        w.write_all(&data).unwrap();
+        let file = w.finish().unwrap(); // ~300 segments >> any window
+        for threads in [1usize, 4] {
+            let r = ReadaheadReader::new(
+                std::io::Cursor::new(file.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            // Give the feeder time to fill the window and block.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(r); // must not hang
+        }
+    }
+
     #[test]
     fn drop_readahead_mid_stream_reaps_threads() {
-        // Consumer walks away after one segment; feeder + workers must
-        // exit promptly instead of decoding the rest of the stream.
+        // Consumer walks away after one segment; feeder + in-flight tasks
+        // must wind down promptly instead of decoding the rest of the
+        // stream.
         let data = sample(400_000);
         let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
         let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 4096);
@@ -1205,8 +1378,8 @@ mod tests {
 
     #[test]
     fn steady_state_allocates_no_fresh_buffers() {
-        // 100 segments on 3 workers: fresh buffers stop at the in-flight
-        // window; the rest of the stream rides recycled buffers.
+        // 100 segments with a 3-deep window: fresh buffers stop at the
+        // in-flight window; the rest of the stream rides recycled buffers.
         let data = sample(100 * 1024);
         let codec: Arc<dyn Codec> = Arc::new(Store);
         let mut w = ParallelCodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1024, 3);

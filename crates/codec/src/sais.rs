@@ -21,20 +21,75 @@ const EMPTY: u32 = u32::MAX;
 /// Reusable buffers for [`suffix_array_in`].
 ///
 /// The top-level widened text and suffix-array buffers dominate SA-IS
-/// allocation cost (8 bytes per input byte each); holding them in scratch
-/// lets a block loop construct many suffix arrays without re-allocating.
+/// allocation cost (8 bytes per input byte each), and the recursion used
+/// to allocate a fresh set of working vectors (`is_s`, `bucket`, `names`,
+/// `lms_pos`, `s1`, …) at *every* level. The scratch now carries a
+/// level-indexed arena: each recursion depth owns one set of working
+/// buffers that are cleared and reused across calls, so a warmed scratch
+/// constructs suffix arrays with **zero** allocations (pinned by the
+/// `sais_alloc` integration test).
 #[derive(Debug, Default)]
 pub struct SaisScratch {
     /// Widened input with the explicit sentinel appended.
     s: Vec<u32>,
     /// Suffix-array output buffer (including the sentinel row).
     sa: Vec<u32>,
+    /// Per-recursion-depth working buffers (level 0 = top level).
+    levels: Vec<SaisLevel>,
 }
 
 impl SaisScratch {
     /// Creates empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Heap capacity currently held across all levels, in bytes
+    /// (diagnostics only).
+    pub fn capacity(&self) -> usize {
+        let top = (self.s.capacity() + self.sa.capacity()) * 4;
+        top + self.levels.iter().map(SaisLevel::capacity).sum::<usize>()
+    }
+}
+
+/// One recursion level's working buffers (see [`SaisScratch`]).
+#[derive(Debug, Default)]
+struct SaisLevel {
+    /// S-type classification per suffix.
+    is_s: Vec<bool>,
+    /// Bucket sizes per character.
+    bucket: Vec<u32>,
+    /// Bucket start offsets (rebuilt by each induction pass).
+    heads: Vec<u32>,
+    /// Bucket end offsets (rebuilt by each induction pass).
+    tails: Vec<u32>,
+    /// LMS-substring names by text position.
+    names: Vec<u32>,
+    /// LMS positions in text order.
+    lms_pos: Vec<u32>,
+    /// The reduced string (names in text order).
+    s1: Vec<u32>,
+    /// LMS positions in current sorted order.
+    lms_sorted: Vec<u32>,
+    /// Final order of LMS suffixes.
+    order: Vec<u32>,
+    /// Recursion output: suffix array of `s1`.
+    sa1: Vec<u32>,
+}
+
+impl SaisLevel {
+    fn capacity(&self) -> usize {
+        self.is_s.capacity()
+            + (self.bucket.capacity()
+                + self.heads.capacity()
+                + self.tails.capacity()
+                + self.names.capacity()
+                + self.lms_pos.capacity()
+                + self.s1.capacity()
+                + self.lms_sorted.capacity()
+                + self.order.capacity()
+                + self.sa1.capacity())
+                * 4
     }
 }
 
@@ -73,56 +128,85 @@ pub fn suffix_array_in<'a>(text: &[u8], scratch: &'a mut SaisScratch) -> &'a [u3
     scratch.s.reserve(text.len() + 1);
     scratch.s.extend(text.iter().map(|&b| b as u32 + 1));
     scratch.s.push(0);
-    sais_into(&scratch.s, 257, &mut scratch.sa);
+    sais_into(&scratch.s, 257, &mut scratch.sa, &mut scratch.levels, 0);
     // Drop the sentinel suffix (always first).
     debug_assert_eq!(scratch.sa[0] as usize, text.len());
     &scratch.sa[1..]
 }
 
-/// SA-IS over a u32 string `s` that ends with a unique smallest sentinel 0.
-/// `k` is the alphabet size (all values < k).
-fn sais(s: &[u32], k: usize) -> Vec<u32> {
-    let mut sa = Vec::new();
-    sais_into(s, k, &mut sa);
-    sa
-}
-
-/// [`sais`] writing into a caller-provided (reused) output buffer.
-fn sais_into(s: &[u32], k: usize, sa: &mut Vec<u32>) {
+/// SA-IS over a u32 string `s` that ends with a unique smallest sentinel
+/// 0, writing into a caller-provided (reused) output buffer. `k` is the
+/// alphabet size (all values < k); `levels[depth..]` is the arena of
+/// per-recursion-level working buffers.
+fn sais_into(s: &[u32], k: usize, sa: &mut Vec<u32>, levels: &mut Vec<SaisLevel>, depth: usize) {
     let n = s.len();
     debug_assert!(n > 0 && s[n - 1] == 0);
     debug_assert!(s[..n - 1].iter().all(|&c| c > 0 && (c as usize) < k));
     sa.clear();
     sa.resize(n, EMPTY);
-    let sa = &mut sa[..];
     if n == 1 {
         sa[0] = 0;
         return;
     }
+    if levels.len() <= depth {
+        levels.push(SaisLevel::default());
+    }
+    // Take this level's buffers out of the arena so the recursive call
+    // can borrow the deeper levels without aliasing.
+    let mut lvl = std::mem::take(&mut levels[depth]);
+    sais_level(s, k, sa.as_mut_slice(), &mut lvl, levels, depth);
+    levels[depth] = lvl;
+}
+
+/// One SA-IS level, working entirely out of `lvl`'s reused buffers.
+fn sais_level(
+    s: &[u32],
+    k: usize,
+    sa: &mut [u32],
+    lvl: &mut SaisLevel,
+    levels: &mut Vec<SaisLevel>,
+    depth: usize,
+) {
+    let n = s.len();
+    let SaisLevel {
+        is_s,
+        bucket,
+        heads,
+        tails,
+        names,
+        lms_pos,
+        s1,
+        lms_sorted,
+        order,
+        sa1,
+    } = lvl;
 
     // --- Classify suffixes: S-type (true) / L-type (false). ---
-    let mut is_s = vec![false; n];
+    is_s.clear();
+    is_s.resize(n, false);
     is_s[n - 1] = true;
     for i in (0..n - 1).rev() {
         is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
     }
-    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let is_lms = |is_s: &[bool], i: usize| i > 0 && is_s[i] && !is_s[i - 1];
 
     // --- Bucket sizes per character. ---
-    let mut bucket = vec![0u32; k];
+    bucket.clear();
+    bucket.resize(k, 0);
     for &c in s {
         bucket[c as usize] += 1;
     }
 
     // --- Pass 1: sort LMS substrings by induced sorting. ---
-    place_lms_in_tails(s, sa, &bucket, &is_s);
-    induce(s, sa, &bucket, &is_s);
+    place_lms_in_tails(s, sa, bucket, tails, is_s);
+    induce(s, sa, bucket, heads, tails, is_s);
 
     // Compact the LMS suffixes in their current (LMS-substring-sorted) order.
-    let n_lms = (1..n).filter(|&i| is_lms(i)).count();
-    let mut lms_sorted = Vec::with_capacity(n_lms);
+    let n_lms = (1..n).filter(|&i| is_lms(is_s, i)).count();
+    lms_sorted.clear();
+    lms_sorted.reserve(n_lms);
     for &p in sa.iter() {
-        if p != EMPTY && is_lms(p as usize) {
+        if p != EMPTY && is_lms(is_s, p as usize) {
             lms_sorted.push(p);
         }
     }
@@ -130,12 +214,13 @@ fn sais_into(s: &[u32], k: usize, sa: &mut Vec<u32>) {
 
     // --- Name LMS substrings. ---
     // names[i] = name of the LMS substring starting at text position i.
-    let mut names = vec![EMPTY; n];
+    names.clear();
+    names.resize(n, EMPTY);
     let mut name: u32 = 0;
     let mut prev: Option<u32> = None;
-    for &p in &lms_sorted {
+    for &p in lms_sorted.iter() {
         if let Some(q) = prev {
-            if !lms_substring_eq(s, &is_s, q as usize, p as usize) {
+            if !lms_substring_eq(s, is_s, q as usize, p as usize) {
                 name += 1;
             }
         }
@@ -145,63 +230,71 @@ fn sais_into(s: &[u32], k: usize, sa: &mut Vec<u32>) {
     let distinct = name as usize + 1;
 
     // Reduced string: names of LMS substrings in text order.
-    let lms_pos: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
-    let s1: Vec<u32> = lms_pos.iter().map(|&p| names[p as usize]).collect();
+    lms_pos.clear();
+    lms_pos.extend((1..n).filter(|&i| is_lms(is_s, i)).map(|i| i as u32));
+    s1.clear();
+    s1.extend(lms_pos.iter().map(|&p| names[p as usize]));
 
     // --- Order of LMS suffixes. ---
-    let lms_order: Vec<u32> = if distinct == n_lms {
+    order.clear();
+    if distinct == n_lms {
         // All names unique: order is derivable by bucketing names.
-        let mut order = vec![EMPTY; n_lms];
+        order.resize(n_lms, EMPTY);
         for (i, &nm) in s1.iter().enumerate() {
             order[nm as usize] = lms_pos[i];
         }
-        order
     } else {
-        // Recurse. s1 ends with the sentinel's name (always the unique
-        // minimum: the sentinel LMS substring is just "0").
+        // Recurse into the next arena level. s1 ends with the sentinel's
+        // name (always the unique minimum: its LMS substring is just "0").
         debug_assert_eq!(*s1.last().expect("non-empty"), 0);
-        let sa1 = sais(&s1, distinct);
-        sa1.iter().map(|&r| lms_pos[r as usize]).collect()
-    };
+        sais_into(&s1[..], distinct, sa1, levels, depth + 1);
+        order.extend(sa1.iter().map(|&r| lms_pos[r as usize]));
+    }
 
     // --- Pass 2: induce the final order from sorted LMS suffixes. ---
     sa.fill(EMPTY);
-    let mut tails = bucket_tails(&bucket);
-    for &p in lms_order.iter().rev() {
+    fill_bucket_tails(bucket, tails);
+    for &p in order.iter().rev() {
         let c = s[p as usize] as usize;
         tails[c] -= 1;
         sa[tails[c] as usize] = p;
     }
-    induce(s, sa, &bucket, &is_s);
+    induce(s, sa, bucket, heads, tails, is_s);
     debug_assert!(sa.iter().all(|&p| p != EMPTY));
 }
 
-/// Exclusive end offset of each character bucket.
-fn bucket_tails(bucket: &[u32]) -> Vec<u32> {
-    let mut tails = vec![0u32; bucket.len()];
+/// Fills `tails` with the exclusive end offset of each character bucket.
+fn fill_bucket_tails(bucket: &[u32], tails: &mut Vec<u32>) {
+    tails.clear();
+    tails.resize(bucket.len(), 0);
     let mut sum = 0u32;
     for (c, &b) in bucket.iter().enumerate() {
         sum += b;
         tails[c] = sum;
     }
-    tails
 }
 
-/// Start offset of each character bucket.
-fn bucket_heads(bucket: &[u32]) -> Vec<u32> {
-    let mut heads = vec![0u32; bucket.len()];
+/// Fills `heads` with the start offset of each character bucket.
+fn fill_bucket_heads(bucket: &[u32], heads: &mut Vec<u32>) {
+    heads.clear();
+    heads.resize(bucket.len(), 0);
     let mut sum = 0u32;
     for (c, &b) in bucket.iter().enumerate() {
         heads[c] = sum;
         sum += b;
     }
-    heads
 }
 
 /// Drops every LMS suffix at the tail of its first-character bucket.
-fn place_lms_in_tails(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) {
+fn place_lms_in_tails(
+    s: &[u32],
+    sa: &mut [u32],
+    bucket: &[u32],
+    tails: &mut Vec<u32>,
+    is_s: &[bool],
+) {
     let n = s.len();
-    let mut tails = bucket_tails(bucket);
+    fill_bucket_tails(bucket, tails);
     for i in (1..n).rev() {
         if is_s[i] && !is_s[i - 1] {
             let c = s[i] as usize;
@@ -213,9 +306,16 @@ fn place_lms_in_tails(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) 
 
 /// Induced sorting: scan left-to-right placing L-type predecessors at bucket
 /// heads, then right-to-left placing S-type predecessors at bucket tails.
-fn induce(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) {
+fn induce(
+    s: &[u32],
+    sa: &mut [u32],
+    bucket: &[u32],
+    heads: &mut Vec<u32>,
+    tails: &mut Vec<u32>,
+    is_s: &[bool],
+) {
     let n = s.len();
-    let mut heads = bucket_heads(bucket);
+    fill_bucket_heads(bucket, heads);
     for i in 0..n {
         let j = sa[i];
         if j != EMPTY && j > 0 {
@@ -227,7 +327,7 @@ fn induce(s: &[u32], sa: &mut [u32], bucket: &[u32], is_s: &[bool]) {
             }
         }
     }
-    let mut tails = bucket_tails(bucket);
+    fill_bucket_tails(bucket, tails);
     for i in (0..n).rev() {
         let j = sa[i];
         if j != EMPTY && j > 0 {

@@ -1,0 +1,89 @@
+//! Allocation-count pin for the SA-IS recursion arena.
+//!
+//! ROADMAP item: scratch reuse used to stop at the SA-IS top level — the
+//! recursion allocated fresh `is_s`/`bucket`/`names`/`lms_pos`/`s1`
+//! buffers at every level of every call. With the level-indexed arena in
+//! [`atc_codec::sais::SaisScratch`], a *warmed* scratch must construct a
+//! suffix array with **zero** heap allocations, recursion included.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting global allocator: exactly one test runs here, so no other
+//! thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use atc_codec::sais::{suffix_array_in, SaisScratch};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A small-alphabet pseudorandom text: forces several levels of SA-IS
+/// recursion (names collide heavily with only 3 symbols).
+fn deep_recursion_text(n: usize) -> Vec<u8> {
+    let mut x: u64 = 0x5DEECE66D;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) % 3) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn warmed_scratch_builds_suffix_arrays_without_allocating() {
+    let text = deep_recursion_text(40_000);
+    let mut scratch = SaisScratch::new();
+
+    // Warm-up: grows every level's buffers (and gives the expected
+    // answer to compare against).
+    let expect = suffix_array_in(&text, &mut scratch).to_vec();
+    assert!(scratch.capacity() > 0, "arena must retain its buffers");
+
+    // Warmed: the same construction must not touch the allocator at all.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let got_len = {
+        let got = suffix_array_in(&text, &mut scratch);
+        assert!(got == expect.as_slice(), "arena reuse changed the result");
+        got.len()
+    };
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(got_len, text.len());
+    assert_eq!(
+        after - before,
+        0,
+        "warmed SA-IS must be allocation-free across all recursion levels"
+    );
+
+    // A *smaller* input reuses the same arena without growing it.
+    let small = deep_recursion_text(10_000);
+    let small_expect = atc_codec::sais::suffix_array(&small);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let got = suffix_array_in(&small, &mut scratch);
+    assert!(got == small_expect.as_slice());
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "smaller inputs ride the warmed arena");
+}

@@ -8,6 +8,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use atc_codec::{codec_by_name, Codec, CodecReader, ReadaheadReader};
+use atc_engine::Engine;
 
 use crate::bytesort::BytesortInverse;
 use crate::error::{AtcError, Result};
@@ -25,15 +26,20 @@ pub const DEFAULT_CHUNK_CACHE: usize = 8;
 pub struct ReadOptions {
     /// Decompressed chunks kept in memory (see [`DEFAULT_CHUNK_CACHE`]).
     pub chunk_cache: usize,
-    /// Decompression worker threads. `0`/`1` decode on the calling thread
+    /// Decompression parallelism. `0`/`1` decode on the calling thread
     /// (the original behavior); `n > 1` reads payload streams through a
-    /// free-running readahead pipeline: `n` workers each pull the next
-    /// framed segment the moment they finish their last one (no batch
-    /// barrier), and an ordered reassembly stage hands segments to
-    /// `decode`/`decode_all` in stream order, overlapping decompression
-    /// with the consumer. Works on any trace — the on-disk format does
-    /// not record thread counts.
+    /// free-running readahead pipeline: up to `n` framed segments decode
+    /// concurrently as engine tasks (no batch barrier), and an ordered
+    /// reassembly stage hands segments to `decode`/`decode_all` in
+    /// stream order, overlapping decompression with the consumer. Works
+    /// on any trace — the on-disk format does not record thread counts.
     pub threads: usize,
+    /// Explicit execution engine for the decode tasks. `None` (the
+    /// default) uses the process-wide engine, grown to at least
+    /// `threads` workers; tests and multi-stream containers (the sharded
+    /// store) inject one so many readers share a worker set and isolated
+    /// counters.
+    pub engine: Option<Engine>,
 }
 
 impl Default for ReadOptions {
@@ -41,6 +47,7 @@ impl Default for ReadOptions {
         Self {
             chunk_cache: DEFAULT_CHUNK_CACHE,
             threads: 1,
+            engine: None,
         }
     }
 }
@@ -56,10 +63,21 @@ impl SegmentStream {
     /// Opens a payload stream; open failures keep their `io::Error` (so
     /// callers can still distinguish e.g. `NotFound`) — wrap with context
     /// at the call site where useful.
-    fn open(path: &Path, codec: &Arc<dyn Codec>, threads: usize) -> std::io::Result<Self> {
+    fn open(
+        path: &Path,
+        codec: &Arc<dyn Codec>,
+        threads: usize,
+        engine: Option<&Engine>,
+    ) -> std::io::Result<Self> {
         let file = BufReader::new(File::open(path)?);
         Ok(if threads > 1 {
-            Self::Readahead(ReadaheadReader::new(file, Arc::clone(codec), threads))
+            let reader = match engine {
+                Some(e) => {
+                    ReadaheadReader::with_engine(file, Arc::clone(codec), threads, e.clone())
+                }
+                None => ReadaheadReader::new(file, Arc::clone(codec), threads),
+            };
+            Self::Readahead(reader)
         } else {
             Self::Serial(CodecReader::new(file, Arc::clone(codec)))
         })
@@ -199,9 +217,15 @@ impl AtcReader {
                 .ok_or_else(|| AtcError::Format(format!("unknown codec {:?}", meta.codec)))?,
         );
         let threads = options.threads.max(1);
+        let engine = options.engine.clone();
         let state = match meta.mode.as_str() {
             "lossless" => State::Lossless {
-                stream: SegmentStream::open(&dir.join(format::DATA_FILE), &codec, threads)?,
+                stream: SegmentStream::open(
+                    &dir.join(format::DATA_FILE),
+                    &codec,
+                    threads,
+                    engine.as_ref(),
+                )?,
             },
             "lossy" => {
                 let file = BufReader::new(File::open(dir.join(format::INFO_FILE))?);
@@ -209,7 +233,7 @@ impl AtcReader {
                     // The interval trace is tiny — always decoded inline;
                     // `threads` accelerates the chunk-file loads instead.
                     info: CodecReader::new(file, Arc::clone(&codec)),
-                    cache: ChunkCache::new(options.chunk_cache.max(1), threads),
+                    cache: ChunkCache::new(options.chunk_cache.max(1), threads, engine),
                 }
             }
             other => {
@@ -476,17 +500,20 @@ impl Iterator for Values<'_> {
 #[derive(Debug)]
 struct ChunkCache {
     capacity: usize,
-    /// Decompression threads for chunk loads (1 = inline).
+    /// Decompression parallelism for chunk loads (1 = inline).
     threads: usize,
+    /// Engine the chunk-load readahead tasks run on (None = global).
+    engine: Option<Engine>,
     /// Most recently used last.
     entries: Vec<(u64, Arc<Vec<u64>>)>,
 }
 
 impl ChunkCache {
-    fn new(capacity: usize, threads: usize) -> Self {
+    fn new(capacity: usize, threads: usize, engine: Option<Engine>) -> Self {
         Self {
             capacity,
             threads,
+            engine,
             entries: Vec::new(),
         }
     }
@@ -499,9 +526,10 @@ impl ChunkCache {
             return Ok(addrs);
         }
         let path = dir.join(format::chunk_file_name(id));
-        let mut stream = SegmentStream::open(&path, codec, self.threads).map_err(|e| {
-            AtcError::Format(format!("cannot open chunk file {}: {e}", path.display()))
-        })?;
+        let mut stream = SegmentStream::open(&path, codec, self.threads, self.engine.as_ref())
+            .map_err(|e| {
+                AtcError::Format(format!("cannot open chunk file {}: {e}", path.display()))
+            })?;
         let mut addrs = Vec::new();
         while let Some(frame) = format::read_frame(&mut stream)? {
             addrs.extend(frame);

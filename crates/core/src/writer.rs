@@ -1,14 +1,15 @@
 //! Streaming ATC compression (the original tool's `atc_open('c'|'k') /
 //! atc_code / atc_close`).
 
+use std::collections::VecDeque;
 use std::fs::{self, File};
 use std::io::BufWriter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use atc_codec::{
-    codec_by_name, Codec, CodecWriter, ParallelCodecWriter, StreamScratch, WorkerPool,
-};
+use atc_codec::{codec_by_name, Codec, CodecWriter, ParallelCodecWriter, StreamScratch};
+use atc_engine::{panic_message, Engine, WorkerLocal};
 
 use crate::error::{AtcError, Result};
 use crate::format::{self, IntervalRecord, Meta, FORMAT_VERSION};
@@ -34,11 +35,15 @@ pub struct AtcOptions {
     /// Bytesort buffer size `B` in addresses (the paper evaluates 1 M and
     /// 10 M).
     pub buffer: usize,
-    /// Compression worker threads. `0`/`1` keep every byte on the producer
-    /// thread (the original single-threaded behavior); `n > 1` hands full
-    /// segments (lossless mode) or whole chunk files (lossy mode) to a
-    /// bounded pool of `n` workers. The on-disk format is byte-identical
-    /// at every thread count, so readers never need to know.
+    /// Compression parallelism. `0`/`1` keep every byte on the producer
+    /// thread (the original single-threaded behavior); `n > 1` submits
+    /// full segments (lossless mode) or interval classification + whole
+    /// chunk files (lossy mode) as tasks to the shared work-stealing
+    /// engine, growing the process-wide engine to at least `n` workers
+    /// (tests inject an explicit engine through
+    /// [`AtcWriter::with_options_engine`] instead). The on-disk format is
+    /// byte-identical at every thread and worker count, so readers never
+    /// need to know.
     pub threads: usize,
 }
 
@@ -125,42 +130,29 @@ pub struct AtcWriter {
 #[derive(Debug)]
 enum State {
     Lossless {
-        out: ParallelCodecWriter<BufWriter<File>>,
+        out: Box<ParallelCodecWriter<BufWriter<File>>>,
         buf: Vec<u64>,
     },
     Lossy {
-        classifier: PhaseClassifier,
+        /// The interval currently being accumulated by the producer.
         interval: Vec<u64>,
-        info: CodecWriter<BufWriter<File>>,
-        next_chunk_id: u64,
-        intervals: u64,
-        imitations: u64,
-        /// Background chunk compression (None = compress on this thread).
-        pool: Option<ChunkPool>,
+        /// Interval length `L` (cached here so the hot `code` path never
+        /// touches the classifier, which may live behind the pipeline).
+        interval_len: usize,
+        back: LossyBack,
     },
 }
 
-/// One pending chunk file: compress `addrs` into `path`.
-struct ChunkJob {
-    path: PathBuf,
-    addrs: Vec<u64>,
-    buffer: usize,
-}
-
-/// Bounded pool of workers compressing chunk files off the producer
-/// thread (lossy mode with `AtcOptions::threads > 1`).
-///
-/// Thin wrapper over the codec layer's [`WorkerPool`]: chunk files are
-/// independent of each other and of the interval trace, so they need no
-/// ordering — only completion before `finish`. The first worker error
-/// permanently poisons the pool: the original error surfaces on the
-/// producer thread once, and every later submission or `finish` keeps
-/// failing (so a failed trace can never be "finished" into a meta header
-/// that references chunk files that were never written).
+/// Where lossy classification runs.
 #[derive(Debug)]
-struct ChunkPool {
-    pool: WorkerPool<ChunkJob>,
-    latch: Arc<Mutex<ErrorLatch>>,
+enum LossyBack {
+    /// `threads <= 1`: classify and compress on the producer thread (the
+    /// original single-threaded behavior).
+    Inline(Box<LossyCore>),
+    /// `threads > 1`: finished intervals queue to a serialized classifier
+    /// *actor task* on the engine; chunk payloads fan out as independent
+    /// chunk tasks. The producer thread only accumulates addresses.
+    Engine(LossyPipeline),
 }
 
 /// Worker-error latch: `Failed(e)` until the error is handed out, then
@@ -189,65 +181,324 @@ impl ErrorLatch {
             }
             ErrorLatch::Failed(e) => Err(e),
             ErrorLatch::Poisoned => Err(AtcError::Format(
-                "chunk compression pool failed earlier; the trace is incomplete".into(),
+                "lossy compression pipeline failed earlier; the trace is incomplete".into(),
             )),
         }
     }
 }
 
-impl ChunkPool {
-    fn spawn(codec: &Arc<dyn Codec>, threads: usize) -> Self {
-        let latch: Arc<Mutex<ErrorLatch>> = Arc::default();
-        let codec = Arc::clone(codec);
-        let worker_latch = Arc::clone(&latch);
-        // Bound queued chunks to 2x threads: each job holds a whole
-        // interval of addresses, so the queue is the dominant memory cost.
-        // Each worker owns a StreamScratch threaded through every chunk
-        // file it writes, so only its first chunk pays the segment-buffer
-        // allocations.
-        let pool = WorkerPool::spawn_with(threads, threads * 2, "atc-chunk", move || {
-            let codec = Arc::clone(&codec);
-            let worker_latch = Arc::clone(&worker_latch);
-            let mut scratch = StreamScratch::default();
-            move |job: ChunkJob| {
-                if !matches!(
-                    *worker_latch.lock().expect("error latch poisoned"),
-                    ErrorLatch::Ok
-                ) {
-                    return; // drain cheaply once failed
+/// Producer ↔ actor ↔ chunk-task handoff state.
+#[derive(Debug, Default)]
+struct LossyQueue {
+    /// Finished intervals awaiting classification, in arrival order.
+    intervals: VecDeque<Vec<u64>>,
+    /// An actor task is scheduled or running.
+    actor_live: bool,
+    /// Chunk-compression tasks in flight.
+    pending_chunks: usize,
+    /// Recycled interval buffers for the producer.
+    spare: Vec<Vec<u64>>,
+    /// Mirror of the error latch, checkable without taking the actor lock.
+    failed: bool,
+}
+
+/// Classifier-side state — the *one* copy of the classification and
+/// record-writing logic, owned by the producer thread in inline mode
+/// and by the serialized actor task in engine mode, so the two paths
+/// cannot drift apart (their byte-identity is a format invariant).
+#[derive(Debug)]
+struct LossyCore {
+    classifier: PhaseClassifier,
+    /// `Some` until `finish` takes it to terminate the stream.
+    info: Option<CodecWriter<BufWriter<File>>>,
+    next_chunk_id: u64,
+    intervals: u64,
+    imitations: u64,
+}
+
+/// What [`LossyCore::classify_and_record`] decided about the payload.
+enum Recorded {
+    /// The interval became chunk `id`: compress `addrs` into its file.
+    StoreChunk { id: u64, addrs: Vec<u64> },
+    /// The interval was recorded as an imitation; `addrs` is free for
+    /// reuse.
+    Imitated { addrs: Vec<u64> },
+}
+
+impl LossyCore {
+    /// Classifies one finished interval and writes its
+    /// [`IntervalRecord`]; the caller decides how to store a chunk
+    /// payload (inline write vs engine task).
+    fn classify_and_record(&mut self, interval: Vec<u64>, interval_len: usize) -> Result<Recorded> {
+        self.intervals += 1;
+        let full = interval.len() == interval_len;
+        let classification = if full {
+            self.classifier.classify(&interval, self.next_chunk_id)
+        } else {
+            // Final partial interval: always stored (imitating with a
+            // chunk of different length would change the trace length).
+            Classification::NewChunk
+        };
+        let info = self.info.as_mut().expect("info stream lives until finish");
+        match classification {
+            Classification::NewChunk => {
+                let id = self.next_chunk_id;
+                self.next_chunk_id += 1;
+                let len = interval.len() as u64;
+                IntervalRecord::NewChunk { chunk_id: id, len }.write(info)?;
+                Ok(Recorded::StoreChunk {
+                    id,
+                    addrs: interval,
+                })
+            }
+            Classification::Imitate {
+                chunk_id,
+                translations,
+                ..
+            } => {
+                self.imitations += 1;
+                IntervalRecord::Imitate {
+                    chunk_id,
+                    translations,
                 }
-                if let Err(e) =
-                    write_chunk_file_with(&codec, &job.path, &job.addrs, job.buffer, &mut scratch)
-                {
-                    worker_latch.lock().expect("error latch poisoned").record(e);
+                .write(info)?;
+                Ok(Recorded::Imitated { addrs: interval })
+            }
+        }
+    }
+}
+
+/// Everything the engine-backed lossy pipeline shares across tasks.
+#[derive(Debug)]
+struct LossyShared {
+    queue: Mutex<LossyQueue>,
+    /// Signaled on every queue transition: the producer waits here for
+    /// room, `finish` waits here for quiescence.
+    changed: Condvar,
+    /// Only the single live actor task (and `finish`, after quiescence)
+    /// locks this, so classification never contends with the producer.
+    actor: Mutex<LossyCore>,
+    latch: Mutex<ErrorLatch>,
+    // Immutable pipeline parameters.
+    dir: PathBuf,
+    codec: Arc<dyn Codec>,
+    buffer: usize,
+    interval_len: usize,
+}
+
+impl LossyShared {
+    fn queue(&self) -> MutexGuard<'_, LossyQueue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fail(&self, e: AtcError) {
+        self.latch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(e);
+        self.queue().failed = true;
+        self.changed.notify_all();
+    }
+
+    fn surface(&self) -> Result<()> {
+        self.latch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .surface()
+    }
+
+    /// Recycles a drained interval buffer for the producer.
+    fn recycle(&self, mut buf: Vec<u64>, cap: usize) {
+        buf.clear();
+        let mut q = self.queue();
+        if q.spare.len() < cap {
+            q.spare.push(buf);
+        }
+    }
+}
+
+/// The engine-backed lossy write pipeline (see [`LossyBack::Engine`]).
+#[derive(Debug)]
+struct LossyPipeline {
+    engine: Engine,
+    /// Home worker for this writer's tasks (idle workers steal from it).
+    home: usize,
+    shared: Arc<LossyShared>,
+    /// Per-worker [`StreamScratch`] threaded through every chunk file a
+    /// worker writes, so only its first chunk pays the segment-buffer
+    /// allocations.
+    scratch: Arc<WorkerLocal<StreamScratch>>,
+    /// Queue bound in intervals (producer blocks past it): each queued
+    /// interval holds a whole `L`-address buffer, so the queue is the
+    /// dominant memory cost.
+    cap: usize,
+}
+
+impl LossyPipeline {
+    fn new(engine: Engine, shared: Arc<LossyShared>, threads: usize) -> Self {
+        let home = engine.assign_home();
+        let scratch = Arc::new(WorkerLocal::new(&engine));
+        Self {
+            engine,
+            home,
+            shared,
+            scratch,
+            cap: threads.max(1) * 2,
+        }
+    }
+
+    /// Hands a finished interval to the pipeline, swapping a recycled
+    /// buffer into `interval`. Blocks while the queue is full.
+    fn submit_interval(&self, interval: &mut Vec<u64>) -> Result<()> {
+        let shared = &self.shared;
+        let mut q = shared.queue();
+        // The bound counts queued intervals AND chunk tasks in flight:
+        // each holds a whole L-address buffer, so this is the writer's
+        // memory cap. The producer is the only blocker — the actor
+        // converts queued intervals to pending chunks one-for-one and
+        // chunk tasks only ever decrement, so no engine task waits here.
+        while q.intervals.len() + q.pending_chunks >= self.cap && !q.failed {
+            q = shared.changed.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.failed {
+            drop(q);
+            return shared.surface();
+        }
+        let replacement = q
+            .spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(shared.interval_len.min(1 << 24)));
+        q.intervals
+            .push_back(std::mem::replace(interval, replacement));
+        let schedule = !q.actor_live;
+        if schedule {
+            q.actor_live = true;
+        }
+        drop(q);
+        if schedule {
+            let engine = self.engine.clone();
+            let home = self.home;
+            let shared = Arc::clone(shared);
+            let scratch = Arc::clone(&self.scratch);
+            self.engine
+                .submit(self.home, move || run_actor(engine, home, shared, scratch));
+        }
+        Ok(())
+    }
+
+    /// Blocks until the queue is drained, the actor retired, and every
+    /// chunk task landed; then surfaces any pipeline failure.
+    fn quiesce(&self) -> Result<()> {
+        let shared = &self.shared;
+        let mut q = shared.queue();
+        while q.actor_live || !q.intervals.is_empty() || q.pending_chunks > 0 {
+            q = shared.changed.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(q);
+        shared.surface()
+    }
+}
+
+/// Actor-task body: drains queued intervals strictly in arrival order —
+/// classification is stateful (the chunk table), so it is serialized as
+/// one live task rather than fanned out; the heavy per-interval work
+/// still runs on the engine, off the producer thread, and the chunk
+/// payloads it discovers fan out as independent tasks.
+fn run_actor(
+    engine: Engine,
+    home: usize,
+    shared: Arc<LossyShared>,
+    scratch: Arc<WorkerLocal<StreamScratch>>,
+) {
+    loop {
+        let (interval, failed) = {
+            let mut q = shared.queue();
+            match q.intervals.pop_front() {
+                Some(iv) => {
+                    let failed = q.failed;
+                    drop(q);
+                    shared.changed.notify_all();
+                    (iv, failed)
+                }
+                None => {
+                    q.actor_live = false;
+                    drop(q);
+                    shared.changed.notify_all();
+                    return;
                 }
             }
-        });
-        Self { pool, latch }
+        };
+        if failed {
+            // Drain cheaply once poisoned; finish() replays the error.
+            shared.recycle(interval, usize::MAX);
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            classify_one(&engine, home, &shared, &scratch, interval)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => shared.fail(e),
+            Err(p) => shared.fail(AtcError::Format(format!(
+                "interval classification panicked: {}",
+                panic_message(&*p)
+            ))),
+        }
     }
+}
 
-    /// Surfaces a worker failure (the original error first, a poisoned
-    /// error on every call after that).
-    fn check(&self) -> Result<()> {
-        self.latch.lock().expect("error latch poisoned").surface()
+/// Classifies one interval and writes its record; on `NewChunk`, fans the
+/// chunk payload out as an engine task.
+fn classify_one(
+    engine: &Engine,
+    home: usize,
+    shared: &Arc<LossyShared>,
+    scratch: &Arc<WorkerLocal<StreamScratch>>,
+    interval: Vec<u64>,
+) -> Result<()> {
+    let mut actor = shared.actor.lock().unwrap_or_else(|e| e.into_inner());
+    match actor.classify_and_record(interval, shared.interval_len)? {
+        Recorded::StoreChunk { id, addrs } => {
+            let path = shared.dir.join(format::chunk_file_name(id));
+            shared.queue().pending_chunks += 1;
+            let shared = Arc::clone(shared);
+            let scratch = Arc::clone(scratch);
+            engine.submit(home, move || run_chunk(shared, scratch, path, addrs));
+        }
+        Recorded::Imitated { addrs } => shared.recycle(addrs, 8),
     }
+    Ok(())
+}
 
-    fn submit(&self, job: ChunkJob) -> Result<()> {
-        self.check()?;
-        self.pool
-            .submit(job)
-            .map_err(|_| AtcError::Format("chunk compression pool died".into()))
+/// Chunk-task body: compresses one chunk file through this worker's
+/// reused [`StreamScratch`]. Chunk files are independent of each other
+/// and of the interval trace, so they need no ordering — only completion
+/// before `finish`.
+fn run_chunk(
+    shared: Arc<LossyShared>,
+    scratch: Arc<WorkerLocal<StreamScratch>>,
+    path: PathBuf,
+    addrs: Vec<u64>,
+) {
+    let failed = shared.queue().failed;
+    if !failed {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scratch.with(|s| write_chunk_file_with(&shared.codec, &path, &addrs, shared.buffer, s))
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => shared.fail(e),
+            Err(p) => shared.fail(AtcError::Format(format!(
+                "chunk compression panicked: {}",
+                panic_message(&*p)
+            ))),
+        }
     }
-
-    /// Closes the queue, waits for all chunk files to land, and surfaces
-    /// any worker failure.
-    fn finish(self) -> Result<()> {
-        let Self { pool, latch } = self;
-        pool.join()
-            .map_err(|_| AtcError::Format("chunk worker panicked".into()))?;
-        let result = latch.lock().expect("error latch poisoned").surface();
-        result
-    }
+    shared.recycle(addrs, 8);
+    let mut q = shared.queue();
+    q.pending_chunks -= 1;
+    drop(q);
+    shared.changed.notify_all();
 }
 
 /// Compresses one chunk file (inline path, no scratch carried over).
@@ -263,7 +514,7 @@ fn write_chunk_file(
 
 /// Compresses one chunk file, cycling `scratch` through the stream so a
 /// worker writing many chunks reuses its segment buffers (shared by the
-/// inline path and the pool workers).
+/// inline path and the engine chunk tasks).
 fn write_chunk_file_with(
     codec: &Arc<dyn Codec>,
     path: &Path,
@@ -282,8 +533,8 @@ fn write_chunk_file_with(
         format::write_frame(&mut out, chunk)?;
     }
     // On success the stream's buffers come back for the next chunk; on
-    // error they are dropped with the failed stream (the pool is poisoned
-    // at that point anyway).
+    // error they are dropped with the failed stream (the pipeline is
+    // poisoned at that point anyway).
     let (_, reclaimed) = out.finish_with_scratch()?;
     *scratch = reclaimed;
     Ok(())
@@ -300,7 +551,8 @@ impl AtcWriter {
         Self::with_options(dir, mode, AtcOptions::default())
     }
 
-    /// Creates a trace directory with explicit options.
+    /// Creates a trace directory with explicit options, running any
+    /// parallel work on the process-wide engine.
     ///
     /// # Errors
     ///
@@ -308,6 +560,32 @@ impl AtcWriter {
     /// the codec name is unknown, `buffer` is zero, or the lossy
     /// configuration is invalid.
     pub fn with_options<P: AsRef<Path>>(dir: P, mode: Mode, options: AtcOptions) -> Result<Self> {
+        Self::build(dir, mode, options, None)
+    }
+
+    /// Like [`AtcWriter::with_options`], but submits parallel work to an
+    /// explicit `engine` — the injection point for tests and for
+    /// containers (the sharded store) that feed many writers into one
+    /// worker set so an idle writer's capacity serves a busy one.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AtcWriter::with_options`].
+    pub fn with_options_engine<P: AsRef<Path>>(
+        dir: P,
+        mode: Mode,
+        options: AtcOptions,
+        engine: Engine,
+    ) -> Result<Self> {
+        Self::build(dir, mode, options, Some(engine))
+    }
+
+    fn build<P: AsRef<Path>>(
+        dir: P,
+        mode: Mode,
+        options: AtcOptions,
+        engine: Option<Engine>,
+    ) -> Result<Self> {
         if options.buffer == 0 {
             return Err(AtcError::Format("buffer size must be positive".into()));
         }
@@ -325,27 +603,69 @@ impl AtcWriter {
         }
 
         let threads = options.threads.max(1);
+        let engine = if threads > 1 {
+            Some(engine.unwrap_or_else(|| Engine::global_with(threads)))
+        } else {
+            None
+        };
         let state = match mode {
             Mode::Lossless => {
                 let file = BufWriter::new(File::create(dir.join(format::DATA_FILE))?);
                 // threads <= 1 runs inline on this thread — exactly the
                 // serial CodecWriter path and byte-identical output.
+                let out = match engine {
+                    Some(e) => ParallelCodecWriter::with_engine(
+                        file,
+                        Arc::clone(&codec),
+                        atc_codec::DEFAULT_SEGMENT_SIZE,
+                        threads,
+                        e,
+                    ),
+                    None => ParallelCodecWriter::new(file, Arc::clone(&codec), threads),
+                };
                 State::Lossless {
-                    out: ParallelCodecWriter::new(file, Arc::clone(&codec), threads),
+                    out: Box::new(out),
                     buf: Vec::with_capacity(options.buffer.min(1 << 24)),
                 }
             }
             Mode::Lossy(cfg) => {
                 cfg.validate().map_err(AtcError::Format)?;
+                let interval_len = cfg.interval_len;
                 let file = BufWriter::new(File::create(dir.join(format::INFO_FILE))?);
+                let info = CodecWriter::new(file, Arc::clone(&codec));
+                let classifier = PhaseClassifier::new(cfg);
+                let back = match engine {
+                    Some(e) => {
+                        let shared = Arc::new(LossyShared {
+                            queue: Mutex::new(LossyQueue::default()),
+                            changed: Condvar::new(),
+                            actor: Mutex::new(LossyCore {
+                                classifier,
+                                info: Some(info),
+                                next_chunk_id: 0,
+                                intervals: 0,
+                                imitations: 0,
+                            }),
+                            latch: Mutex::new(ErrorLatch::default()),
+                            dir: dir.clone(),
+                            codec: Arc::clone(&codec),
+                            buffer: options.buffer,
+                            interval_len,
+                        });
+                        LossyBack::Engine(LossyPipeline::new(e, shared, threads))
+                    }
+                    None => LossyBack::Inline(Box::new(LossyCore {
+                        classifier,
+                        info: Some(info),
+                        next_chunk_id: 0,
+                        intervals: 0,
+                        imitations: 0,
+                    })),
+                };
                 State::Lossy {
-                    interval: Vec::with_capacity(cfg.interval_len.min(1 << 24)),
-                    classifier: PhaseClassifier::new(cfg),
-                    info: CodecWriter::new(file, Arc::clone(&codec)),
-                    next_chunk_id: 0,
-                    intervals: 0,
-                    imitations: 0,
-                    pool: (threads > 1).then(|| ChunkPool::spawn(&codec, threads)),
+                    interval: Vec::with_capacity(interval_len.min(1 << 24)),
+                    interval_len,
+                    back,
                 }
             }
         };
@@ -366,7 +686,6 @@ impl AtcWriter {
     /// Propagates I/O and codec errors.
     pub fn code(&mut self, value: u64) -> Result<()> {
         self.count += 1;
-        let interval_len = self.interval_len();
         let buffer = self.buffer;
         match &mut self.state {
             State::Lossless { out, buf } => {
@@ -377,9 +696,13 @@ impl AtcWriter {
                 }
                 Ok(())
             }
-            State::Lossy { interval, .. } => {
+            State::Lossy {
+                interval,
+                interval_len,
+                ..
+            } => {
                 interval.push(value);
-                if interval.len() == interval_len {
+                if interval.len() == *interval_len {
                     self.end_interval()
                 } else {
                     Ok(())
@@ -405,24 +728,12 @@ impl AtcWriter {
         self.count
     }
 
-    fn interval_len(&self) -> usize {
-        match &self.state {
-            State::Lossy { classifier, .. } => classifier.config().interval_len,
-            State::Lossless { .. } => usize::MAX,
-        }
-    }
-
     /// Finishes the interval currently buffered (lossy mode only).
     fn end_interval(&mut self) -> Result<()> {
-        // Take the interval buffer out of the state to appease borrows.
         let State::Lossy {
-            classifier,
             interval,
-            info,
-            next_chunk_id,
-            intervals,
-            imitations,
-            pool,
+            interval_len,
+            back,
         } = &mut self.state
         else {
             unreachable!("end_interval is only called in lossy mode");
@@ -430,54 +741,25 @@ impl AtcWriter {
         if interval.is_empty() {
             return Ok(());
         }
-        *intervals += 1;
-        let full = interval.len() == classifier.config().interval_len;
-        let classification = if full {
-            classifier.classify(interval, *next_chunk_id)
-        } else {
-            // Final partial interval: always stored (imitating with a chunk
-            // of different length would change the trace length).
-            Classification::NewChunk
-        };
-        match classification {
-            Classification::NewChunk => {
-                let id = *next_chunk_id;
-                *next_chunk_id += 1;
-                let len = interval.len() as u64;
-                let path = self.dir.join(format::chunk_file_name(id));
-                if let Some(pool) = pool {
-                    // Hand the whole chunk to the background pool; the
-                    // interval record can be written immediately (chunk
-                    // files need no ordering, only completion by finish).
-                    // The replacement buffer is pre-sized so the next
-                    // interval does not regrow from zero capacity.
-                    let capacity = classifier.config().interval_len.min(1 << 24);
-                    let addrs = std::mem::replace(interval, Vec::with_capacity(capacity));
-                    pool.submit(ChunkJob {
-                        path,
-                        addrs,
-                        buffer: self.buffer,
-                    })?;
-                } else {
-                    write_chunk_file(&self.codec, &path, interval, self.buffer)?;
-                }
-                IntervalRecord::NewChunk { chunk_id: id, len }.write(info)?;
-            }
-            Classification::Imitate {
-                chunk_id,
-                translations,
-                ..
-            } => {
-                *imitations += 1;
-                IntervalRecord::Imitate {
-                    chunk_id,
-                    translations,
-                }
-                .write(info)?;
+        match back {
+            LossyBack::Engine(pipeline) => pipeline.submit_interval(interval),
+            LossyBack::Inline(core) => {
+                let mut addrs =
+                    match core.classify_and_record(std::mem::take(interval), *interval_len)? {
+                        Recorded::StoreChunk { id, addrs } => {
+                            let path = self.dir.join(format::chunk_file_name(id));
+                            write_chunk_file(&self.codec, &path, &addrs, self.buffer)?;
+                            addrs
+                        }
+                        Recorded::Imitated { addrs } => addrs,
+                    };
+                // The payload buffer cycles back as the next interval's
+                // accumulator.
+                addrs.clear();
+                *interval = addrs;
+                Ok(())
             }
         }
-        interval.clear();
-        Ok(())
     }
 
     /// Flushes buffered data, writes the `meta` header, and returns the
@@ -487,46 +769,54 @@ impl AtcWriter {
     ///
     /// Propagates I/O and codec errors.
     pub fn finish(mut self) -> Result<AtcStats> {
-        let (intervals, chunks, imitations, interval_len, threshold) = match &mut self.state {
-            State::Lossless { .. } => (0, 0, 0, 0u64, 0.0),
-            State::Lossy { .. } => {
-                self.end_interval()?;
-                let State::Lossy {
-                    intervals,
-                    next_chunk_id,
-                    imitations,
-                    classifier,
-                    ..
-                } = &self.state
-                else {
-                    unreachable!();
-                };
-                (
-                    *intervals,
-                    *next_chunk_id,
-                    *imitations,
-                    classifier.config().interval_len as u64,
-                    classifier.config().threshold,
-                )
-            }
-        };
+        if matches!(self.state, State::Lossy { .. }) {
+            self.end_interval()?;
+        }
 
-        match self.state {
+        let (intervals, chunks, imitations, interval_len, threshold) = match self.state {
             State::Lossless { mut out, buf } => {
                 if !buf.is_empty() {
                     format::write_frame(&mut out, &buf)?;
                 }
                 out.finish()?;
+                (0, 0, 0, 0u64, 0.0)
             }
-            State::Lossy { info, pool, .. } => {
-                info.finish()?;
-                if let Some(pool) = pool {
-                    // All chunk files must be on disk before the header
-                    // is written and the directory size measured.
-                    pool.finish()?;
+            State::Lossy {
+                interval_len, back, ..
+            } => match back {
+                LossyBack::Inline(mut inline) => {
+                    let info = inline.info.take().expect("info lives until finish");
+                    info.finish()?;
+                    (
+                        inline.intervals,
+                        inline.next_chunk_id,
+                        inline.imitations,
+                        interval_len as u64,
+                        inline.classifier.config().threshold,
+                    )
                 }
-            }
-        }
+                LossyBack::Engine(pipeline) => {
+                    // All interval records and chunk files must be on
+                    // disk before the header is written and the
+                    // directory size measured.
+                    pipeline.quiesce()?;
+                    let mut actor = pipeline
+                        .shared
+                        .actor
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    let info = actor.info.take().expect("info lives until finish");
+                    info.finish()?;
+                    (
+                        actor.intervals,
+                        actor.next_chunk_id,
+                        actor.imitations,
+                        interval_len as u64,
+                        actor.classifier.config().threshold,
+                    )
+                }
+            },
+        };
 
         let meta = Meta {
             version: FORMAT_VERSION,
@@ -620,6 +910,67 @@ mod tests {
         assert!(dir.join("chunk-000000.atc").exists());
         assert!(dir.join("info.atc").exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_engine_pipeline_matches_inline_bytes() {
+        // The classifier actor + chunk tasks must produce a directory
+        // byte-identical to the inline path, at several worker counts
+        // including workers < requested parallelism.
+        let cfg = || LossyConfig {
+            interval_len: 300,
+            ..LossyConfig::default()
+        };
+        let mut addrs = Vec::new();
+        for lap in 0..12u64 {
+            for i in 0..300u64 {
+                addrs.push(((lap % 4) << 32) + i * 64);
+            }
+        }
+        addrs.extend((0..50u64).map(|i| i * 8)); // partial tail interval
+        let write = |name: &str, threads: usize, engine: Option<Engine>| {
+            let dir = tmp(name);
+            let options = AtcOptions {
+                codec: "bzip".into(),
+                buffer: 128,
+                threads,
+            };
+            let mut w = match engine {
+                Some(e) => {
+                    AtcWriter::with_options_engine(&dir, Mode::Lossy(cfg()), options, e).unwrap()
+                }
+                None => AtcWriter::with_options(&dir, Mode::Lossy(cfg()), options).unwrap(),
+            };
+            w.code_all(addrs.iter().copied()).unwrap();
+            let stats = w.finish().unwrap();
+            (dir, stats)
+        };
+        let (inline_dir, inline_stats) = write("lossy-eng-inline", 1, None);
+        let read_all = |dir: &Path| {
+            let mut names: Vec<String> = fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+                .iter()
+                .map(|n| (n.clone(), fs::read(dir.join(n)).unwrap()))
+                .collect::<Vec<_>>()
+        };
+        let expect = read_all(&inline_dir);
+        for workers in [1usize, 2, 4] {
+            let (dir, stats) = write(
+                &format!("lossy-eng-{workers}"),
+                4,
+                Some(Engine::new(workers)),
+            );
+            assert_eq!(stats.chunks, inline_stats.chunks, "workers={workers}");
+            assert_eq!(stats.imitations, inline_stats.imitations);
+            assert_eq!(stats.intervals, inline_stats.intervals);
+            assert_eq!(read_all(&dir), expect, "workers={workers}");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        fs::remove_dir_all(&inline_dir).unwrap();
     }
 
     #[test]

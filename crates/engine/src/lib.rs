@@ -1,0 +1,713 @@
+//! Shared work-stealing execution runtime for the compression pipelines.
+//!
+//! Before this crate, every parallel layer of the workspace owned its own
+//! thread pool: the segment pool of `ParallelCodecWriter`, the readahead
+//! decode pool, the multi-block `Bzip` scoped threads, and the lossy
+//! chunk pool — plus a *static* per-shard split of the store's thread
+//! budget. Idle capacity in one pool could not help a busy neighbour.
+//!
+//! [`Engine`] replaces all of them with one scheduler over independent
+//! tasks: a fixed set of long-lived worker threads, each with its own
+//! FIFO deque, plus a shared injector queue. A submitter is assigned a
+//! *home* worker ([`Engine::assign_home`]); its tasks queue on that
+//! worker's deque, and any worker that runs dry first drains the
+//! injector, then **steals** from the other deques. A shard (or stream)
+//! with nothing to do therefore automatically donates its capacity to a
+//! busy one — the [`EngineStats::steals`] counter makes the donation
+//! observable.
+//!
+//! Ordering is deliberately *not* the engine's job: tasks are independent,
+//! and each submitter restores its own order (the codec writers reassemble
+//! frames by sequence number, the lossy classifier is a single serialized
+//! actor task). That per-block independence is what lets the same bytes
+//! come out at every worker count.
+//!
+//! Three task-submission shapes cover every pipeline in the workspace:
+//!
+//! * [`Engine::submit`] — fire-and-forget `'static` task on a home deque
+//!   (segment compression, readahead decode, chunk files).
+//! * [`Engine::scope`] — structured fork/join over tasks that may borrow
+//!   the caller's stack ([`Scope::spawn`]); the scoping thread helps run
+//!   its own tasks, so a scope opened *from inside* an engine task cannot
+//!   deadlock.
+//! * [`WorkerLocal`] — per-worker scratch storage, so a task category can
+//!   reuse buffers across tasks without locking during the work itself.
+//!
+//! There is one process-wide default engine ([`Engine::global_with`]),
+//! grown to the largest worker count any caller has asked for; writers and
+//! readers also accept an injected [`Engine`] so tests can pin worker
+//! counts and read isolated counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use atc_engine::Engine;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(2);
+//! let sum = Arc::new(AtomicU64::new(0));
+//! engine.scope(|s| {
+//!     for i in 0..10u64 {
+//!         let sum = Arc::clone(&sum);
+//!         s.spawn(move || {
+//!             sum.fetch_add(i, Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 45);
+//! assert!(engine.stats().tasks_run <= 10); // scoper helps run its own tasks
+//! ```
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A queued unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Renders a caught panic payload for an error message.
+///
+/// Submitters that `catch_unwind` inside their tasks (to convert a
+/// panicking codec into a latched stream error) share this one
+/// downcast-and-borrow helper.
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+thread_local! {
+    /// Index of the engine worker running on this thread (None on
+    /// producer/consumer threads).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Snapshot of an engine's counters (see [`Engine::stats`]).
+///
+/// All counters are cumulative since the engine was created and are
+/// updated with relaxed atomics — exact totals once the engine is
+/// quiescent, approximate while tasks are in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tasks handed to the engine (home deques + injector).
+    pub submitted: u64,
+    /// Tasks executed by engine workers (excludes scope tasks the
+    /// scoping thread ran itself).
+    pub tasks_run: u64,
+    /// Tasks a worker took from *another* worker's deque — the
+    /// work-donation counter: nonzero means an idle worker picked up a
+    /// busy submitter's backlog.
+    pub steals: u64,
+    /// Tasks that panicked (the panic is caught; the submitter observes
+    /// it through its own result channel).
+    pub panics: u64,
+    /// [`WorkerLocal`] slots initialized fresh.
+    pub scratch_fresh: u64,
+    /// [`WorkerLocal`] slots reused from an earlier task on the same
+    /// worker.
+    pub scratch_reused: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    tasks_run: AtomicU64,
+    steals: AtomicU64,
+    panics: AtomicU64,
+    scratch_fresh: AtomicU64,
+    scratch_reused: AtomicU64,
+}
+
+/// Queues shared by every worker and handle.
+struct State {
+    /// One FIFO deque per worker; submitters push to their home deque.
+    deques: Vec<VecDeque<Task>>,
+    /// Overflow/anonymous queue drained by whichever worker is free.
+    injector: VecDeque<Task>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    counters: Counters,
+    /// Set when the last owning handle drops: workers drain what is
+    /// queued, then exit.
+    shutdown: AtomicBool,
+    next_home: AtomicUsize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Worker bodies never panic while holding this lock (tasks run
+        // outside it), but recover anyway rather than cascading.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard owned by [`Engine`] handles only (never by worker threads or
+/// queued tasks' captured handles... those clone the whole `Engine`, which
+/// keeps the guard alive until the task ran). Dropping the last one tells
+/// the workers to drain and exit.
+struct ShutdownGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Notify under the state lock: a worker between its shutdown
+        // check and `work.wait()` holds that lock, so acquiring it here
+        // guarantees the worker is either before the check (and will see
+        // the flag) or already waiting (and will get the wakeup) — a
+        // bare notify could land in between and be lost forever.
+        let state = self.shared.lock();
+        self.shared.work.notify_all();
+        drop(state);
+    }
+}
+
+/// A handle to a work-stealing task engine.
+///
+/// Cheap to clone; the worker threads live until every handle is dropped
+/// (they finish whatever is queued first). The process-wide default
+/// engine from [`Engine::global_with`] is never shut down.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    _guard: Arc<ShutdownGuard>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Spawns an engine with `workers` worker threads (`0` is clamped
+    /// to 1).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                deques: Vec::new(),
+                injector: VecDeque::new(),
+            }),
+            work: Condvar::new(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_home: AtomicUsize::new(0),
+        });
+        let engine = Self {
+            _guard: Arc::new(ShutdownGuard {
+                shared: Arc::clone(&shared),
+            }),
+            shared,
+        };
+        engine.grow_to(workers.max(1));
+        engine
+    }
+
+    /// The process-wide default engine, grown to at least `min_workers`.
+    ///
+    /// Every writer/reader that is not handed an explicit engine submits
+    /// here, so one process shares one set of compression workers no
+    /// matter how many streams are open. The worker count only ever
+    /// grows (to the largest count any caller requested) and the engine
+    /// lives for the rest of the process.
+    pub fn global_with(min_workers: usize) -> Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        let engine = GLOBAL.get_or_init(|| Engine::new(min_workers.max(1)));
+        engine.grow_to(min_workers);
+        engine.clone()
+    }
+
+    /// Adds workers until the engine has at least `target` of them.
+    fn grow_to(&self, target: usize) {
+        let mut state = self.shared.lock();
+        while state.deques.len() < target {
+            let index = state.deques.len();
+            state.deques.push(VecDeque::new());
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("atc-engine-{index}"))
+                .spawn(move || worker(shared, index))
+                .expect("spawn engine worker");
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.lock().deques.len()
+    }
+
+    /// Assigns a home worker index for a new submitter (round-robin).
+    ///
+    /// Tasks submitted to a home land on that worker's deque; idle
+    /// workers steal from it, so the home is an affinity hint, never a
+    /// constraint.
+    pub fn assign_home(&self) -> usize {
+        self.shared.next_home.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Queues `task` on the deque of `home`'s worker (modulo the worker
+    /// count). Never blocks; submitters bound their own in-flight work.
+    pub fn submit(&self, home: usize, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.lock();
+        let slot = home % state.deques.len();
+        state.deques[slot].push_back(Box::new(task));
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        // One task, one wakeup: any single woken worker can run it (own
+        // deque, injector, or steal), so notify_all would only stampede
+        // the other sleepers through the state lock for nothing.
+        self.shared.work.notify_one();
+    }
+
+    /// Queues `task` on the shared injector (no home affinity).
+    pub fn submit_any(&self, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.lock();
+        state.injector.push_back(Box::new(task));
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn tasks borrowing from the
+    /// caller's stack, and returns once every spawned task finished.
+    ///
+    /// Spawned tasks are offered to the engine workers, and the scoping
+    /// thread *also* runs them itself while it waits — so a scope is never
+    /// slower than doing the work inline, and a scope opened from inside
+    /// an engine task cannot deadlock even with a single worker.
+    ///
+    /// # Panics
+    ///
+    /// If a spawned task panics, the panic is resumed on the scoping
+    /// thread after all other tasks in the scope finished (mirroring
+    /// `std::thread::scope`).
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let inner = Arc::new(ScopeInner::default());
+        let scope = Scope {
+            engine: self.clone(),
+            inner: Arc::clone(&inner),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help: run this scope's not-yet-started tasks on this thread.
+        while let Some(task) = inner.pop_task() {
+            inner.run_one(task);
+        }
+        let panic = inner.wait_done();
+        match (result, panic) {
+            (Ok(r), None) => r,
+            (_, Some(p)) => std::panic::resume_unwind(p),
+            (Err(p), None) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.shared.counters;
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            tasks_run: c.tasks_run.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            scratch_fresh: c.scratch_fresh.load(Ordering::Relaxed),
+            scratch_reused: c.scratch_reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Index of the engine worker running the current thread, if any.
+    pub fn current_worker() -> Option<usize> {
+        WORKER_INDEX.with(Cell::get)
+    }
+}
+
+/// Worker-thread body: own deque first, then the injector, then steal.
+fn worker(shared: Arc<Shared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        let (task, stolen) = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(task) = state.deques[index].pop_front() {
+                    break (task, false);
+                }
+                if let Some(task) = state.injector.pop_front() {
+                    break (task, false);
+                }
+                // Steal from the front of the first busy sibling,
+                // scanning round-robin from our own index.
+                let n = state.deques.len();
+                let victim = (1..n)
+                    .map(|d| (index + d) % n)
+                    .find(|&j| !state.deques[j].is_empty());
+                if let Some(j) = victim {
+                    let task = state.deques[j].pop_front().expect("victim checked");
+                    break (task, true);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if stolen {
+            shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            // Submitters observe the failure through their own result
+            // channels (a missing result / poisoned latch); the worker
+            // itself must survive to run unrelated submitters' tasks.
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Default)]
+struct ScopeSync {
+    spawned: usize,
+    completed: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+#[derive(Default)]
+struct ScopeInner {
+    /// Spawned-but-not-started closures (lifetime-erased; see the safety
+    /// argument in [`Scope::spawn`]).
+    tasks: Mutex<VecDeque<Task>>,
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+impl ScopeInner {
+    fn pop_task(&self) -> Option<Task> {
+        self.tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    fn run_one(&self, task: Task) {
+        let result = catch_unwind(AssertUnwindSafe(task));
+        let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(p) = result {
+            sync.panic.get_or_insert(p);
+        }
+        sync.completed += 1;
+        self.done.notify_all();
+    }
+
+    /// Blocks until every spawned task completed; returns the first
+    /// panic payload, if any.
+    fn wait_done(&self) -> Option<Box<dyn Any + Send>> {
+        let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        while sync.completed < sync.spawned {
+            sync = self.done.wait(sync).unwrap_or_else(|e| e.into_inner());
+        }
+        sync.panic.take()
+    }
+}
+
+/// Spawn surface of [`Engine::scope`]: fork tasks that may borrow from
+/// the enclosing stack frame.
+pub struct Scope<'env> {
+    engine: Engine,
+    inner: Arc<ScopeInner>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a task that may borrow `'env` data.
+    ///
+    /// The task runs on an engine worker or on the scoping thread itself
+    /// (whichever gets to it first); [`Engine::scope`] does not return
+    /// until it finished either way.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the closure may borrow 'env data, but `Engine::scope`
+        // does not return before `wait_done` saw every spawned closure
+        // complete, so no borrow outlives its stack frame. Workers that
+        // pick up the ticket below after the scope already drained the
+        // queue find it empty and touch nothing.
+        let boxed: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(boxed) };
+        {
+            let mut sync = self.inner.sync.lock().unwrap_or_else(|e| e.into_inner());
+            sync.spawned += 1;
+        }
+        self.inner
+            .tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(boxed);
+        let inner = Arc::clone(&self.inner);
+        self.engine.submit_any(move || {
+            if let Some(task) = inner.pop_task() {
+                inner.run_one(task);
+            }
+        });
+    }
+}
+
+/// Per-worker scratch storage: one `T` slot per engine worker, taken for
+/// the duration of a task and put back afterwards.
+///
+/// This is how task categories thread reusable buffers through the shared
+/// engine without a lock held during the work: [`WorkerLocal::with`]
+/// removes the current worker's slot under a short lock, runs the
+/// closure lock-free, and restores the slot. Calls from non-worker
+/// threads (the inline `threads <= 1` paths) get a fresh `T` each time.
+/// Fresh-vs-reused counts feed [`EngineStats::scratch_fresh`] /
+/// [`EngineStats::scratch_reused`].
+#[derive(Debug)]
+pub struct WorkerLocal<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    engine: Engine,
+}
+
+impl<T: Default + Send> WorkerLocal<T> {
+    /// Creates empty per-worker storage bound to `engine`'s counters.
+    pub fn new(engine: &Engine) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            engine: engine.clone(),
+        }
+    }
+
+    /// Runs `f` with this worker's slot (default-initialized on first
+    /// use), restoring the slot afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let index = Engine::current_worker();
+        let counters = &self.engine.shared.counters;
+        let mut value = match index {
+            Some(i) => {
+                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                if slots.len() <= i {
+                    slots.resize_with(i + 1, || None);
+                }
+                slots[i].take()
+            }
+            None => None,
+        };
+        match &value {
+            Some(_) => counters.scratch_reused.fetch_add(1, Ordering::Relaxed),
+            None => counters.scratch_fresh.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut v = value.take().unwrap_or_default();
+        let result = f(&mut v);
+        if let Some(i) = index {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots[i] = Some(v);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_submitted_tasks() {
+        let engine = Engine::new(3);
+        assert_eq!(engine.workers(), 3);
+        let (tx, rx) = mpsc::channel::<usize>();
+        let home = engine.assign_home();
+        for n in 0..100usize {
+            let tx = tx.clone();
+            engine.submit(home, move || tx.send(n).unwrap());
+        }
+        drop(tx);
+        let sum: usize = rx.iter().sum();
+        assert_eq!(sum, (0..100).sum::<usize>());
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.tasks_run, 100);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_busy_home() {
+        // All tasks target home 0; with 4 workers and tasks that take a
+        // little while, the other three must steal to finish the batch.
+        let engine = Engine::new(4);
+        let (tx, rx) = mpsc::channel::<()>();
+        for _ in 0..64 {
+            let tx = tx.clone();
+            engine.submit(0, move || {
+                std::thread::sleep(Duration::from_millis(1));
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+        assert!(
+            engine.stats().steals > 0,
+            "idle workers must steal a skewed backlog"
+        );
+    }
+
+    #[test]
+    fn scope_joins_borrowed_tasks() {
+        let engine = Engine::new(2);
+        let mut outputs = [0u64; 16];
+        let input = 7u64;
+        engine.scope(|s| {
+            for (i, slot) in outputs.iter_mut().enumerate() {
+                s.spawn(move || *slot = input * i as u64);
+            }
+        });
+        for (i, &v) in outputs.iter().enumerate() {
+            assert_eq!(v, 7 * i as u64);
+        }
+    }
+
+    #[test]
+    fn nested_scope_on_one_worker_does_not_deadlock() {
+        // A task running on the single worker opens a scope of its own;
+        // the scoping (worker) thread must help itself to the sub-tasks.
+        let engine = Engine::new(1);
+        let (tx, rx) = mpsc::channel::<u64>();
+        let inner_engine = engine.clone();
+        engine.submit(0, move || {
+            let mut total = 0u64;
+            inner_engine.scope(|s| {
+                let total = &mut total;
+                s.spawn(move || *total = 42);
+            });
+            tx.send(total).unwrap();
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            42,
+            "nested scope must complete"
+        );
+    }
+
+    #[test]
+    fn scope_propagates_panics_after_joining() {
+        let engine = Engine::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&finished);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.scope(|s| {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                });
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate out of the scope");
+        assert_eq!(finished.load(Ordering::SeqCst), 1, "siblings still ran");
+    }
+
+    #[test]
+    fn task_panic_does_not_kill_the_worker() {
+        let engine = Engine::new(1);
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        engine.submit(0, || panic!("task panic"));
+        let tx2 = tx.clone();
+        engine.submit(0, move || tx2.send("alive").unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)).unwrap(), "alive");
+        assert_eq!(engine.stats().panics, 1);
+    }
+
+    #[test]
+    fn worker_local_reuses_per_worker_state() {
+        let engine = Engine::new(2);
+        let local: Arc<WorkerLocal<Vec<u8>>> = Arc::new(WorkerLocal::new(&engine));
+        let (tx, rx) = mpsc::channel::<usize>();
+        for _ in 0..40 {
+            let local = Arc::clone(&local);
+            let tx = tx.clone();
+            engine.submit(0, move || {
+                local.with(|buf| {
+                    buf.push(1);
+                    tx.send(buf.len()).unwrap();
+                });
+            });
+        }
+        drop(tx);
+        let lens: Vec<usize> = rx.iter().collect();
+        assert_eq!(lens.len(), 40);
+        assert!(
+            *lens.iter().max().unwrap() > 1,
+            "state must persist across tasks on a worker"
+        );
+        let stats = engine.stats();
+        assert!(
+            stats.scratch_fresh <= 2,
+            "at most one fresh slot per worker"
+        );
+        assert_eq!(stats.scratch_fresh + stats.scratch_reused, 40);
+    }
+
+    #[test]
+    fn global_engine_grows_to_the_largest_request() {
+        let a = Engine::global_with(1);
+        let before = a.workers();
+        let b = Engine::global_with(before + 1);
+        assert!(b.workers() > before);
+        // Handles alias the same engine.
+        let c = Engine::global_with(1);
+        assert_eq!(b.workers(), c.workers());
+    }
+
+    #[test]
+    fn drop_finishes_queued_tasks() {
+        let (tx, rx) = mpsc::channel::<usize>();
+        {
+            let engine = Engine::new(2);
+            let home = engine.assign_home();
+            for n in 0..50usize {
+                let tx = tx.clone();
+                engine.submit(home, move || tx.send(n).unwrap());
+            }
+            // engine handle drops here with tasks possibly still queued
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 50, "queued tasks still run after drop");
+    }
+
+    #[test]
+    fn submit_any_round_robins_through_the_injector() {
+        let engine = Engine::new(2);
+        let (tx, rx) = mpsc::channel::<()>();
+        for _ in 0..10 {
+            let tx = tx.clone();
+            engine.submit_any(move || tx.send(()).unwrap());
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10);
+    }
+}

@@ -1,12 +1,52 @@
 //! The sharded store reader: merged and per-shard cursors.
 
-use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use atc_core::format::{shard_dir_name, StoreManifest, STORE_MANIFEST_FILE};
 use atc_core::{AtcError, AtcReader, ReadOptions, Result};
+use atc_engine::Engine;
 
 use crate::policy::ShardPolicy;
+
+/// One shard's decoded-but-unmerged values: a flat buffer plus a consume
+/// cursor, so refills are single `extend_from_slice` copies of whole
+/// frames and the zipper reads plain slices (no deque bookkeeping per
+/// value).
+#[derive(Debug, Default)]
+struct ShardBuf {
+    vals: Vec<u64>,
+    head: usize,
+}
+
+impl ShardBuf {
+    fn is_empty(&self) -> bool {
+        self.head == self.vals.len()
+    }
+
+    /// Values buffered and not yet consumed.
+    fn available(&self) -> usize {
+        self.vals.len() - self.head
+    }
+
+    /// Appends one decoded frame, reclaiming the buffer first if it was
+    /// fully consumed (the steady state, so the buffer never grows past
+    /// a frame plus the current leftover).
+    fn push_frame(&mut self, frame: &[u64]) {
+        if self.is_empty() {
+            self.vals.clear();
+            self.head = 0;
+        }
+        self.vals.extend_from_slice(frame);
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        let v = self.vals.get(self.head).copied();
+        if v.is_some() {
+            self.head += 1;
+        }
+        v
+    }
+}
 
 /// A reader over a store written by [`AtcStore`](crate::AtcStore).
 ///
@@ -25,14 +65,28 @@ use crate::policy::ShardPolicy;
 ///
 /// Shard payloads refill through the zero-copy
 /// [`AtcReader::next_frame`] path, so the merged cursor rides the
-/// readahead reassembly buffers when [`ReadOptions::threads`] > 1.
+/// readahead reassembly buffers when [`ReadOptions::threads`] > 1; every
+/// shard's decode tasks share one engine (injected through
+/// [`ReadOptions::engine`], or the process-wide default).
+///
+/// The round-robin merged cursor is *batched*: instead of stepping one
+/// value at a time through the per-shard buffers (a modulo, a `VecDeque`
+/// pop, and a bounds check per address), it zips frame-sized slices of
+/// all shards into a flat merged buffer one rotation block at a time, so
+/// the per-value cost of the hot `decode()` loop is an indexed read.
 #[derive(Debug)]
 pub struct StoreReader {
     manifest: StoreManifest,
     policy: ShardPolicy,
     shards: Vec<AtcReader>,
     /// Per-shard decoded values not yet merged out.
-    bufs: Vec<VecDeque<u64>>,
+    bufs: Vec<ShardBuf>,
+    /// Zipped whole-rotation values awaiting hand-out (round-robin only).
+    merged: Vec<u64>,
+    /// Cursor into `merged`.
+    merged_pos: usize,
+    /// Batched zipper on/off (see [`StoreReader::merge_batching`]).
+    batch: bool,
     /// Addresses handed out by the merged cursor.
     produced: u64,
     /// Current shard for shard-ordered (non-round-robin) merging.
@@ -53,10 +107,13 @@ impl StoreReader {
 
     /// Opens a store root. `options.chunk_cache` applies to every shard
     /// reader; `options.threads` is the store's *total* decompression
-    /// budget, divided across the shard readers exactly like the write
-    /// side (so opening a store never multiplies the requested thread
-    /// count by the shard count — with `threads <= shards` every shard
-    /// reads serially and no pipeline threads spawn at all).
+    /// parallelism: all shard readers submit their decode tasks to **one
+    /// shared engine** with that many workers (injected through
+    /// [`ReadOptions::engine`], or the process-wide default grown to
+    /// `threads`), so a drained shard's capacity serves the shards still
+    /// decoding instead of sitting behind a static per-shard split. With
+    /// `threads <= 1` every shard reads serially and no pipeline spawns
+    /// at all.
     ///
     /// # Errors
     ///
@@ -75,16 +132,20 @@ impl StoreReader {
         let policy = ShardPolicy::parse(&manifest.policy).ok_or_else(|| {
             AtcError::Format(format!("unknown shard policy {:?}", manifest.policy))
         })?;
+        // One engine for every shard's decode tasks (None stays None for
+        // the serial path, where no tasks are submitted at all).
+        let engine = (options.threads > 1).then(|| {
+            options
+                .engine
+                .clone()
+                .unwrap_or_else(|| Engine::global_with(options.threads))
+        });
         let shards = (0..manifest.shards())
             .map(|i| {
                 AtcReader::open_with(
                     root.join(shard_dir_name(i)),
                     ReadOptions {
-                        threads: crate::writer::shard_thread_budget(
-                            options.threads,
-                            manifest.shards(),
-                            i,
-                        ),
+                        engine: engine.clone(),
                         ..options.clone()
                     },
                 )
@@ -103,16 +164,28 @@ impl StoreReader {
                 )));
             }
         }
-        let bufs = shards.iter().map(|_| VecDeque::new()).collect();
+        let bufs = shards.iter().map(|_| ShardBuf::default()).collect();
         Ok(Self {
             manifest,
             policy,
             shards,
             bufs,
+            merged: Vec::new(),
+            merged_pos: 0,
+            batch: true,
             produced: 0,
             cursor: 0,
             end_verified: false,
         })
+    }
+
+    /// Enables or disables the batched round-robin zipper (on by
+    /// default). Off, the merged cursor steps one value at a time through
+    /// the per-shard buffers — the pre-batching behavior, kept as a
+    /// reference for the `store` bench's `read_stepwise` axis and for
+    /// debugging. Both modes produce identical values.
+    pub fn merge_batching(&mut self, enabled: bool) {
+        self.batch = enabled;
     }
 
     /// The store manifest.
@@ -155,13 +228,35 @@ impl StoreReader {
     /// Propagates shard reader errors, and reports a store whose shards
     /// end before — or hold data beyond — the manifest's count.
     pub fn decode(&mut self) -> Result<Option<u64>> {
+        // Fast path: hand out zipped rotations from the merged buffer.
+        if self.merged_pos < self.merged.len() {
+            let v = self.merged[self.merged_pos];
+            self.merged_pos += 1;
+            self.produced += 1;
+            return Ok(Some(v));
+        }
         if self.produced == self.manifest.count {
             self.verify_drained()?;
             return Ok(None);
         }
+        let shard_count = self.shards.len() as u64;
+        if self.policy.merge_is_exact()
+            && self.batch
+            && self.produced.is_multiple_of(shard_count)
+            && self.manifest.count - self.produced >= shard_count
+        {
+            // Batched rotation: zip whole frame-sized rotations across
+            // the shards instead of stepping one value at a time.
+            self.refill_zipper()?;
+            let v = self.merged[self.merged_pos];
+            self.merged_pos += 1;
+            self.produced += 1;
+            return Ok(Some(v));
+        }
         let shard = if self.policy.merge_is_exact() {
-            // Deal back in the writer's rotation.
-            (self.produced % self.shards.len() as u64) as usize
+            // Deal back in the writer's rotation (the unbatched path:
+            // zipper off, or the final partial rotation of the store).
+            (self.produced % shard_count) as usize
         } else {
             // Shard-ordered concatenation: advance past drained shards.
             while self.cursor < self.shards.len()
@@ -186,7 +281,7 @@ impl StoreReader {
                 )));
             }
         }
-        let v = self.bufs[shard].pop_front().expect("refilled above");
+        let v = self.bufs[shard].pop().expect("refilled above");
         self.produced += 1;
         Ok(Some(v))
     }
@@ -201,8 +296,59 @@ impl StoreReader {
         let mut out = Vec::with_capacity(remaining.min(1 << 24) as usize);
         while let Some(v) = self.decode()? {
             out.push(v);
+            // Bulk-append the rest of the zipped block in one extend
+            // instead of re-entering decode() per value.
+            if self.merged_pos < self.merged.len() {
+                out.extend_from_slice(&self.merged[self.merged_pos..]);
+                self.produced += (self.merged.len() - self.merged_pos) as u64;
+                self.merged_pos = self.merged.len();
+            }
         }
         Ok(out)
+    }
+
+    /// Zips whole rotations (one value per shard, in rotation order) into
+    /// the flat merged buffer: `m = min(values buffered per shard)`
+    /// rotations at a time — frame-sized in the steady state — capped by
+    /// the rotations remaining in the store.
+    fn refill_zipper(&mut self) -> Result<()> {
+        let shard_count = self.shards.len();
+        let mut m = usize::MAX;
+        for shard in 0..shard_count {
+            while self.bufs[shard].is_empty() {
+                if !self.refill(shard)? {
+                    return Err(AtcError::Format(format!(
+                        "shard {shard} ended after {} of {} store addresses",
+                        self.produced, self.manifest.count
+                    )));
+                }
+            }
+            m = m.min(self.bufs[shard].available());
+        }
+        let remaining_rotations = (self.manifest.count - self.produced) / shard_count as u64;
+        let m = m.min(remaining_rotations.min(usize::MAX as u64) as usize);
+        debug_assert!(m >= 1, "caller checked a full rotation remains");
+        let Self {
+            bufs,
+            merged,
+            merged_pos,
+            ..
+        } = self;
+        merged.clear();
+        merged.resize(m * shard_count, 0);
+        *merged_pos = 0;
+        // Strided transpose: each shard's slice is read sequentially and
+        // scattered to its rotation lane in one pass.
+        for (s, buf) in bufs.iter_mut().enumerate() {
+            let slice = &buf.vals[buf.head..buf.head + m];
+            let mut idx = s;
+            for &v in slice {
+                merged[idx] = v;
+                idx += shard_count;
+            }
+            buf.head += m;
+        }
+        Ok(())
     }
 
     /// Confirms every shard is exactly drained once the manifest's count
@@ -233,7 +379,7 @@ impl StoreReader {
         loop {
             match self.shards[shard].next_frame()? {
                 Some(frame) => {
-                    self.bufs[shard].extend(frame.iter().copied());
+                    self.bufs[shard].push_frame(frame);
                     if !self.bufs[shard].is_empty() {
                         return Ok(true);
                     }

@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 
 use atc_core::format::{shard_dir_name, StoreManifest, FORMAT_VERSION, STORE_MANIFEST_FILE};
 use atc_core::{AtcError, AtcOptions, AtcStats, AtcWriter, Mode, Result};
+use atc_engine::{Engine, EngineStats};
 
 use crate::policy::ShardPolicy;
 
@@ -16,10 +17,12 @@ pub struct StoreOptions {
     /// How addresses are routed across shards (recorded in the manifest).
     pub policy: ShardPolicy,
     /// Per-trace options (codec, bytesort buffer). `atc.threads` is the
-    /// store's *total* compression-thread budget: it is divided across
-    /// the shard writers (each shard gets at least one, i.e. its producer
-    /// thread), whose `ParallelCodecWriter`/chunk pools then run the
-    /// shard payloads concurrently.
+    /// store's *total* compression parallelism: **all shard writers feed
+    /// one shared work-stealing engine** with that many workers, so a
+    /// shard with nothing queued automatically donates its capacity to a
+    /// busy one (no static per-shard split). Each shard writer keeps the
+    /// full in-flight window; the engine's worker count is the actual
+    /// concurrency cap.
     pub atc: AtcOptions,
 }
 
@@ -44,6 +47,11 @@ pub struct StoreStats {
     pub shards: Vec<AtcStats>,
     /// Total size of the store (all shard directories + manifest).
     pub compressed_bytes: u64,
+    /// Counters of the engine the shard writers fed (None when the store
+    /// ran fully inline with `threads <= 1`). `steals > 0` under skewed
+    /// routing is the observable form of shard-to-shard capacity
+    /// donation.
+    pub engine: Option<EngineStats>,
 }
 
 impl StoreStats {
@@ -57,16 +65,6 @@ impl StoreStats {
     }
 }
 
-/// Divides a total thread budget across `shards`, remainder to the low
-/// indices; every shard keeps at least one thread (its producer/consumer
-/// thread — `threads == 1` is the inline serial path of the single-trace
-/// layer). Shared by [`AtcStore::create`] and the store reader so the
-/// write and read sides always split a budget the same way.
-pub(crate) fn shard_thread_budget(total: usize, shards: usize, shard: usize) -> usize {
-    let budget = total.max(1);
-    (budget / shards + usize::from(shard < budget % shards)).max(1)
-}
-
 /// A sharded multi-trace store writer: one root directory holding `N`
 /// complete ATC trace directories (`shard-000/`, `shard-001/`, …) plus a
 /// `store-manifest` recording how the stream was routed.
@@ -74,8 +72,12 @@ pub(crate) fn shard_thread_budget(total: usize, shards: usize, shard: usize) -> 
 /// Every shard is an ordinary trace — any shard directory opens with
 /// [`atc_core::AtcReader`] — so the store composes with everything the
 /// single-trace layer already does: lossless or lossy mode, any codec,
-/// and the parallel write pipeline (the thread budget in
-/// [`StoreOptions::atc`] is divided across the shard writers).
+/// and the parallel write pipeline. All shard writers submit their
+/// segment/classification/chunk tasks to **one shared engine** (created
+/// from `atc.threads`, or injected via
+/// [`AtcStore::create_with_engine`]), so the thread budget is pooled:
+/// an idle shard's capacity is stolen by a busy one instead of sitting
+/// behind a static per-shard split.
 ///
 /// # Examples
 ///
@@ -107,13 +109,16 @@ pub struct AtcStore {
     root: PathBuf,
     policy: ShardPolicy,
     writers: Vec<AtcWriter>,
+    /// The engine every shard writer feeds (None = fully inline).
+    engine: Option<Engine>,
     /// Global arrival index of the next address.
     seq: u64,
 }
 
 impl AtcStore {
     /// Creates a store root with `options.shards` shard trace
-    /// directories.
+    /// directories, all feeding one engine with `options.atc.threads`
+    /// workers (the process-wide engine, grown to that count).
     ///
     /// # Errors
     ///
@@ -121,6 +126,32 @@ impl AtcStore {
     /// any shard writer cannot be created (same failure modes as
     /// [`AtcWriter::with_options`]).
     pub fn create<P: AsRef<Path>>(root: P, mode: Mode, options: StoreOptions) -> Result<Self> {
+        let engine = (options.atc.threads > 1).then(|| Engine::global_with(options.atc.threads));
+        Self::build(root, mode, options, engine)
+    }
+
+    /// Like [`AtcStore::create`], but every shard writer submits to the
+    /// given `engine` — the injection point for tests that pin worker
+    /// counts or read isolated steal counters.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AtcStore::create`].
+    pub fn create_with_engine<P: AsRef<Path>>(
+        root: P,
+        mode: Mode,
+        options: StoreOptions,
+        engine: Engine,
+    ) -> Result<Self> {
+        Self::build(root, mode, options, Some(engine))
+    }
+
+    fn build<P: AsRef<Path>>(
+        root: P,
+        mode: Mode,
+        options: StoreOptions,
+        engine: Option<Engine>,
+    ) -> Result<Self> {
         let StoreOptions {
             shards,
             policy,
@@ -153,21 +184,27 @@ impl AtcStore {
         }
         let writers = (0..shards)
             .map(|i| {
-                AtcWriter::with_options(
-                    root.join(shard_dir_name(i)),
-                    mode.clone(),
-                    AtcOptions {
-                        codec: atc.codec.clone(),
-                        buffer: atc.buffer,
-                        threads: shard_thread_budget(atc.threads, shards, i),
-                    },
-                )
+                let shard_options = AtcOptions {
+                    codec: atc.codec.clone(),
+                    buffer: atc.buffer,
+                    threads: atc.threads,
+                };
+                let dir = root.join(shard_dir_name(i));
+                match &engine {
+                    // One engine for all shards: the whole budget is a
+                    // shared pool, not a static per-shard slice.
+                    Some(e) => {
+                        AtcWriter::with_options_engine(dir, mode.clone(), shard_options, e.clone())
+                    }
+                    None => AtcWriter::with_options(dir, mode.clone(), shard_options),
+                }
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             root,
             policy,
             writers,
+            engine,
             seq: 0,
         })
     }
@@ -185,6 +222,12 @@ impl AtcStore {
     /// Addresses accepted so far.
     pub fn count(&self) -> u64 {
         self.seq
+    }
+
+    /// Counters of the shared engine the shard writers feed (None when
+    /// the store runs fully inline).
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        self.engine.as_ref().map(Engine::stats)
     }
 
     /// Routes one address (stream key 0) to its shard and compresses it.
@@ -250,6 +293,7 @@ impl AtcStore {
             count: self.seq,
             shards: shard_stats,
             compressed_bytes,
+            engine: self.engine.as_ref().map(Engine::stats),
         })
     }
 }
@@ -289,6 +333,7 @@ mod tests {
         assert_eq!(stats.shards[0].count, 34);
         assert_eq!(stats.shards[1].count, 33);
         assert_eq!(stats.shards[2].count, 33);
+        assert!(stats.engine.is_none(), "inline store runs without engine");
         let manifest =
             StoreManifest::parse(&fs::read_to_string(root.join(STORE_MANIFEST_FILE)).unwrap())
                 .unwrap();
@@ -339,10 +384,10 @@ mod tests {
     }
 
     #[test]
-    fn thread_budget_divides_across_shards() {
-        // 5 threads over 2 shards: writers get 3 and 2 — observable only
-        // indirectly (identical output at every thread count), so this
-        // just exercises the path end to end.
+    fn shared_engine_runs_all_shards() {
+        // 5-worker engine over 2 shards: no static split — both writers
+        // submit to the same pool and the output matches serial exactly
+        // (pinned by the proptests; this exercises the path end to end).
         let root = tmp("budget");
         let mut s = AtcStore::create(
             &root,
@@ -361,20 +406,53 @@ mod tests {
         s.code_all((0..10_000u64).map(|i| i * 64)).unwrap();
         let stats = s.finish().unwrap();
         assert_eq!(stats.count, 10_000);
+        let engine = stats.engine.expect("threaded store reports engine stats");
+        assert!(engine.submitted > 0, "segments must ride the engine");
         fs::remove_dir_all(&root).unwrap();
     }
 
+    /// The tentpole's donation pin: with *every* address routed to shard
+    /// 0 (skewed addr-range routing) and a 2-worker engine, the idle
+    /// shard's capacity must be used for the busy shard — observable as
+    /// engine steals, since all of shard 0's tasks queue on one home
+    /// deque and the second worker has nothing of its own.
     #[test]
-    fn thread_budget_split_covers_and_floors() {
-        // 5 threads over 2 shards: 3 + 2; 4 over 7: everyone gets the floor.
-        assert_eq!(shard_thread_budget(5, 2, 0), 3);
-        assert_eq!(shard_thread_budget(5, 2, 1), 2);
-        for i in 0..7 {
-            assert_eq!(shard_thread_budget(4, 7, i), 1);
-        }
-        assert_eq!(shard_thread_budget(0, 3, 0), 1, "zero budget still runs");
-        let total: usize = (0..4).map(|i| shard_thread_budget(10, 4, i)).sum();
-        assert_eq!(total, 10, "budget is fully assigned");
+    fn idle_shard_capacity_donated_to_busy_shard() {
+        let root = tmp("steal");
+        let engine = Engine::new(2);
+        let mut s = AtcStore::create_with_engine(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                // Shift 62: every realistic address lands in region 0 →
+                // shard 0; shard 1 never sees a byte.
+                policy: ShardPolicy::AddressRange { shift: 62 },
+                atc: AtcOptions {
+                    codec: "lz".into(),
+                    buffer: 50_000,
+                    threads: 2,
+                },
+            },
+            engine.clone(),
+        )
+        .unwrap();
+        // 2 M addresses = 16 MiB raw = 16 one-MiB segments, all queued on
+        // shard 0's home deque: a long backlog for worker 1 to steal.
+        s.code_all((0..2_000_000u64).map(|i| (i % 50_000) * 64))
+            .unwrap();
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.shards[0].count, 2_000_000, "routing must be skewed");
+        assert_eq!(stats.shards[1].count, 0);
+        let engine_stats = stats.engine.expect("engine stats present");
+        assert!(
+            engine_stats.steals > 0,
+            "the idle shard's worker must steal the busy shard's backlog \
+             (tasks_run={}, steals={})",
+            engine_stats.tasks_run,
+            engine_stats.steals
+        );
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Property-based tests for the sharded store: sharded write → merged
 //! read must reproduce the input stream exactly for every (shard count,
-//! thread count) combination, and per-key sub-streams must survive
-//! thread-id routing byte-for-byte.
+//! thread count, engine worker count) combination — including engines
+//! oversubscribed with more shards than workers — and per-key sub-streams
+//! must survive thread-id routing byte-for-byte.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use atc_core::{AtcOptions, Mode, ReadOptions};
+use atc_engine::Engine;
 use atc_store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
 
 fn tmp(tag: &str) -> std::path::PathBuf {
@@ -78,6 +80,139 @@ proptest! {
                 }
                 std::fs::remove_dir_all(&root).unwrap();
             }
+        }
+    }
+
+    /// Engine-oversubscription pin: the on-disk bytes of every shard must
+    /// be identical whether the store runs inline (threads = 1), or
+    /// submits to an engine with fewer workers than shards (7 shards on 1
+    /// or 2 workers), or with more workers than the submitter window —
+    /// and the merged read must be exact on equally mismatched read-side
+    /// engines.
+    #[test]
+    fn roundtrip_exact_at_every_engine_worker_count(
+        addrs in vec(any::<u64>(), 1..3000),
+        buffer in 1usize..500,
+    ) {
+        for shards in SHARDS {
+            // Reference: fully inline store (no engine at all).
+            let serial_root = tmp(&format!("eng-ref-{shards}"));
+            let mut s = AtcStore::create(
+                &serial_root,
+                Mode::Lossless,
+                StoreOptions {
+                    shards,
+                    policy: ShardPolicy::RoundRobin,
+                    atc: AtcOptions {
+                        codec: "bzip".into(),
+                        buffer,
+                        threads: 1,
+                    },
+                },
+            )
+            .unwrap();
+            s.code_all(addrs.iter().copied()).unwrap();
+            s.finish().unwrap();
+            let shard_bytes = |root: &std::path::Path| -> Vec<Vec<u8>> {
+                (0..shards)
+                    .map(|i| {
+                        std::fs::read(
+                            root.join(atc_core::format::shard_dir_name(i)).join("data.atc"),
+                        )
+                        .unwrap()
+                    })
+                    .collect()
+            };
+            let expect_bytes = shard_bytes(&serial_root);
+
+            for workers in [1usize, 2, 4, 8] {
+                let root = tmp(&format!("eng-{shards}-{workers}"));
+                let engine = Engine::new(workers);
+                let mut s = AtcStore::create_with_engine(
+                    &root,
+                    Mode::Lossless,
+                    StoreOptions {
+                        shards,
+                        policy: ShardPolicy::RoundRobin,
+                        atc: AtcOptions {
+                            codec: "bzip".into(),
+                            buffer,
+                            threads: 4,
+                        },
+                    },
+                    engine,
+                )
+                .unwrap();
+                s.code_all(addrs.iter().copied()).unwrap();
+                s.finish().unwrap();
+                prop_assert_eq!(
+                    &shard_bytes(&root),
+                    &expect_bytes,
+                    "on-disk bytes must not depend on engine workers \
+                     (shards={} workers={})",
+                    shards,
+                    workers
+                );
+
+                // Merged read back through an equally mismatched engine.
+                let mut r = StoreReader::open_with(
+                    &root,
+                    ReadOptions {
+                        threads: 4,
+                        engine: Some(Engine::new(workers)),
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    &r.decode_all().unwrap(),
+                    &addrs,
+                    "shards={} workers={}",
+                    shards,
+                    workers
+                );
+                prop_assert!(r.decode().unwrap().is_none());
+                std::fs::remove_dir_all(&root).unwrap();
+            }
+            std::fs::remove_dir_all(&serial_root).unwrap();
+        }
+    }
+
+    /// The batched round-robin zipper and the stepwise cursor must hand
+    /// out identical value sequences (including the final partial
+    /// rotation and single-shard stores).
+    #[test]
+    fn zipper_matches_stepwise_merge(
+        addrs in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..400,
+    ) {
+        for shards in SHARDS {
+            let root = tmp(&format!("zip-{shards}"));
+            let mut s = AtcStore::create(
+                &root,
+                Mode::Lossless,
+                StoreOptions {
+                    shards,
+                    policy: ShardPolicy::RoundRobin,
+                    atc: AtcOptions {
+                        codec: "store".into(),
+                        buffer,
+                        threads: 1,
+                    },
+                },
+            )
+            .unwrap();
+            s.code_all(addrs.iter().copied()).unwrap();
+            s.finish().unwrap();
+
+            let mut zipped = StoreReader::open(&root).unwrap();
+            let mut stepwise = StoreReader::open(&root).unwrap();
+            stepwise.merge_batching(false);
+            let a = zipped.decode_all().unwrap();
+            let b = stepwise.decode_all().unwrap();
+            prop_assert_eq!(&a, &addrs, "zipper exact (shards={})", shards);
+            prop_assert_eq!(&a, &b, "zipper == stepwise (shards={})", shards);
+            std::fs::remove_dir_all(&root).unwrap();
         }
     }
 

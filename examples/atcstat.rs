@@ -2,17 +2,35 @@
 //!
 //! Prints the header, walks the whole container (every checksum, every
 //! chunk reference), and reports size breakdown and compression ratio.
+//! With `--threads N` (N > 1) it additionally drains the trace through
+//! the parallel read pipeline on a private execution engine and reports
+//! the engine/worker counters (`tasks run`, `steals`, `scratch reuse`)
+//! alongside the reader's `frame_stats()`.
 //!
 //! ```text
 //! cargo run --release --example atcstat -- foobar
+//! cargo run --release --example atcstat -- foobar --threads 4
 //! ```
 
 use std::error::Error;
 
-use atc::core::verify;
+use atc::core::{verify, AtcReader, ReadOptions};
+use atc::engine::Engine;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let dir = std::env::args().nth(1).ok_or("usage: atcstat <dir>")?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
+        .map(|(_, a)| a.clone())
+        .ok_or("usage: atcstat <dir> [--threads N]")?;
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let dir = std::path::PathBuf::from(dir);
 
     let meta_text = std::fs::read_to_string(dir.join("meta"))?;
@@ -54,6 +72,44 @@ fn main() -> Result<(), Box<dyn Error>> {
             "\n{:.3} bits per address ({:.1}x vs raw 64-bit values)",
             total as f64 * 8.0 / report.addresses as f64,
             report.addresses as f64 * 8.0 / total as f64
+        );
+    }
+
+    if threads > 1 {
+        // Drain the trace again through the parallel pipeline on a
+        // private engine, so the counters below describe exactly this
+        // trace (the process-wide engine would mix in other streams).
+        let engine = Engine::new(threads);
+        let start = std::time::Instant::now();
+        let mut r = AtcReader::open_with(
+            &dir,
+            ReadOptions {
+                threads,
+                engine: Some(engine.clone()),
+                ..ReadOptions::default()
+            },
+        )?;
+        let mut frames = 0u64;
+        while let Some(frame) = r.next_frame()? {
+            let _ = frame;
+            frames += 1;
+        }
+        let elapsed = start.elapsed();
+        let fs = r.frame_stats();
+        let es = engine.stats();
+        println!(
+            "\nthreaded drain ({threads} requested, {} engine workers, {elapsed:.2?}):",
+            engine.workers()
+        );
+        println!("  frames:          {frames}");
+        println!("  borrowed bytes:  {}", fs.borrowed_bytes);
+        println!("  copied bytes:    {}", fs.copied_bytes);
+        println!("engine:");
+        println!("  tasks run:       {}", es.tasks_run);
+        println!("  steals:          {}", es.steals);
+        println!(
+            "  scratch reuse:   {} reused / {} fresh",
+            es.scratch_reused, es.scratch_fresh
         );
     }
     Ok(())

@@ -14,15 +14,21 @@
 //! # one shard only:
 //! atcstore unpack store.atc --shard 2 > shard2.bin
 //!
-//! # manifest + per-shard summary:
-//! atcstore stat store.atc
+//! # manifest + per-shard summary (add --threads N for a verification
+//! # drain with engine/worker counters):
+//! atcstore stat store.atc --threads 4
 //! ```
+//!
+//! `pack` and `unpack` with `--threads N` run their work on a private
+//! N-worker execution engine and report its counters (`tasks run`,
+//! `steals`, `scratch reuse`) to stderr.
 
 use std::error::Error;
 use std::io::{Read, Write};
 
 use atc::core::format::shard_dir_name;
 use atc::core::{AtcOptions, AtcReader, LossyConfig, Mode, ReadOptions};
+use atc::engine::{Engine, EngineStats};
 use atc::store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
 
 #[path = "cli_util/mod.rs"]
@@ -68,6 +74,20 @@ fn main() -> Result<(), Box<dyn Error>> {
             .unwrap_or_else(|| default.into())
     };
     let threads = get("--threads", 1);
+    // One private engine per invocation so the counters printed below
+    // describe exactly this command's work.
+    let engine = (threads > 1).then(|| Engine::new(threads));
+    let print_engine_stats = |stats: EngineStats| {
+        eprintln!(
+            "engine: {} tasks run, {} steals, scratch {} reused / {} fresh",
+            stats.tasks_run, stats.steals, stats.scratch_reused, stats.scratch_fresh
+        );
+    };
+    let read_options = || ReadOptions {
+        threads,
+        engine: engine.clone(),
+        ..ReadOptions::default()
+    };
 
     match command.as_str() {
         "pack" => {
@@ -92,19 +112,19 @@ fn main() -> Result<(), Box<dyn Error>> {
                     ..LossyConfig::default()
                 })
             };
-            let mut store = AtcStore::create(
-                &root,
-                mode,
-                StoreOptions {
-                    shards: get("--shards", 4),
-                    policy,
-                    atc: AtcOptions {
-                        codec: get_str("--codec", "bzip"),
-                        buffer: get("--buffer", 1_000_000),
-                        threads,
-                    },
+            let store_options = StoreOptions {
+                shards: get("--shards", 4),
+                policy,
+                atc: AtcOptions {
+                    codec: get_str("--codec", "bzip"),
+                    buffer: get("--buffer", 1_000_000),
+                    threads,
                 },
-            )?;
+            };
+            let mut store = match &engine {
+                Some(e) => AtcStore::create_with_engine(&root, mode, store_options, e.clone())?,
+                None => AtcStore::create(&root, mode, store_options)?,
+            };
             let mut stdin = std::io::stdin().lock();
             let mut buf = [0u8; 8];
             loop {
@@ -122,12 +142,12 @@ fn main() -> Result<(), Box<dyn Error>> {
                 stats.shards.len(),
                 stats.bits_per_address()
             );
+            if let Some(engine_stats) = stats.engine {
+                print_engine_stats(engine_stats);
+            }
         }
         "unpack" => {
-            let options = ReadOptions {
-                threads,
-                ..ReadOptions::default()
-            };
+            let options = read_options();
             let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
             if let Some(i) = args.iter().position(|a| a == "--shard") {
                 let shard: usize = args
@@ -153,6 +173,9 @@ fn main() -> Result<(), Box<dyn Error>> {
                 }
             }
             stdout.flush()?;
+            if let Some(engine) = &engine {
+                print_engine_stats(engine.stats());
+            }
         }
         "stat" => {
             let mut r = StoreReader::open(&root)?;
@@ -169,6 +192,23 @@ fn main() -> Result<(), Box<dyn Error>> {
                     "  shard {i}: {count} addresses, mode={}, codec={}, chunks={}",
                     meta.mode, meta.codec, meta.chunks
                 );
+            }
+            if let Some(engine) = &engine {
+                // Verification drain through the shared engine: proves
+                // every shard decodes and reports the worker counters.
+                drop(r);
+                let mut r = StoreReader::open_with(&root, read_options())?;
+                let start = std::time::Instant::now();
+                let mut n = 0u64;
+                while r.decode()?.is_some() {
+                    n += 1;
+                }
+                println!(
+                    "drained {n} addresses through {} engine workers in {:.2?}",
+                    engine.workers(),
+                    start.elapsed()
+                );
+                print_engine_stats(engine.stats());
             }
         }
         _ => return Err(USAGE.into()),

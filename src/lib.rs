@@ -23,6 +23,10 @@
 //! * [`store`] (`atc-store`) — the sharded multi-trace store: N ATC trace
 //!   directories under one root with pluggable shard routing and merged
 //!   or per-shard read-back.
+//! * [`engine`] (`atc-engine`) — the shared work-stealing execution
+//!   runtime every parallel layer (codec segments, readahead decode,
+//!   multi-block Bzip, lossy classification/chunks, all store shards)
+//!   submits its tasks to.
 //!
 //! # Quick start
 //!
@@ -56,6 +60,7 @@
 pub use atc_cache as cache;
 pub use atc_codec as codec;
 pub use atc_core as core;
+pub use atc_engine as engine;
 pub use atc_prefetch as prefetch;
 pub use atc_store as store;
 pub use atc_tcgen as tcgen;
