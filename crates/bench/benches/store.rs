@@ -34,6 +34,7 @@ fn bench_store_shards(c: &mut Criterion) {
             buffer: 50_000,
             threads: 4,
         },
+        max_buffered_bytes: None,
     };
 
     for shards in [1usize, 2, 4] {
@@ -87,6 +88,40 @@ fn bench_store_shards(c: &mut Criterion) {
                 )
                 .unwrap();
                 r.merge_batching(false);
+                black_box(r.decode_all().unwrap().len())
+            });
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    // Track-driven exact merge under data-dependent routing: the same
+    // trace packed by address region, read back in exact arrival order
+    // from the recorded interleave track (vs the rotation zipper above).
+    for shards in [2usize, 4] {
+        let root = scratch(&format!("tr-{shards}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                policy: ShardPolicy::AddressRange { shift: 14 },
+                ..opts(shards)
+            },
+        )
+        .unwrap();
+        s.code_all(trace.iter().copied()).unwrap();
+        s.finish().unwrap();
+        g.bench_function(BenchmarkId::new("read_interleave", shards), |b| {
+            b.iter(|| {
+                let mut r = StoreReader::open_with(
+                    &root,
+                    ReadOptions {
+                        threads: 4,
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(r.merge_is_exact());
                 black_box(r.decode_all().unwrap().len())
             });
         });

@@ -145,9 +145,23 @@ fn run(args: &[String]) -> Result<(), String> {
             continue;
         };
         gated += 1;
+        // A zero or non-finite baseline would make every later comparison
+        // vacuous (a floor of 0 passes any regression, and NaN passes
+        // every `<`): refuse the entry loudly instead of gating nothing.
+        if !base_thrpt.is_finite() || base_thrpt <= 0.0 {
+            failures.push(format!(
+                "{id}: baseline records degenerate throughput {base_thrpt} — \
+                 re-record the baseline (see README, \"CI and the bench baseline\")"
+            ));
+            continue;
+        }
         match current.get(id).and_then(|r| r.throughput) {
             None => failures.push(format!(
                 "{id}: present in baseline but missing from the current run"
+            )),
+            Some(now) if !now.is_finite() || now <= 0.0 => failures.push(format!(
+                "{id}: current run records degenerate throughput {now} — \
+                 the bench emitted no usable number"
             )),
             Some(now) => {
                 let floor = base_thrpt * (1.0 - tolerance);
@@ -278,6 +292,31 @@ mod tests {
         let cur = write_tmp("cur-none", SAMPLE);
         let args = vec![cur.display().to_string(), base.display().to_string()];
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn zero_throughput_baseline_fails_with_message() {
+        // A hand-edited or corrupted baseline with 0 (or negative/NaN)
+        // throughput must fail loudly, not pass vacuously off a floor of
+        // zero (or poison the comparison with NaN).
+        for bad in ["0.0", "-3.5"] {
+            let base = write_tmp(&format!("base-degen-{bad}"), &SAMPLE.replace("90.7", bad));
+            let cur = write_tmp(&format!("cur-degen-{bad}"), SAMPLE);
+            let args = vec![cur.display().to_string(), base.display().to_string()];
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("degenerate"), "{err}");
+            assert!(err.contains("codec/compress/bzip"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_throughput_current_fails_with_message() {
+        let base = write_tmp("base-curdegen", SAMPLE);
+        let cur = write_tmp("cur-curdegen", &SAMPLE.replace("200.0", "0.0"));
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("degenerate"), "{err}");
+        assert!(err.contains("codec/decompress/bzip"), "{err}");
     }
 
     #[test]

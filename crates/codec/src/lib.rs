@@ -49,7 +49,9 @@ pub use atc_engine::{Engine, EngineStats};
 pub use bzip::{Bzip, DEFAULT_BLOCK_SIZE};
 pub use error::CodecError;
 pub use lz::Lz;
-pub use parallel::{ParallelCodecWriter, ReadaheadReader, ScratchStats};
+pub use parallel::{
+    ByteBudget, ParallelCodecWriter, ReadaheadReader, ScratchStats, IN_FLIGHT_PER_WORKER,
+};
 pub use store::Store;
 pub use stream::{CodecReader, CodecWriter, StreamScratch, DEFAULT_SEGMENT_SIZE};
 

@@ -73,7 +73,88 @@ use crate::Codec;
 ///
 /// Bounds memory to roughly `2 * threads * segment_size` raw bytes while
 /// keeping every worker busy (one segment compressing, one queued).
-const IN_FLIGHT_PER_WORKER: usize = 2;
+pub const IN_FLIGHT_PER_WORKER: usize = 2;
+
+/// A shared cap on buffered bytes across many parallel writers.
+///
+/// One writer's in-flight window already bounds *its* memory
+/// (`threads × `[`IN_FLIGHT_PER_WORKER`]` segments`), but a container
+/// running many writers — the sharded store feeds one
+/// [`ParallelCodecWriter`] per shard — compounds those windows to
+/// `writers × threads × 2` segments. A `ByteBudget` is the global gate:
+/// every writer [`acquire`](ByteBudget::acquire)s a payload's bytes
+/// before handing it to the engine and releases them when the engine
+/// task is done with the buffer, so the *sum* of buffered bytes across
+/// all sharing writers stays at or under `cap`.
+///
+/// Deadlock-freedom: releases are performed by engine workers (never by
+/// the blocked producer), and an `acquire` larger than the whole cap is
+/// admitted once the budget is empty — so a single oversized payload
+/// can always make progress and the producer can never sleep on a
+/// budget nobody will refill.
+#[derive(Debug)]
+pub struct ByteBudget {
+    cap: u64,
+    state: Mutex<BudgetState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BudgetState {
+    in_use: u64,
+    peak: u64,
+}
+
+impl ByteBudget {
+    /// Creates a budget admitting up to `cap` buffered bytes (clamped to
+    /// at least 1 so a zero cap cannot wedge the gate).
+    pub fn new(cap: u64) -> Self {
+        Self {
+            cap: cap.max(1),
+            state: Mutex::new(BudgetState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The configured cap in bytes.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Blocks until `n` bytes fit under the cap, then takes them. An `n`
+    /// exceeding the whole cap is admitted as soon as the budget is
+    /// empty (overshoot beats deadlock; the cap is restored once the
+    /// oversized payload releases).
+    pub fn acquire(&self, n: u64) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.in_use > 0 && s.in_use + n > self.cap {
+            s = self.freed.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.in_use += n;
+        s.peak = s.peak.max(s.in_use);
+    }
+
+    /// Returns `n` bytes to the budget and wakes blocked acquirers.
+    pub fn release(&self, n: u64) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(s.in_use >= n, "budget release exceeds acquires");
+        s.in_use = s.in_use.saturating_sub(n);
+        drop(s);
+        self.freed.notify_all();
+    }
+
+    /// Bytes currently held.
+    pub fn in_use(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).in_use
+    }
+
+    /// High-water mark of held bytes over the budget's lifetime — the
+    /// number the store's memory-cap tests pin against `cap` (plus at
+    /// most one overshooting oversized payload).
+    pub fn peak(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+}
 
 use atc_engine::panic_message;
 
@@ -134,6 +215,9 @@ pub struct ParallelCodecWriter<W: Write> {
     /// Recycled compressed-segment buffers (drained after frame writes).
     packed_pool: Vec<Vec<u8>>,
     stats: ScratchStats,
+    /// Shared cap on raw bytes handed to the engine and not yet returned
+    /// (None = only this writer's own window bounds it).
+    budget: Option<Arc<ByteBudget>>,
     /// First inner-writer (or task) error; once set, every later call
     /// fails with it. A failed frame write may have landed partially, so
     /// retrying would silently corrupt the stream — fail fast instead.
@@ -209,8 +293,30 @@ impl<W: Write> ParallelCodecWriter<W> {
         threads: usize,
         engine: Engine,
     ) -> Self {
+        Self::with_engine_budget(inner, codec, segment_size, threads, engine, None)
+    }
+
+    /// Like [`ParallelCodecWriter::with_engine`], but drawing every
+    /// in-flight raw segment from a shared [`ByteBudget`] — the gate a
+    /// multi-writer container (the sharded store) uses to bound the
+    /// *sum* of all writers' buffered bytes instead of letting the
+    /// per-writer windows compound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is zero.
+    pub fn with_engine_budget(
+        inner: W,
+        codec: Arc<dyn Codec>,
+        segment_size: usize,
+        threads: usize,
+        engine: Engine,
+        budget: Option<Arc<ByteBudget>>,
+    ) -> Self {
         let engine = (threads > 1).then_some(engine);
-        Self::build(inner, codec, segment_size, threads, engine)
+        let mut w = Self::build(inner, codec, segment_size, threads, engine);
+        w.budget = budget;
+        w
     }
 
     fn build(
@@ -221,7 +327,11 @@ impl<W: Write> ParallelCodecWriter<W> {
         engine: Option<Engine>,
     ) -> Self {
         assert!(segment_size > 0, "segment size must be positive");
-        let pool = engine.map(|e| Pool::attach(e, threads));
+        // `threads <= 1` never attaches a pool (inline serial path), so a
+        // pool's window is always ≥ 2 segments — clamp anyway so no
+        // future call path can construct a zero-width in-flight window
+        // that would wedge the backpressure loop.
+        let pool = engine.map(|e| Pool::attach(e, threads.max(1)));
         Self {
             inner,
             codec,
@@ -237,6 +347,7 @@ impl<W: Write> ParallelCodecWriter<W> {
             raw_pool: Vec::new(),
             packed_pool: Vec::new(),
             stats: ScratchStats::default(),
+            budget: None,
             poisoned: None,
         }
     }
@@ -394,7 +505,7 @@ impl<W: Write> ParallelCodecWriter<W> {
         // blocking on the engine: after a transient write error the
         // next-in-line frame sits in `done` with no result left to wait
         // for, and recv_one would block forever.
-        let max_in_flight = self.threads() * IN_FLIGHT_PER_WORKER;
+        let max_in_flight = (self.threads() * IN_FLIGHT_PER_WORKER).max(1);
         while self.in_flight >= max_in_flight {
             self.drain_ready()?;
             if self.in_flight < max_in_flight {
@@ -403,6 +514,14 @@ impl<W: Write> ParallelCodecWriter<W> {
             self.recv_one()?;
         }
 
+        // The shared gate (if any) admits this segment's raw bytes before
+        // the engine sees them; engine workers release, so a producer
+        // blocked here always wakes once any sharing writer's in-flight
+        // work lands.
+        let raw_len = self.buf.len() as u64;
+        if let Some(budget) = &self.budget {
+            budget.acquire(raw_len);
+        }
         let raw_capacity = self.segment_size.min(1 << 22);
         let replacement = Self::take_buffer(&mut self.raw_pool, &mut self.stats, raw_capacity);
         let raw = std::mem::replace(&mut self.buf, replacement);
@@ -412,6 +531,7 @@ impl<W: Write> ParallelCodecWriter<W> {
         let pool = self.pool.as_ref().expect("pool checked above");
         let tx = pool.tx.clone();
         let codec = Arc::clone(&self.codec);
+        let budget = self.budget.clone();
         pool.engine.submit(pool.home, move || {
             // A panicking codec must not strand the writer waiting for a
             // result that will never come: catch it and deliver the
@@ -419,6 +539,12 @@ impl<W: Write> ParallelCodecWriter<W> {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 codec.compress_into(&raw, &mut out);
             }));
+            // The raw bytes leave the budget the moment compression is
+            // over (panic included): the compressed copy is the small
+            // one, and it is bounded by the per-writer window.
+            if let Some(budget) = &budget {
+                budget.release(raw_len);
+            }
             let result = match outcome {
                 Ok(()) => Ok(out),
                 Err(p) => Err(io::Error::other(format!(
@@ -1310,6 +1436,111 @@ mod tests {
         );
         assert!(r.fill_buf().is_err());
         assert!(r.fill_buf().is_err(), "error must latch for BufRead too");
+    }
+
+    /// Regression test for the degenerate-parallelism window: `threads`
+    /// of 0 or 1 must never construct a zero-width in-flight window
+    /// (`threads * IN_FLIGHT_PER_WORKER == 0` would make the
+    /// backpressure loop wait for a result that was never submitted).
+    /// Both adapters must run inline, terminate, and produce bytes
+    /// identical to the serial stream — through every constructor,
+    /// including the ones handed an explicit engine.
+    #[test]
+    fn threads_zero_and_one_run_inline_without_deadlock() {
+        let data = sample(40_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 3000);
+        serial.write_all(&data).unwrap();
+        let expect = serial.finish().unwrap();
+
+        for threads in [0usize, 1] {
+            let mut w = ParallelCodecWriter::with_segment_size(
+                Vec::new(),
+                Arc::clone(&codec),
+                3000,
+                threads,
+            );
+            w.write_all(&data).unwrap();
+            assert_eq!(w.threads(), 0, "threads={threads} must be inline");
+            assert_eq!(w.finish().unwrap(), expect, "threads={threads}");
+
+            // An explicit engine must not resurrect a zero-width window.
+            let mut w = ParallelCodecWriter::with_engine(
+                Vec::new(),
+                Arc::clone(&codec),
+                3000,
+                threads,
+                Engine::new(2),
+            );
+            w.write_all(&data).unwrap();
+            assert_eq!(w.finish().unwrap(), expect, "engine threads={threads}");
+
+            let mut r = ReadaheadReader::new(
+                std::io::Cursor::new(expect.clone()),
+                Arc::clone(&codec),
+                threads,
+            );
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, data, "reader threads={threads}");
+
+            let mut r = ReadaheadReader::with_engine(
+                std::io::Cursor::new(expect.clone()),
+                Arc::clone(&codec),
+                threads,
+                Engine::new(2),
+            );
+            let mut back = Vec::new();
+            r.read_to_end(&mut back).unwrap();
+            assert_eq!(back, data, "engine reader threads={threads}");
+        }
+    }
+
+    /// The shared byte budget must gate segments across writers without
+    /// wedging a single writer: peak usage stays at the cap, the output
+    /// is unchanged, and an oversized payload (cap smaller than one
+    /// segment) still makes progress via the empty-budget overshoot.
+    #[test]
+    fn byte_budget_bounds_in_flight_raw_bytes() {
+        let data = sample(64_000);
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 4096);
+        serial.write_all(&data).unwrap();
+        let expect = serial.finish().unwrap();
+
+        let budget = Arc::new(ByteBudget::new(2 * 4096));
+        let mut w = ParallelCodecWriter::with_engine_budget(
+            Vec::new(),
+            Arc::clone(&codec),
+            4096,
+            4,
+            Engine::new(2),
+            Some(Arc::clone(&budget)),
+        );
+        w.write_all(&data).unwrap();
+        assert_eq!(w.finish().unwrap(), expect);
+        assert!(budget.peak() <= 2 * 4096, "peak {}", budget.peak());
+        assert_eq!(budget.in_use(), 0, "finish returns every byte");
+
+        // Cap below one segment: the empty-budget overshoot admits each
+        // segment alone instead of deadlocking.
+        let tiny = Arc::new(ByteBudget::new(100));
+        let mut w = ParallelCodecWriter::with_engine_budget(
+            Vec::new(),
+            Arc::clone(&codec),
+            4096,
+            4,
+            Engine::new(2),
+            Some(Arc::clone(&tiny)),
+        );
+        w.write_all(&data).unwrap();
+        assert_eq!(w.finish().unwrap(), expect);
+        assert!(
+            tiny.peak() <= 4096,
+            "one segment at a time: {}",
+            tiny.peak()
+        );
+        assert_eq!(tiny.in_use(), 0);
     }
 
     #[test]

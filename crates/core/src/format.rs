@@ -362,6 +362,190 @@ impl Meta {
 /// Name of the plain-text manifest file at the root of a sharded store.
 pub const STORE_MANIFEST_FILE: &str = "store-manifest";
 
+/// Store-manifest format version written by the current tool.
+///
+/// Version 2 added the optional [`InterleaveTrack`] section; version-1
+/// manifests (no track) remain readable — readers fall back to shard
+/// concatenation for non-round-robin policies, exactly the pre-track
+/// behavior (see `docs/ARCHITECTURE.md`, "The sharded store", for the
+/// merge-mode table).
+pub const STORE_FORMAT_VERSION: u32 = 2;
+
+/// Lower-case hex encoding (the manifest is a plain-text file, so binary
+/// sections ride as hex lines).
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`].
+fn hex_decode(text: &str) -> Result<Vec<u8>> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return Err(AtcError::Format("hex section has odd length".into()));
+    }
+    let digit = |c: char| {
+        c.to_digit(16)
+            .ok_or_else(|| AtcError::Format(format!("invalid hex digit {c:?}")))
+    };
+    let mut out = Vec::with_capacity(text.len() / 2);
+    let mut chars = text.chars();
+    while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
+        out.push(((digit(hi)? << 4) | digit(lo)?) as u8);
+    }
+    Ok(out)
+}
+
+/// The compressed record of a store writer's per-address routing
+/// decisions: consecutive addresses routed to the same shard collapse to
+/// one run, and the run list `(shard_id, run_len)…` is varint-encoded
+/// (the same LEB128 as every other on-disk integer) into the manifest's
+/// `interleave=` section.
+///
+/// With this track a [`StoreReader`](../../atc_store/struct.StoreReader.html)
+/// replays the *global* arrival order exactly for **every**
+/// `ShardPolicy`, not just round-robin: the merge loop takes `run_len`
+/// values from `shard_id`, run by run. Round-robin needs no recorded
+/// track — its interleaving is the degenerate constant-run rotation
+/// `(0,1) (1,1) … (N-1,1) (0,1) …`, which the reader synthesizes — so
+/// writers only record the track for data-dependent policies
+/// (`addr-range`, `thread-id`).
+///
+/// Encoded layout: `varint(run_count)` followed by `run_count` pairs
+/// `varint(shard_id) varint(run_len)`.
+///
+/// # Examples
+///
+/// ```
+/// use atc_core::format::InterleaveTrack;
+///
+/// let mut t = InterleaveTrack::default();
+/// for shard in [0u32, 0, 1, 1, 1, 0] {
+///     t.record(shard);
+/// }
+/// assert_eq!(t.runs(), &[(0, 2), (1, 3), (0, 1)]);
+/// let back = InterleaveTrack::decode(&t.encode()).unwrap();
+/// assert_eq!(back, t);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterleaveTrack {
+    /// `(shard_id, run_len)` pairs in arrival order.
+    runs: Vec<(u32, u64)>,
+}
+
+impl InterleaveTrack {
+    /// Appends one routing decision, merging it into the last run when
+    /// the shard repeats (the RLE step — this is the only way runs are
+    /// built, so zero-length runs never exist in a recorded track).
+    pub fn record(&mut self, shard: u32) {
+        match self.runs.last_mut() {
+            Some((s, len)) if *s == shard => *len += 1,
+            _ => self.runs.push((shard, 1)),
+        }
+    }
+
+    /// The recorded `(shard_id, run_len)` runs, arrival order.
+    pub fn runs(&self) -> &[(u32, u64)] {
+        &self.runs
+    }
+
+    /// Total addresses covered by the track (the sum of all run lengths).
+    pub fn addresses(&self) -> u64 {
+        self.runs.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Length in bytes of [`InterleaveTrack::encode`]'s output, without
+    /// materializing it (diagnostics like `atcstore stat` print this for
+    /// tracks that may hold millions of runs).
+    pub fn encoded_len(&self) -> usize {
+        fn varint_len(v: u64) -> usize {
+            ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
+        }
+        varint_len(self.runs.len() as u64)
+            + self
+                .runs
+                .iter()
+                .map(|&(shard, len)| varint_len(shard as u64) + varint_len(len))
+                .sum::<usize>()
+    }
+
+    /// Serializes the track (varint run count, then varint pairs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.runs.len() * 3);
+        varint::write_u64(&mut out, self.runs.len() as u64).expect("vec write");
+        for &(shard, len) in &self.runs {
+            varint::write_u64(&mut out, shard as u64).expect("vec write");
+            varint::write_u64(&mut out, len).expect("vec write");
+        }
+        out
+    }
+
+    /// Parses [`InterleaveTrack::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on truncated input, trailing bytes,
+    /// zero-length runs, or shard ids beyond `u32`.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut cur = bytes;
+        let bad = |what: &str| AtcError::Format(format!("interleave track: {what}"));
+        let run_count =
+            varint::read_u64(&mut cur).map_err(|_| bad("truncated run count"))? as usize;
+        // 2 bytes minimum per encoded run: reject absurd counts before
+        // reserving memory for them.
+        if run_count > bytes.len() / 2 {
+            return Err(bad("run count exceeds encoded size"));
+        }
+        let mut runs = Vec::with_capacity(run_count);
+        for _ in 0..run_count {
+            let shard = varint::read_u64(&mut cur).map_err(|_| bad("truncated shard id"))?;
+            let shard = u32::try_from(shard).map_err(|_| bad("shard id exceeds u32"))?;
+            let len = varint::read_u64(&mut cur).map_err(|_| bad("truncated run length"))?;
+            if len == 0 {
+                return Err(bad("zero-length run"));
+            }
+            runs.push((shard, len));
+        }
+        if !cur.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Self { runs })
+    }
+
+    /// Checks the track against the manifest's per-shard counts: every
+    /// run must name a known shard and each shard's run lengths must sum
+    /// to exactly its recorded address count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] describing the first disagreement.
+    pub fn validate(&self, shard_counts: &[u64]) -> Result<()> {
+        let mut sums = vec![0u64; shard_counts.len()];
+        for &(shard, len) in &self.runs {
+            let slot = sums.get_mut(shard as usize).ok_or_else(|| {
+                AtcError::Format(format!(
+                    "interleave track names shard {shard}, store has {}",
+                    shard_counts.len()
+                ))
+            })?;
+            *slot += len;
+        }
+        for (i, (&got, &expect)) in sums.iter().zip(shard_counts).enumerate() {
+            if got != expect {
+                return Err(AtcError::Format(format!(
+                    "interleave track routes {got} addresses to shard {i}, \
+                     manifest says {expect}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Directory name for shard `index` inside a store root.
 pub fn shard_dir_name(index: usize) -> String {
     format!("shard-{index:03}")
@@ -376,14 +560,22 @@ pub fn shard_dir_name(index: usize) -> String {
 ///
 /// ```text
 /// store.atc/
-///   store-manifest    this header
+///   store-manifest    this header (+ optional interleave= hex section)
 ///   shard-000/        a complete ATC trace directory (meta, data.atc | chunks)
 ///   shard-001/
 ///   ...
 /// ```
+///
+/// Version ≥ 2 manifests may carry an `interleave=` section — the
+/// RLE+varint [`InterleaveTrack`] of the writer's routing decisions —
+/// which lets the reader replay the exact global arrival order under
+/// *any* policy. Manifests without it (version 1, or round-robin at any
+/// version) still read: round-robin merges by synthesized rotation, the
+/// data-dependent policies by shard concatenation. The full merge-mode
+/// table lives in `docs/ARCHITECTURE.md` ("The sharded store").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreManifest {
-    /// Format version (shares [`FORMAT_VERSION`] with the trace format).
+    /// Manifest format version (see [`STORE_FORMAT_VERSION`]).
     pub version: u32,
     /// Shard-routing policy name, e.g. `"round-robin"`, `"addr-range:12"`,
     /// `"thread-id"` (parsed by the store layer).
@@ -393,6 +585,11 @@ pub struct StoreManifest {
     /// Per-shard address counts, shard 0 first; its length is the shard
     /// count.
     pub shard_counts: Vec<u64>,
+    /// Recorded routing interleave (version ≥ 2, data-dependent policies
+    /// only): drives exact global-order merged read-back. `None` in old
+    /// manifests and for round-robin, whose rotation the reader
+    /// synthesizes.
+    pub interleave: Option<InterleaveTrack>,
 }
 
 impl StoreManifest {
@@ -401,16 +598,23 @@ impl StoreManifest {
         self.shard_counts.len()
     }
 
-    /// Serializes as `key=value` lines.
+    /// Serializes as `key=value` lines (the interleave section, when
+    /// present, rides as one hex line so the file stays plain text).
     pub fn to_text(&self) -> String {
         let counts: Vec<String> = self.shard_counts.iter().map(u64::to_string).collect();
-        format!(
+        let mut text = format!(
             "version={}\npolicy={}\ncount={}\nshard_counts={}\n",
             self.version,
             self.policy,
             self.count,
             counts.join(",")
-        )
+        );
+        if let Some(track) = &self.interleave {
+            text.push_str("interleave=");
+            text.push_str(&hex_encode(&track.encode()));
+            text.push('\n');
+        }
+        text
     }
 
     /// Parses the `store-manifest` file contents.
@@ -464,11 +668,28 @@ impl StoreManifest {
                 "manifest shard counts sum to {sum}, count says {count}"
             )));
         }
+        if version > STORE_FORMAT_VERSION as u64 {
+            return Err(AtcError::Format(format!(
+                "manifest version {version} is newer than this tool's \
+                 {STORE_FORMAT_VERSION}"
+            )));
+        }
+        // Absent in version-1 manifests (and for round-robin at any
+        // version): readers fall back to their track-less merge.
+        let interleave = match map.get("interleave") {
+            Some(hex) => {
+                let track = InterleaveTrack::decode(&hex_decode(hex)?)?;
+                track.validate(&shard_counts)?;
+                Some(track)
+            }
+            None => None,
+        };
         Ok(StoreManifest {
             version: version as u32,
             policy: get("policy")?,
             count,
             shard_counts,
+            interleave,
         })
     }
 }
@@ -610,10 +831,31 @@ mod tests {
             policy: "addr-range:12".into(),
             count: 60,
             shard_counts: vec![10, 20, 30],
+            interleave: None,
         };
         let back = StoreManifest::parse(&m.to_text()).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.shards(), 3);
+    }
+
+    #[test]
+    fn store_manifest_roundtrips_interleave_track() {
+        let mut track = InterleaveTrack::default();
+        for shard in [0u32, 0, 0, 2, 2, 1, 0] {
+            track.record(shard);
+        }
+        let m = StoreManifest {
+            version: STORE_FORMAT_VERSION,
+            policy: "addr-range:12".into(),
+            count: 7,
+            shard_counts: vec![4, 1, 2],
+            interleave: Some(track.clone()),
+        };
+        let text = m.to_text();
+        assert!(text.contains("interleave="), "track rides as a hex line");
+        let back = StoreManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.interleave.unwrap().runs(), track.runs());
     }
 
     #[test]
@@ -623,6 +865,76 @@ mod tests {
         assert!(StoreManifest::parse(no_shards).is_err(), "no shards");
         let bad_sum = "version=1\npolicy=round-robin\ncount=5\nshard_counts=1,2\n";
         assert!(StoreManifest::parse(bad_sum).is_err(), "counts don't sum");
+        let future = "version=99\npolicy=round-robin\ncount=3\nshard_counts=1,2\n";
+        assert!(StoreManifest::parse(future).is_err(), "future version");
+        let bad_hex = "version=2\npolicy=thread-id\ncount=3\nshard_counts=1,2\ninterleave=zz\n";
+        assert!(StoreManifest::parse(bad_hex).is_err(), "bad hex");
+        // Track routes 3 addresses to shard 0; shard_counts disagree.
+        let mut t = InterleaveTrack::default();
+        for _ in 0..3 {
+            t.record(0);
+        }
+        let lying = format!(
+            "version=2\npolicy=thread-id\ncount=3\nshard_counts=1,2\ninterleave={}\n",
+            hex_encode(&t.encode())
+        );
+        assert!(
+            StoreManifest::parse(&lying).is_err(),
+            "track/count disagreement"
+        );
+    }
+
+    #[test]
+    fn interleave_track_records_and_roundtrips() {
+        let mut t = InterleaveTrack::default();
+        assert_eq!(t.addresses(), 0);
+        assert_eq!(InterleaveTrack::decode(&t.encode()).unwrap(), t);
+        for shard in [3u32, 3, 3, 0, 1, 1, 3] {
+            t.record(shard);
+        }
+        assert_eq!(t.runs(), &[(3, 3), (0, 1), (1, 2), (3, 1)]);
+        assert_eq!(t.addresses(), 7);
+        assert_eq!(InterleaveTrack::decode(&t.encode()).unwrap(), t);
+        assert_eq!(t.encoded_len(), t.encode().len());
+        // Multi-byte varints (shard 300, run length 5 M) count correctly.
+        let mut wide = InterleaveTrack::default();
+        for _ in 0..5_000_000u64 {
+            wide.record(300);
+        }
+        wide.record(0);
+        assert_eq!(wide.encoded_len(), wide.encode().len());
+        assert_eq!(InterleaveTrack::default().encoded_len(), 1);
+        assert!(t.validate(&[1, 2, 0, 4]).is_ok());
+        assert!(t.validate(&[1, 2, 0]).is_err(), "unknown shard id");
+        assert!(t.validate(&[2, 2, 0, 4]).is_err(), "per-shard sum mismatch");
+    }
+
+    #[test]
+    fn interleave_track_decode_rejects_malformed() {
+        let mut t = InterleaveTrack::default();
+        t.record(1);
+        t.record(2);
+        let good = t.encode();
+        assert!(InterleaveTrack::decode(&good[..good.len() - 1]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(InterleaveTrack::decode(&trailing).is_err());
+        // varint(1 run), shard 0, run length 0.
+        assert!(InterleaveTrack::decode(&[1, 0, 0]).is_err(), "zero run");
+        // Claimed run count far beyond the bytes backing it.
+        let mut absurd = Vec::new();
+        varint::write_u64(&mut absurd, u64::MAX).unwrap();
+        assert!(InterleaveTrack::decode(&absurd).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex digit");
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use atc_codec::{codec_by_name, Codec, CodecWriter, ParallelCodecWriter, StreamScratch};
+use atc_codec::{
+    codec_by_name, ByteBudget, Codec, CodecWriter, ParallelCodecWriter, StreamScratch,
+};
 use atc_engine::{panic_message, Engine, WorkerLocal};
 
 use crate::error::{AtcError, Result};
@@ -279,6 +281,9 @@ struct LossyShared {
     /// locks this, so classification never contends with the producer.
     actor: Mutex<LossyCore>,
     latch: Mutex<ErrorLatch>,
+    /// Shared gate on queued/classifying/chunk-writing interval bytes
+    /// (None = only this writer's interval-count cap bounds it).
+    budget: Option<Arc<ByteBudget>>,
     // Immutable pipeline parameters.
     dir: PathBuf,
     codec: Arc<dyn Codec>,
@@ -307,12 +312,27 @@ impl LossyShared {
             .surface()
     }
 
-    /// Recycles a drained interval buffer for the producer.
+    /// Recycles a drained interval buffer for the producer, returning its
+    /// bytes to the shared budget. Every buffer arriving here was
+    /// admitted by [`LossyPipeline::submit_interval`] with its length
+    /// intact, so the release mirrors that acquire exactly.
     fn recycle(&self, mut buf: Vec<u64>, cap: usize) {
+        if let Some(budget) = &self.budget {
+            budget.release(buf.len() as u64 * 8);
+        }
         buf.clear();
         let mut q = self.queue();
         if q.spare.len() < cap {
             q.spare.push(buf);
+        }
+    }
+
+    /// Returns budgeted bytes for an interval that was *dropped* instead
+    /// of recycled (classification error/panic paths, where the buffer
+    /// dies inside the failing call).
+    fn release_interval_bytes(&self, bytes: u64) {
+        if let Some(budget) = &self.budget {
+            budget.release(bytes);
         }
     }
 }
@@ -351,6 +371,13 @@ impl LossyPipeline {
     /// buffer into `interval`. Blocks while the queue is full.
     fn submit_interval(&self, interval: &mut Vec<u64>) -> Result<()> {
         let shared = &self.shared;
+        let bytes = interval.len() as u64 * 8;
+        // Admit the interval's bytes before taking the queue lock: the
+        // budget is released by engine tasks (recycle), which never need
+        // this queue's lock to make progress.
+        if let Some(budget) = &shared.budget {
+            budget.acquire(bytes);
+        }
         let mut q = shared.queue();
         // The bound counts queued intervals AND chunk tasks in flight:
         // each holds a whole L-address buffer, so this is the writer's
@@ -362,6 +389,7 @@ impl LossyPipeline {
         }
         if q.failed {
             drop(q);
+            shared.release_interval_bytes(bytes);
             return shared.surface();
         }
         let replacement = q
@@ -433,16 +461,26 @@ fn run_actor(
             shared.recycle(interval, usize::MAX);
             continue;
         }
+        let bytes = interval.len() as u64 * 8;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             classify_one(&engine, home, &shared, &scratch, interval)
         }));
         match outcome {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => shared.fail(e),
-            Err(p) => shared.fail(AtcError::Format(format!(
-                "interval classification panicked: {}",
-                panic_message(&*p)
-            ))),
+            Ok(Err(e)) => {
+                // The interval buffer died inside the failing call (no
+                // recycle ran): hand its bytes back so a producer blocked
+                // on the budget wakes to observe the failure.
+                shared.fail(e);
+                shared.release_interval_bytes(bytes);
+            }
+            Err(p) => {
+                shared.fail(AtcError::Format(format!(
+                    "interval classification panicked: {}",
+                    panic_message(&*p)
+                )));
+                shared.release_interval_bytes(bytes);
+            }
         }
     }
 }
@@ -560,7 +598,7 @@ impl AtcWriter {
     /// the codec name is unknown, `buffer` is zero, or the lossy
     /// configuration is invalid.
     pub fn with_options<P: AsRef<Path>>(dir: P, mode: Mode, options: AtcOptions) -> Result<Self> {
-        Self::build(dir, mode, options, None)
+        Self::build(dir, mode, options, None, None)
     }
 
     /// Like [`AtcWriter::with_options`], but submits parallel work to an
@@ -577,7 +615,26 @@ impl AtcWriter {
         options: AtcOptions,
         engine: Engine,
     ) -> Result<Self> {
-        Self::build(dir, mode, options, Some(engine))
+        Self::build(dir, mode, options, Some(engine), None)
+    }
+
+    /// Like [`AtcWriter::with_options_engine`], but drawing all pipeline
+    /// buffering (lossless raw segments, lossy queued intervals) from a
+    /// shared [`ByteBudget`] — how the sharded store caps the *sum* of
+    /// its shard writers' buffered bytes instead of letting each
+    /// writer's window compound.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AtcWriter::with_options`].
+    pub fn with_options_engine_budget<P: AsRef<Path>>(
+        dir: P,
+        mode: Mode,
+        options: AtcOptions,
+        engine: Engine,
+        budget: Arc<ByteBudget>,
+    ) -> Result<Self> {
+        Self::build(dir, mode, options, Some(engine), Some(budget))
     }
 
     fn build<P: AsRef<Path>>(
@@ -585,6 +642,7 @@ impl AtcWriter {
         mode: Mode,
         options: AtcOptions,
         engine: Option<Engine>,
+        budget: Option<Arc<ByteBudget>>,
     ) -> Result<Self> {
         if options.buffer == 0 {
             return Err(AtcError::Format("buffer size must be positive".into()));
@@ -614,12 +672,13 @@ impl AtcWriter {
                 // threads <= 1 runs inline on this thread — exactly the
                 // serial CodecWriter path and byte-identical output.
                 let out = match engine {
-                    Some(e) => ParallelCodecWriter::with_engine(
+                    Some(e) => ParallelCodecWriter::with_engine_budget(
                         file,
                         Arc::clone(&codec),
                         atc_codec::DEFAULT_SEGMENT_SIZE,
                         threads,
                         e,
+                        budget,
                     ),
                     None => ParallelCodecWriter::new(file, Arc::clone(&codec), threads),
                 };
@@ -647,6 +706,7 @@ impl AtcWriter {
                                 imitations: 0,
                             }),
                             latch: Mutex::new(ErrorLatch::default()),
+                            budget,
                             dir: dir.clone(),
                             codec: Arc::clone(&codec),
                             buffer: options.buffer,

@@ -8,13 +8,22 @@
 //! `store-manifest`, with incoming addresses routed across shards by a
 //! pluggable [`ShardPolicy`]:
 //!
-//! * [`ShardPolicy::RoundRobin`] — deal addresses across shards; the
-//!   merged read-back reproduces the global arrival order exactly.
+//! * [`ShardPolicy::RoundRobin`] — deal addresses across shards in
+//!   rotation.
 //! * [`ShardPolicy::AddressRange`] — keep each aligned address region in
 //!   one shard (spatial locality stays shard-local).
 //! * [`ShardPolicy::ThreadId`] — keep each caller-keyed sub-stream
 //!   (thread, core) in one shard, the natural layout for per-thread
 //!   traces.
+//!
+//! Every policy's merged read-back replays the **exact global arrival
+//! order**: round-robin derives it from the rotation, and the
+//! data-dependent policies record their routing decisions as a
+//! compressed run-length *interleave track*
+//! ([`atc_core::format::InterleaveTrack`]) in the store manifest, which
+//! [`StoreReader`] replays run by run. Stores packed before the track
+//! existed (manifest version 1) still read — as shard concatenation,
+//! reported by [`StoreReader::merge_is_exact`].
 //!
 //! Every shard is an ordinary trace directory: lossless or lossy mode,
 //! any codec, readable by plain [`atc_core::AtcReader`]. Writing divides

@@ -3,9 +3,12 @@
 /// How an [`AtcStore`](crate::AtcStore) routes incoming addresses across
 /// its shards.
 ///
-/// The policy (with its parameters) is recorded in the store manifest, so
-/// a reader always knows how the stream was split — and, for
-/// [`ShardPolicy::RoundRobin`], how to re-interleave it exactly.
+/// The policy (with its parameters) is recorded in the store manifest.
+/// Every policy's merged read-back replays the exact global arrival
+/// order: round-robin derives it from its rotation, and the
+/// data-dependent policies record their routing decisions as the
+/// manifest's interleave track
+/// ([`atc_core::format::InterleaveTrack`]).
 ///
 /// # Examples
 ///
@@ -20,9 +23,10 @@
 pub enum ShardPolicy {
     /// Deal addresses across shards one at a time, in arrival order.
     ///
-    /// The only policy whose merged read-back reproduces the *global*
-    /// arrival order exactly (the reader deals them back in the same
-    /// rotation); the other policies preserve order per shard.
+    /// The one policy whose interleaving is *derivable*: the reader
+    /// re-deals the merged stream in the same rotation without any
+    /// recorded track (the other policies ship an interleave track in
+    /// the manifest to get the same exact read-back).
     RoundRobin,
     /// Route by address region: shard `(addr >> shift) % shards`, so each
     /// aligned `1 << shift`-byte region always lands in the same shard
@@ -60,9 +64,13 @@ impl ShardPolicy {
         }) as usize
     }
 
-    /// Whether a merged read can reproduce the global arrival order
-    /// exactly (true only for [`ShardPolicy::RoundRobin`]; the others
-    /// interleave shard-by-shard).
+    /// Whether the policy's interleaving is *derivable* from the policy
+    /// alone — true only for [`ShardPolicy::RoundRobin`], whose rotation
+    /// the reader synthesizes. The data-dependent policies return
+    /// `false`: their exact merge needs the manifest's recorded
+    /// interleave track (which the store writer always records for
+    /// them), and without it — old manifests — the merged read falls
+    /// back to shard concatenation.
     pub fn merge_is_exact(&self) -> bool {
         matches!(self, ShardPolicy::RoundRobin)
     }
@@ -94,7 +102,7 @@ impl ShardPolicy {
 }
 
 impl Default for ShardPolicy {
-    /// Round-robin: the only policy with exact merged read-back.
+    /// Round-robin: exact merged read-back with no recorded track.
     fn default() -> Self {
         ShardPolicy::RoundRobin
     }

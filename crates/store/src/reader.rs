@@ -48,17 +48,37 @@ impl ShardBuf {
     }
 }
 
+/// How the merged cursor reassembles the global stream (decided once at
+/// open from the policy and the manifest's interleave section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeMode {
+    /// Round-robin: exact arrival order from the synthesized constant-run
+    /// rotation — the degenerate interleave track that never needs to be
+    /// recorded.
+    Rotation,
+    /// Exact arrival order replayed from the manifest's recorded
+    /// [`InterleaveTrack`](atc_core::format::InterleaveTrack) (data-
+    /// dependent policies, manifest version ≥ 2).
+    Track,
+    /// No track on disk (version-1 manifest under `addr-range` /
+    /// `thread-id`): shards concatenate in shard order, the pre-track
+    /// behavior.
+    Concat,
+}
+
 /// A reader over a store written by [`AtcStore`](crate::AtcStore).
 ///
 /// Two read shapes:
 ///
 /// * **Merged** ([`StoreReader::decode`] / [`StoreReader::decode_all`]) —
-///   one logical stream across all shards. Under
-///   [`ShardPolicy::RoundRobin`] the reader deals addresses back in the
-///   writer's rotation, reproducing the original arrival order *exactly*;
-///   under the other policies shards are concatenated in shard order
-///   (each shard's sub-stream stays exact — the global interleaving is
-///   not recorded on disk).
+///   one logical stream across all shards, replayed in the *exact*
+///   original arrival order whenever the order is knowable: round-robin
+///   derives it from the rotation, and every other policy replays the
+///   manifest's recorded interleave track (manifest version ≥ 2). Only a
+///   track-less old manifest under a data-dependent policy falls back to
+///   shard *concatenation* (each shard's sub-stream stays exact, the
+///   global interleaving is lost) — [`StoreReader::merge_is_exact`]
+///   reports which shape this store gets.
 /// * **Per-shard** ([`StoreReader::shard`] / [`StoreReader::into_shards`])
 ///   — direct access to each shard's [`AtcReader`] cursor, e.g. to fan
 ///   shards out to analysis threads.
@@ -69,28 +89,36 @@ impl ShardBuf {
 /// shard's decode tasks share one engine (injected through
 /// [`ReadOptions::engine`], or the process-wide default).
 ///
-/// The round-robin merged cursor is *batched*: instead of stepping one
-/// value at a time through the per-shard buffers (a modulo, a `VecDeque`
-/// pop, and a bounds check per address), it zips frame-sized slices of
-/// all shards into a flat merged buffer one rotation block at a time, so
-/// the per-value cost of the hot `decode()` loop is an indexed read.
+/// The exact merged cursor is *batched*: instead of stepping one value at
+/// a time through the per-shard buffers (a modulo or run lookup, a pop,
+/// and a bounds check per address), it fills a flat merged buffer in bulk
+/// — whole frame-sized rotations for round-robin, whole run slices for a
+/// recorded track — so the per-value cost of the hot `decode()` loop is
+/// an indexed read.
 #[derive(Debug)]
 pub struct StoreReader {
     manifest: StoreManifest,
     policy: ShardPolicy,
+    mode: MergeMode,
     shards: Vec<AtcReader>,
     /// Per-shard decoded values not yet merged out.
     bufs: Vec<ShardBuf>,
-    /// Zipped whole-rotation values awaiting hand-out (round-robin only).
+    /// Bulk-merged values awaiting hand-out (exact merge modes only).
     merged: Vec<u64>,
     /// Cursor into `merged`.
     merged_pos: usize,
-    /// Batched zipper on/off (see [`StoreReader::merge_batching`]).
+    /// Batched merging on/off (see [`StoreReader::merge_batching`]).
     batch: bool,
     /// Addresses handed out by the merged cursor.
     produced: u64,
-    /// Current shard for shard-ordered (non-round-robin) merging.
+    /// Current shard for shard-ordered (concatenation) merging.
     cursor: usize,
+    /// Recorded interleave runs ([`MergeMode::Track`] only).
+    runs: Vec<(u32, u64)>,
+    /// Current run in `runs`.
+    run_idx: usize,
+    /// Values already replayed from the current run.
+    run_off: u64,
     /// Whether the end-of-store drain check already passed.
     end_verified: bool,
 }
@@ -165,9 +193,24 @@ impl StoreReader {
             }
         }
         let bufs = shards.iter().map(|_| ShardBuf::default()).collect();
+        // Merge-mode table (also in docs/ARCHITECTURE.md): round-robin is
+        // always exact (synthesized rotation); other policies are exact
+        // when the manifest recorded the interleave track, and fall back
+        // to concatenation for old track-less manifests.
+        let (mode, runs) = if policy.merge_is_exact() {
+            (MergeMode::Rotation, Vec::new())
+        } else if let Some(track) = &manifest.interleave {
+            // The track was validated against shard_counts at parse time,
+            // and shard_counts against each shard's meta above, so every
+            // run below names a real shard holding enough addresses.
+            (MergeMode::Track, track.runs().to_vec())
+        } else {
+            (MergeMode::Concat, Vec::new())
+        };
         Ok(Self {
             manifest,
             policy,
+            mode,
             shards,
             bufs,
             merged: Vec::new(),
@@ -175,17 +218,29 @@ impl StoreReader {
             batch: true,
             produced: 0,
             cursor: 0,
+            runs,
+            run_idx: 0,
+            run_off: 0,
             end_verified: false,
         })
     }
 
-    /// Enables or disables the batched round-robin zipper (on by
-    /// default). Off, the merged cursor steps one value at a time through
-    /// the per-shard buffers — the pre-batching behavior, kept as a
-    /// reference for the `store` bench's `read_stepwise` axis and for
+    /// Enables or disables bulk merging (on by default) for the exact
+    /// merge modes. Off, the merged cursor steps one value at a time
+    /// through the per-shard buffers — the pre-batching behavior, kept as
+    /// a reference for the `store` bench's `read_stepwise` axis and for
     /// debugging. Both modes produce identical values.
     pub fn merge_batching(&mut self, enabled: bool) {
         self.batch = enabled;
+    }
+
+    /// Whether the merged cursor replays the exact global arrival order.
+    /// `true` for round-robin and for any store whose manifest carries
+    /// the interleave track; `false` only for track-less old manifests
+    /// under `addr-range` / `thread-id`, which merge as shard
+    /// concatenation.
+    pub fn merge_is_exact(&self) -> bool {
+        self.mode != MergeMode::Concat
     }
 
     /// The store manifest.
@@ -228,50 +283,57 @@ impl StoreReader {
     /// Propagates shard reader errors, and reports a store whose shards
     /// end before — or hold data beyond — the manifest's count.
     pub fn decode(&mut self) -> Result<Option<u64>> {
-        // Fast path: hand out zipped rotations from the merged buffer.
+        // Fast path: hand out bulk-merged values from the merged buffer.
         if self.merged_pos < self.merged.len() {
-            let v = self.merged[self.merged_pos];
-            self.merged_pos += 1;
-            self.produced += 1;
-            return Ok(Some(v));
+            return Ok(Some(self.take_merged()));
         }
         if self.produced == self.manifest.count {
             self.verify_drained()?;
             return Ok(None);
         }
         let shard_count = self.shards.len() as u64;
-        if self.policy.merge_is_exact()
-            && self.batch
-            && self.produced.is_multiple_of(shard_count)
-            && self.manifest.count - self.produced >= shard_count
-        {
-            // Batched rotation: zip whole frame-sized rotations across
-            // the shards instead of stepping one value at a time.
-            self.refill_zipper()?;
-            let v = self.merged[self.merged_pos];
-            self.merged_pos += 1;
-            self.produced += 1;
-            return Ok(Some(v));
-        }
-        let shard = if self.policy.merge_is_exact() {
-            // Deal back in the writer's rotation (the unbatched path:
-            // zipper off, or the final partial rotation of the store).
-            (self.produced % shard_count) as usize
-        } else {
-            // Shard-ordered concatenation: advance past drained shards.
-            while self.cursor < self.shards.len()
-                && self.bufs[self.cursor].is_empty()
-                && !self.refill(self.cursor)?
-            {
-                self.cursor += 1;
+        let shard = match self.mode {
+            MergeMode::Rotation => {
+                if self.batch
+                    && self.produced.is_multiple_of(shard_count)
+                    && self.manifest.count - self.produced >= shard_count
+                {
+                    // Batched rotation: zip whole frame-sized rotations
+                    // across the shards instead of stepping one value at
+                    // a time.
+                    self.refill_rotation_zipper()?;
+                    return Ok(Some(self.take_merged()));
+                }
+                // Deal back in the writer's rotation (the unbatched path:
+                // batching off, or the final partial rotation).
+                (self.produced % shard_count) as usize
             }
-            if self.cursor == self.shards.len() {
-                return Err(AtcError::Format(format!(
-                    "store ended after {} of {} addresses",
-                    self.produced, self.manifest.count
-                )));
+            MergeMode::Track => {
+                if self.batch {
+                    // Batched replay: copy whole run slices into the
+                    // merged buffer.
+                    self.refill_track_zipper()?;
+                    return Ok(Some(self.take_merged()));
+                }
+                self.track_shard()
             }
-            self.cursor
+            MergeMode::Concat => {
+                // Shard-ordered concatenation: advance past drained
+                // shards.
+                while self.cursor < self.shards.len()
+                    && self.bufs[self.cursor].is_empty()
+                    && !self.refill(self.cursor)?
+                {
+                    self.cursor += 1;
+                }
+                if self.cursor == self.shards.len() {
+                    return Err(AtcError::Format(format!(
+                        "store ended after {} of {} addresses",
+                        self.produced, self.manifest.count
+                    )));
+                }
+                self.cursor
+            }
         };
         while self.bufs[shard].is_empty() {
             if !self.refill(shard)? {
@@ -283,6 +345,11 @@ impl StoreReader {
         }
         let v = self.bufs[shard].pop().expect("refilled above");
         self.produced += 1;
+        if self.mode == MergeMode::Track {
+            // Only consume the track position once the value is really
+            // handed out (a refill error above must not skip a slot).
+            self.run_off += 1;
+        }
         Ok(Some(v))
     }
 
@@ -307,11 +374,89 @@ impl StoreReader {
         Ok(out)
     }
 
+    /// Hands out the next bulk-merged value (caller ensured one exists).
+    fn take_merged(&mut self) -> u64 {
+        let v = self.merged[self.merged_pos];
+        self.merged_pos += 1;
+        self.produced += 1;
+        v
+    }
+
+    /// The shard owning the next value according to the recorded
+    /// interleave track, skipping completed runs.
+    fn track_shard(&mut self) -> usize {
+        loop {
+            let (shard, len) = self.runs[self.run_idx];
+            if self.run_off < len {
+                return shard as usize;
+            }
+            self.run_idx += 1;
+            self.run_off = 0;
+        }
+    }
+
+    /// Replays whole run slices from the recorded track into the flat
+    /// merged buffer: each step bulk-copies `min(run remainder, shard
+    /// buffer)` values, refilling a shard only when the merged buffer is
+    /// still empty (so a value already decoded is never held hostage to
+    /// another shard's I/O).
+    fn refill_track_zipper(&mut self) -> Result<()> {
+        /// Merged values per refill — frame-order magnitude, so the hot
+        /// loop amortizes run bookkeeping the way the rotation zipper
+        /// amortizes the modulo.
+        const TARGET: usize = 4096;
+        debug_assert_eq!(self.merged_pos, self.merged.len(), "merged drained");
+        self.merged.clear();
+        self.merged_pos = 0;
+        while self.merged.len() < TARGET {
+            let Some(&(shard, len)) = self.runs.get(self.run_idx) else {
+                break;
+            };
+            if self.run_off == len {
+                self.run_idx += 1;
+                self.run_off = 0;
+                continue;
+            }
+            let shard = shard as usize;
+            if self.bufs[shard].is_empty() {
+                if !self.merged.is_empty() {
+                    // Hand out what we already merged; the refill happens
+                    // on the next call.
+                    break;
+                }
+                if !self.refill(shard)? {
+                    return Err(AtcError::Format(format!(
+                        "shard {shard} ended after {} of {} store addresses",
+                        self.produced, self.manifest.count
+                    )));
+                }
+            }
+            let buf = &mut self.bufs[shard];
+            let take = (len - self.run_off)
+                .min((TARGET - self.merged.len()) as u64)
+                .min(buf.available() as u64) as usize;
+            self.merged
+                .extend_from_slice(&buf.vals[buf.head..buf.head + take]);
+            buf.head += take;
+            self.run_off += take as u64;
+        }
+        if self.merged.is_empty() {
+            // Unreachable for a validated track (run lengths sum to the
+            // manifest count, and the caller checked addresses remain);
+            // kept as a hard error rather than an index panic.
+            return Err(AtcError::Format(format!(
+                "interleave track ended after {} of {} store addresses",
+                self.produced, self.manifest.count
+            )));
+        }
+        Ok(())
+    }
+
     /// Zips whole rotations (one value per shard, in rotation order) into
     /// the flat merged buffer: `m = min(values buffered per shard)`
     /// rotations at a time — frame-sized in the steady state — capped by
     /// the rotations remaining in the store.
-    fn refill_zipper(&mut self) -> Result<()> {
+    fn refill_rotation_zipper(&mut self) -> Result<()> {
         let shard_count = self.shards.len();
         let mut m = usize::MAX;
         for shard in 0..shard_count {
@@ -411,6 +556,7 @@ mod tests {
                 buffer: 500,
                 threads,
             },
+            max_buffered_bytes: None,
         }
     }
 
@@ -436,10 +582,64 @@ mod tests {
     }
 
     #[test]
-    fn addr_range_concatenates_shards_in_order() {
+    fn addr_range_merged_read_replays_exact_interleave() {
         // Two regions interleaved; addr-range routing splits them apart,
-        // and the merged read returns shard 0's region then shard 1's.
+        // and the recorded interleave track zips them back in the exact
+        // arrival order — in both the batched and stepwise merge modes.
         let root = tmp("ar");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            opts(2, ShardPolicy::AddressRange { shift: 16 }, 1),
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        for i in 0..2000u64 {
+            let a = i * 8; // region 0
+            let b = (1 << 16) + i * 8; // region 1
+            s.code(a).unwrap();
+            s.code(b).unwrap();
+            expect.push(a);
+            expect.push(b);
+        }
+        s.finish().unwrap();
+        let mut r = StoreReader::open(&root).unwrap();
+        assert!(r.merge_is_exact(), "recorded track makes the merge exact");
+        assert_eq!(r.decode_all().unwrap(), expect);
+        assert_eq!(r.decode().unwrap(), None, "end is sticky");
+        let mut stepwise = StoreReader::open(&root).unwrap();
+        stepwise.merge_batching(false);
+        assert_eq!(stepwise.decode_all().unwrap(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn thread_id_merged_read_replays_exact_interleave() {
+        let root = tmp("tid-exact");
+        let mut s =
+            AtcStore::create(&root, Mode::Lossless, opts(3, ShardPolicy::ThreadId, 1)).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            // Bursty keys so runs have varied lengths.
+            let key = (i / 7) % 5;
+            let addr = 0x9000 + i * 8;
+            s.code_from(key, addr).unwrap();
+            expect.push(addr);
+        }
+        s.finish().unwrap();
+        let mut r = StoreReader::open(&root).unwrap();
+        assert!(r.merge_is_exact());
+        assert_eq!(r.decode_all().unwrap(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn old_manifest_without_track_reads_as_concatenation() {
+        // Strip the interleave section and rewind the version — the
+        // fixture for stores packed before the track existed. The reader
+        // must fall back to shard concatenation (each shard exact, global
+        // order lost) instead of refusing the store.
+        let root = tmp("old-manifest");
         let mut s = AtcStore::create(
             &root,
             Mode::Lossless,
@@ -448,20 +648,37 @@ mod tests {
         .unwrap();
         let mut lo = Vec::new();
         let mut hi = Vec::new();
-        for i in 0..2000u64 {
-            let a = i * 8; // region 0
-            let b = (1 << 16) + i * 8; // region 1
+        for i in 0..1500u64 {
+            let a = i * 8; // region 0 -> shard 0
+            let b = (1 << 16) + i * 8; // region 1 -> shard 1
             s.code(a).unwrap();
             s.code(b).unwrap();
             lo.push(a);
             hi.push(b);
         }
         s.finish().unwrap();
+        let path = root.join(STORE_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("interleave="), "new manifests carry a track");
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("interleave="))
+            .map(|l| {
+                if l.starts_with("version=") {
+                    "version=1".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        std::fs::write(&path, old).unwrap();
         let mut r = StoreReader::open(&root).unwrap();
-        let merged = r.decode_all().unwrap();
+        assert!(!r.merge_is_exact(), "track-less store merges by shard");
         let mut expect = lo.clone();
         expect.extend(&hi);
-        assert_eq!(merged, expect);
+        assert_eq!(r.decode_all().unwrap(), expect);
         std::fs::remove_dir_all(&root).unwrap();
     }
 
@@ -512,6 +729,7 @@ mod tests {
                     buffer: 128,
                     threads: 1,
                 },
+                max_buffered_bytes: None,
             },
         )
         .unwrap();

@@ -3,7 +3,12 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use atc_core::format::{shard_dir_name, StoreManifest, FORMAT_VERSION, STORE_MANIFEST_FILE};
+use std::sync::Arc;
+
+use atc_codec::{ByteBudget, DEFAULT_SEGMENT_SIZE, IN_FLIGHT_PER_WORKER};
+use atc_core::format::{
+    shard_dir_name, InterleaveTrack, StoreManifest, STORE_FORMAT_VERSION, STORE_MANIFEST_FILE,
+};
 use atc_core::{AtcError, AtcOptions, AtcStats, AtcWriter, Mode, Result};
 use atc_engine::{Engine, EngineStats};
 
@@ -14,7 +19,9 @@ use crate::policy::ShardPolicy;
 pub struct StoreOptions {
     /// Number of shard trace directories (must be at least 1).
     pub shards: usize,
-    /// How addresses are routed across shards (recorded in the manifest).
+    /// How addresses are routed across shards (recorded in the manifest,
+    /// together with the interleave track that makes the merged read-back
+    /// order-exact for the data-dependent policies).
     pub policy: ShardPolicy,
     /// Per-trace options (codec, bytesort buffer). `atc.threads` is the
     /// store's *total* compression parallelism: **all shard writers feed
@@ -24,6 +31,17 @@ pub struct StoreOptions {
     /// full in-flight window; the engine's worker count is the actual
     /// concurrency cap.
     pub atc: AtcOptions,
+    /// Cap on buffered pipeline bytes summed **across all shard
+    /// writers** (raw lossless segments handed to the engine, queued
+    /// lossy intervals). Per-writer windows alone compound to
+    /// `shards × threads × 2` payloads; this shared gate keeps skewed
+    /// routing — where one busy shard could otherwise fill every
+    /// window — under one bound. `None` keeps exactly that compound
+    /// bound as the default cap, so untouched configurations behave as
+    /// before; the gate only changes behavior when set tighter. Ignored
+    /// when `atc.threads <= 1` (inline writers buffer at most one
+    /// payload each).
+    pub max_buffered_bytes: Option<u64>,
 }
 
 impl Default for StoreOptions {
@@ -34,6 +52,7 @@ impl Default for StoreOptions {
             shards: 1,
             policy: ShardPolicy::default(),
             atc: AtcOptions::default(),
+            max_buffered_bytes: None,
         }
     }
 }
@@ -52,6 +71,11 @@ pub struct StoreStats {
     /// routing is the observable form of shard-to-shard capacity
     /// donation.
     pub engine: Option<EngineStats>,
+    /// High-water mark of pipeline bytes buffered across all shard
+    /// writers, as seen by the shared byte-budget gate
+    /// ([`StoreOptions::max_buffered_bytes`]; None when the store ran
+    /// inline and no gate existed).
+    pub peak_buffered_bytes: Option<u64>,
 }
 
 impl StoreStats {
@@ -111,6 +135,14 @@ pub struct AtcStore {
     writers: Vec<AtcWriter>,
     /// The engine every shard writer feeds (None = fully inline).
     engine: Option<Engine>,
+    /// The shared byte-budget gate all shard writers draw from (None =
+    /// fully inline, nothing buffered beyond one payload per writer).
+    budget: Option<Arc<ByteBudget>>,
+    /// Routing decisions as RLE runs — recorded only for the
+    /// data-dependent policies; round-robin's rotation is synthesized by
+    /// the reader, so recording it would cost one run per address for
+    /// nothing.
+    track: InterleaveTrack,
     /// Global arrival index of the next address.
     seq: u64,
 }
@@ -156,6 +188,7 @@ impl AtcStore {
             shards,
             policy,
             atc,
+            max_buffered_bytes,
         } = options;
         if shards == 0 {
             return Err(AtcError::Format("store needs at least one shard".into()));
@@ -182,6 +215,23 @@ impl AtcStore {
                 )));
             }
         }
+        // One shared byte gate for every shard writer. The default cap is
+        // exactly the old compound bound (shards × threads × 2 payloads,
+        // where a payload is a raw segment in lossless mode and an
+        // L-address interval in lossy mode), so stores that never set
+        // `max_buffered_bytes` keep their previous buffering behavior —
+        // the gate only bites when configured tighter.
+        let budget = engine.as_ref().map(|_| {
+            let payload = match &mode {
+                Mode::Lossless => DEFAULT_SEGMENT_SIZE as u64,
+                Mode::Lossy(cfg) => cfg.interval_len as u64 * 8,
+            };
+            let old_bound = shards as u64
+                * atc.threads.max(1) as u64
+                * IN_FLIGHT_PER_WORKER as u64
+                * payload.max(1);
+            Arc::new(ByteBudget::new(max_buffered_bytes.unwrap_or(old_bound)))
+        });
         let writers = (0..shards)
             .map(|i| {
                 let shard_options = AtcOptions {
@@ -190,13 +240,21 @@ impl AtcStore {
                     threads: atc.threads,
                 };
                 let dir = root.join(shard_dir_name(i));
-                match &engine {
-                    // One engine for all shards: the whole budget is a
-                    // shared pool, not a static per-shard slice.
-                    Some(e) => {
+                match (&engine, &budget) {
+                    // One engine and one byte budget for all shards: the
+                    // whole thread budget is a shared pool, and so is the
+                    // buffered-memory bound.
+                    (Some(e), Some(b)) => AtcWriter::with_options_engine_budget(
+                        dir,
+                        mode.clone(),
+                        shard_options,
+                        e.clone(),
+                        Arc::clone(b),
+                    ),
+                    (Some(e), None) => {
                         AtcWriter::with_options_engine(dir, mode.clone(), shard_options, e.clone())
                     }
-                    None => AtcWriter::with_options(dir, mode.clone(), shard_options),
+                    (None, _) => AtcWriter::with_options(dir, mode.clone(), shard_options),
                 }
             })
             .collect::<Result<Vec<_>>>()?;
@@ -205,6 +263,8 @@ impl AtcStore {
             policy,
             writers,
             engine,
+            budget,
+            track: InterleaveTrack::default(),
             seq: 0,
         })
     }
@@ -249,6 +309,14 @@ impl AtcStore {
     pub fn code_from(&mut self, key: u64, addr: u64) -> Result<()> {
         let shard = self.policy.route(self.seq, key, addr, self.writers.len());
         self.writers[shard].code(addr)?;
+        // Routing happens here, on the producer, in arrival order — the
+        // engine's shard tasks may complete out of order but they never
+        // decide routing, so the run record needs no synchronization.
+        // Round-robin is skipped: its track is the derivable rotation,
+        // and recording it would be one run per address.
+        if !self.policy.merge_is_exact() {
+            self.track.record(shard as u32);
+        }
         self.seq += 1;
         Ok(())
     }
@@ -279,11 +347,16 @@ impl AtcStore {
             shard_counts.push(w.count());
             shard_stats.push(w.finish()?);
         }
+        // Round-robin stores carry no recorded track (the reader
+        // synthesizes the rotation); every other policy ships its RLE
+        // interleave so any reader can replay the exact arrival order.
+        let interleave = (!self.policy.merge_is_exact()).then_some(self.track);
         let manifest = StoreManifest {
-            version: FORMAT_VERSION,
+            version: STORE_FORMAT_VERSION,
             policy: self.policy.to_name(),
             count: self.seq,
             shard_counts,
+            interleave,
         };
         let manifest_text = manifest.to_text();
         fs::write(self.root.join(STORE_MANIFEST_FILE), &manifest_text)?;
@@ -294,6 +367,7 @@ impl AtcStore {
             shards: shard_stats,
             compressed_bytes,
             engine: self.engine.as_ref().map(Engine::stats),
+            peak_buffered_bytes: self.budget.as_ref().map(|b| b.peak()),
         })
     }
 }
@@ -322,6 +396,7 @@ mod tests {
                     buffer: 64,
                     threads: 1,
                 },
+                max_buffered_bytes: None,
             },
         )
         .unwrap();
@@ -400,6 +475,7 @@ mod tests {
                     buffer: 500,
                     threads: 5,
                 },
+                max_buffered_bytes: None,
             },
         )
         .unwrap();
@@ -433,6 +509,7 @@ mod tests {
                     buffer: 50_000,
                     threads: 2,
                 },
+                max_buffered_bytes: None,
             },
             engine.clone(),
         )
@@ -456,6 +533,104 @@ mod tests {
     }
 
     #[test]
+    fn data_dependent_policies_record_interleave_track() {
+        let root = tmp("track");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                policy: ShardPolicy::AddressRange { shift: 8 },
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 64,
+                    threads: 1,
+                },
+                max_buffered_bytes: None,
+            },
+        )
+        .unwrap();
+        // 3 addresses in region 0, then 2 in region 1, then 1 in region 0.
+        for addr in [0u64, 8, 16, 0x100, 0x108, 24] {
+            s.code(addr).unwrap();
+        }
+        s.finish().unwrap();
+        let manifest =
+            StoreManifest::parse(&fs::read_to_string(root.join(STORE_MANIFEST_FILE)).unwrap())
+                .unwrap();
+        assert_eq!(manifest.version, STORE_FORMAT_VERSION);
+        let track = manifest.interleave.expect("addr-range records the track");
+        assert_eq!(track.runs(), &[(0, 3), (1, 2), (0, 1)]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn round_robin_needs_no_recorded_track() {
+        let root = tmp("rr-no-track");
+        let mut s = AtcStore::create(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 3,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        s.code_all(0..100u64).unwrap();
+        s.finish().unwrap();
+        let text = fs::read_to_string(root.join(STORE_MANIFEST_FILE)).unwrap();
+        assert!(
+            !text.contains("interleave="),
+            "rotation is synthesized, not recorded: {text}"
+        );
+        assert_eq!(StoreManifest::parse(&text).unwrap().interleave, None);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// The shared byte-budget pin: with every address routed to shard 0
+    /// and a cap of two segments, the busy shard would happily queue its
+    /// whole window (2 threads × 2 = 4 MiB-segments) — the gate must hold
+    /// the store-wide high-water mark at the configured cap instead.
+    #[test]
+    fn byte_budget_caps_buffered_bytes_under_skewed_routing() {
+        let root = tmp("budget-cap");
+        let cap = 2 * atc_codec::DEFAULT_SEGMENT_SIZE as u64;
+        let engine = Engine::new(2);
+        let mut s = AtcStore::create_with_engine(
+            &root,
+            Mode::Lossless,
+            StoreOptions {
+                shards: 2,
+                // Shift 62: everything lands in shard 0.
+                policy: ShardPolicy::AddressRange { shift: 62 },
+                atc: AtcOptions {
+                    codec: "store".into(),
+                    buffer: 100_000,
+                    threads: 2,
+                },
+                max_buffered_bytes: Some(cap),
+            },
+            engine,
+        )
+        .unwrap();
+        // 1 M addresses = 8 MiB raw = 8 one-MiB segments through a 2 MiB
+        // budget.
+        s.code_all((0..1_000_000u64).map(|i| i * 64)).unwrap();
+        let stats = s.finish().unwrap();
+        assert_eq!(stats.shards[0].count, 1_000_000, "routing must be skewed");
+        let peak = stats.peak_buffered_bytes.expect("threaded store is gated");
+        assert!(
+            peak <= cap,
+            "peak buffered bytes {peak} exceed the configured cap {cap}"
+        );
+        assert!(peak > 0, "the gate must actually have admitted segments");
+        // The store still reads back exactly.
+        let mut r = crate::StoreReader::open(&root).unwrap();
+        assert_eq!(r.decode_all().unwrap().len(), 1_000_000);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
     fn thread_id_policy_splits_by_key() {
         let root = tmp("tid");
         let mut s = AtcStore::create(
@@ -469,6 +644,7 @@ mod tests {
                     buffer: 64,
                     threads: 1,
                 },
+                max_buffered_bytes: None,
             },
         )
         .unwrap();

@@ -49,6 +49,7 @@ proptest! {
                             buffer,
                             threads,
                         },
+                        max_buffered_bytes: None,
                     },
                 )
                 .unwrap();
@@ -108,6 +109,7 @@ proptest! {
                         buffer,
                         threads: 1,
                     },
+                    max_buffered_bytes: None,
                 },
             )
             .unwrap();
@@ -139,6 +141,7 @@ proptest! {
                             buffer,
                             threads: 4,
                         },
+                        max_buffered_bytes: None,
                     },
                     engine,
                 )
@@ -199,6 +202,7 @@ proptest! {
                         buffer,
                         threads: 1,
                     },
+                    max_buffered_bytes: None,
                 },
             )
             .unwrap();
@@ -234,6 +238,7 @@ proptest! {
                         buffer: 256,
                         threads: 1,
                     },
+                    max_buffered_bytes: None,
                 },
             )
             .unwrap();
@@ -260,10 +265,13 @@ proptest! {
     }
 
     #[test]
-    fn addr_range_merged_read_is_shard_concatenation(
+    fn addr_range_merged_read_replays_arrival_order(
         addrs in vec(any::<u64>(), 0..2000),
         shift in 4u32..40,
     ) {
+        // The recorded interleave track makes the data-dependent policy
+        // merge exact; stripping it (the old-manifest fixture) falls
+        // back to shard concatenation.
         let shards = 3usize;
         let policy = ShardPolicy::AddressRange { shift };
         let root = tmp("ar");
@@ -278,12 +286,27 @@ proptest! {
                     buffer: 128,
                     threads: 1,
                 },
+                max_buffered_bytes: None,
             },
         )
         .unwrap();
         s.code_all(addrs.iter().copied()).unwrap();
         s.finish().unwrap();
 
+        let mut r = StoreReader::open(&root).unwrap();
+        prop_assert!(r.merge_is_exact());
+        prop_assert_eq!(&r.decode_all().unwrap(), &addrs);
+
+        // Old-manifest fixture: drop the track, rewind the version.
+        let path = root.join(atc_core::format::STORE_MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("interleave="))
+            .map(|l| if l.starts_with("version=") { "version=1" } else { l })
+            .collect::<Vec<_>>()
+            .join("\n") + "\n";
+        std::fs::write(&path, old).unwrap();
         let mut expect = Vec::new();
         for shard in 0..shards {
             expect.extend(
@@ -293,7 +316,93 @@ proptest! {
             );
         }
         let mut r = StoreReader::open(&root).unwrap();
+        prop_assert!(!r.merge_is_exact());
         prop_assert_eq!(r.decode_all().unwrap(), expect);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+// The interleave-track acceptance grid: byte-identical replay of the
+// merged stream versus the pre-shard input for the data-dependent
+// policies over shards {1, 2, 7} × engine workers {1, 2, 8}, in both
+// the batched and stepwise merge modes. Fewer cases than the blocks
+// above — each case walks 2 policies × 9 (shards, workers) stores.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn exact_interleave_replay_for_data_dependent_policies(
+        addrs in vec(any::<u64>(), 1..1500),
+        shift in 2u32..24,
+        buffer in 1usize..300,
+    ) {
+        for shards in SHARDS {
+            for workers in [1usize, 2, 8] {
+                for policy in [
+                    ShardPolicy::AddressRange { shift },
+                    ShardPolicy::ThreadId,
+                ] {
+                    let root = tmp(&format!(
+                        "ix-{shards}-{workers}-{}",
+                        policy.to_name().replace(':', "_")
+                    ));
+                    let engine = Engine::new(workers);
+                    let mut s = AtcStore::create_with_engine(
+                        &root,
+                        Mode::Lossless,
+                        StoreOptions {
+                            shards,
+                            policy,
+                            atc: AtcOptions {
+                                codec: "lz".into(),
+                                buffer,
+                                threads: 4,
+                            },
+                            max_buffered_bytes: None,
+                        },
+                        engine,
+                    )
+                    .unwrap();
+                    for (i, &a) in addrs.iter().enumerate() {
+                        // Thread-id routing needs keys; the other
+                        // policies ignore them.
+                        s.code_from(i as u64 % 5, a).unwrap();
+                    }
+                    s.finish().unwrap();
+
+                    let mut r = StoreReader::open_with(
+                        &root,
+                        ReadOptions {
+                            threads: 4,
+                            engine: Some(Engine::new(workers)),
+                            ..ReadOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    prop_assert!(r.merge_is_exact());
+                    prop_assert_eq!(
+                        &r.decode_all().unwrap(),
+                        &addrs,
+                        "policy={} shards={} workers={}",
+                        policy.to_name(),
+                        shards,
+                        workers
+                    );
+                    prop_assert!(r.decode().unwrap().is_none());
+
+                    let mut stepwise = StoreReader::open(&root).unwrap();
+                    stepwise.merge_batching(false);
+                    prop_assert_eq!(
+                        &stepwise.decode_all().unwrap(),
+                        &addrs,
+                        "stepwise policy={} shards={} workers={}",
+                        policy.to_name(),
+                        shards,
+                        workers
+                    );
+                    std::fs::remove_dir_all(&root).unwrap();
+                }
+            }
+        }
     }
 }

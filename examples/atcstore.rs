@@ -8,7 +8,9 @@
 //! # keep address regions shard-local instead:
 //! atcstore pack store.atc --shards 4 --policy addr-range:22 --lossless < trace.bin
 //!
-//! # merged read-back (exact for round-robin):
+//! # merged read-back (exact arrival order under every policy — the
+//! # manifest's interleave track drives the merge; only track-less old
+//! # manifests fall back to shard concatenation):
 //! atcstore unpack store.atc --threads 4 > out.bin
 //!
 //! # one shard only:
@@ -120,6 +122,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     buffer: get("--buffer", 1_000_000),
                     threads,
                 },
+                max_buffered_bytes: None,
             };
             let mut store = match &engine {
                 Some(e) => AtcStore::create_with_engine(&root, mode, store_options, e.clone())?,
@@ -142,6 +145,9 @@ fn main() -> Result<(), Box<dyn Error>> {
                 stats.shards.len(),
                 stats.bits_per_address()
             );
+            if let Some(peak) = stats.peak_buffered_bytes {
+                eprintln!("buffered-memory gate: peak {peak} bytes");
+            }
             if let Some(engine_stats) = stats.engine {
                 print_engine_stats(engine_stats);
             }
@@ -181,11 +187,33 @@ fn main() -> Result<(), Box<dyn Error>> {
             let mut r = StoreReader::open(&root)?;
             let m = r.manifest().clone();
             println!(
-                "policy={} shards={} count={}",
+                "policy={} shards={} count={} version={}",
                 m.policy,
                 m.shards(),
-                m.count
+                m.count,
+                m.version
             );
+            // The merge-mode line: where the merged read-back's order
+            // comes from, and — for recorded tracks — what the track
+            // costs on disk.
+            match &m.interleave {
+                Some(track) => println!(
+                    "merge=exact (interleave track: {} runs, {} encoded bytes)",
+                    track.runs().len(),
+                    track.encoded_len()
+                ),
+                None if r.merge_is_exact() => {
+                    println!("merge=exact (round-robin rotation, no track needed)")
+                }
+                None => {
+                    println!("merge=concatenation (shard order)");
+                    eprintln!(
+                        "warning: no interleave track in the manifest (packed by an \
+                         older writer); the merged read-back concatenates shards \
+                         instead of replaying the original arrival order"
+                    );
+                }
+            }
             for (i, count) in m.shard_counts.iter().enumerate() {
                 let meta = r.shard(i).meta().clone();
                 println!(
