@@ -149,6 +149,20 @@ fn bench_parallel_writer(c: &mut Criterion) {
     g.finish();
 }
 
+/// CRC-32 over a 1 MiB block: every compressed block pays this on both
+/// the write and the verify path, so it must run at SIMD-width speed.
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    let n = 1 << 20;
+    let data = structured(n);
+    g.throughput(Throughput::Bytes(n as u64));
+    g.bench_function("crc32", |b| {
+        b.iter(|| black_box(atc_codec::crc::crc32(black_box(&data))));
+    });
+    g.finish();
+}
+
 fn bench_bwt(c: &mut Criterion) {
     let mut g = c.benchmark_group("bwt");
     g.sample_size(10);
@@ -171,6 +185,7 @@ criterion_group!(
     bench_bzip_threads,
     bench_parallel_writer,
     bench_readahead,
+    bench_crc,
     bench_bwt
 );
 criterion_main!(benches);

@@ -181,6 +181,46 @@ proptest! {
         }
     }
 
+    // Forced-stealing byte identity: an injected engine whose home worker
+    // is buried under junk tasks makes the writer's segments get *stolen*
+    // by the other workers, and the output must still be byte-identical
+    // to the serial stream at every worker count. This pins the lock-free
+    // deque path (owner pop vs thief CAS) to on-disk bytes.
+    #[test]
+    fn forced_stealing_keeps_streams_byte_identical(
+        data in vec(any::<u8>(), 0..20_000),
+    ) {
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1024);
+        serial.write_all(&data).unwrap();
+        let serial_file = serial.finish().unwrap();
+
+        for workers in test_threads() {
+            let engine = atc_engine::Engine::new(workers);
+            // Bury home 0 — the home the writer below will be assigned —
+            // so its segment tasks queue behind junk and idle workers
+            // must steal them to keep the stream moving.
+            for _ in 0..64 {
+                engine.submit(0, || std::thread::sleep(std::time::Duration::from_micros(50)));
+            }
+            let mut w = ParallelCodecWriter::with_engine(
+                Vec::new(),
+                Arc::clone(&codec),
+                1024,
+                workers,
+                engine.clone(),
+            );
+            w.write_all(&data).unwrap();
+            let file = w.finish().unwrap();
+            prop_assert_eq!(&file, &serial_file, "stream bytes, workers={}", workers);
+            if workers > 1 && !data.is_empty() {
+                // The junk backlog guarantees contention; with several
+                // workers some of it must have been stolen.
+                prop_assert!(engine.stats().steals > 0, "no steals at workers={}", workers);
+            }
+        }
+    }
+
     #[test]
     fn parallel_bzip_rejects_corruption_like_serial(
         data in vec(any::<u8>(), 2048..8192),

@@ -1,0 +1,384 @@
+//! Hand-written Chase–Lev lock-free work-stealing deque.
+//!
+//! The offline vendor set has no `crossbeam`, so this is a from-scratch
+//! implementation of the classic algorithm (Chase & Lev, *Dynamic
+//! Circular Work-Stealing Deque*, SPAA 2005), with the acquire/release
+//! orderings of the C11 formulation (Lê, Pop, Cohen & Zappa Nardelli,
+//! *Correct and Efficient Work-Stealing for Weak Memory Models*, PPoPP
+//! 2013). One thread — the **owner** — pushes and pops at the *bottom*
+//! of the deque; any number of **thief** threads concurrently remove
+//! elements from the *top* with a compare-and-swap.
+//!
+//! # Ownership and ordering invariants
+//!
+//! * `push` and `pop` may only be called by the deque's single owner
+//!   thread (the engine worker the deque belongs to). `steal` may be
+//!   called by any thread. [`ChaseLev`] is `Sync` *only* under that
+//!   protocol; the engine enforces it structurally — `push`/`pop` are
+//!   reached exclusively from the owning worker's run loop.
+//! * `top` only ever increases, so a successful `compare_exchange` on it
+//!   can never ABA.
+//! * Cells are `AtomicPtr` slots holding boxed tasks. A thief reads the
+//!   cell *before* claiming it with the CAS on `top`; that read may race
+//!   with the owner recycling the slot, which is exactly why the slots
+//!   are atomics (a plain read would be UB) — if the slot was recycled,
+//!   the CAS is guaranteed to fail and the stale value is discarded.
+//! * The element at index `i` lives in `cells[i % capacity]`; the owner
+//!   can only recycle that slot at index `i + capacity`, which requires
+//!   `bottom - top >= capacity`, which triggers a grow first. Grown-out
+//!   buffers are *retired*, never freed in place, because a slow thief
+//!   may still read (then fail its CAS and discard) cells in them; they
+//!   are reclaimed when the deque itself drops.
+//! * `push` publishes the cell write with a release store of `bottom`;
+//!   a thief's acquire load of `bottom` therefore sees the task pointer.
+//!   `grow` publishes the copied buffer with a release store of the
+//!   buffer pointer. The `SeqCst` fences in `pop`/`steal` order the
+//!   owner's `bottom` decrement against the thief's `top` read — the
+//!   one place acquire/release alone is too weak (both would otherwise
+//!   be allowed to miss the other's write and pop the same last task).
+//!
+//! The `Miri` CI leg runs the engine test suite (including the stress
+//! tests at the bottom of `lib.rs`) under the memory-model checker.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::Task;
+
+/// A task parked in a deque cell: a thin pointer to a boxed [`Task`]
+/// (the `dyn FnOnce` box itself is a fat pointer, which `AtomicPtr`
+/// cannot hold, so it is boxed once more).
+pub(crate) type TaskPtr = *mut Task;
+
+/// Boxes a task into the thin-pointer form the deque stores.
+pub(crate) fn into_ptr(task: Task) -> TaskPtr {
+    Box::into_raw(Box::new(task))
+}
+
+/// Recovers a task from [`into_ptr`] form.
+///
+/// # Safety
+///
+/// `ptr` must come from [`into_ptr`] and must not be redeemed twice —
+/// guaranteed here because a task pointer is handed out exactly once:
+/// by the owner's `pop` or by the single thief whose CAS claimed it.
+pub(crate) unsafe fn from_ptr(ptr: TaskPtr) -> Task {
+    unsafe { *Box::from_raw(ptr) }
+}
+
+/// Outcome of a [`ChaseLev::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Another thread claimed the top element first; worth retrying.
+    Retry,
+    /// An element was stolen.
+    Success(TaskPtr),
+}
+
+/// The circular buffer backing a deque, sized to a power of two.
+struct Buffer {
+    mask: usize,
+    cells: Box<[AtomicPtr<Task>]>,
+}
+
+impl Buffer {
+    fn alloc(capacity: usize) -> *mut Buffer {
+        debug_assert!(capacity.is_power_of_two());
+        let cells: Box<[AtomicPtr<Task>]> = (0..capacity)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            mask: capacity - 1,
+            cells,
+        }))
+    }
+
+    /// # Safety: `ptr` must come from [`Buffer::alloc`], exactly once.
+    unsafe fn free(ptr: *mut Buffer) {
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn get(&self, index: isize) -> TaskPtr {
+        self.cells[index as usize & self.mask].load(Ordering::Relaxed)
+    }
+
+    fn put(&self, index: isize, task: TaskPtr) {
+        self.cells[index as usize & self.mask].store(task, Ordering::Relaxed);
+    }
+}
+
+/// The work-stealing deque. See the module docs for the invariants.
+pub(crate) struct ChaseLev {
+    /// Next index a thief will claim. Monotonically increasing.
+    top: AtomicIsize,
+    /// One past the owner's last pushed index.
+    bottom: AtomicIsize,
+    /// Current circular buffer (owner swaps it on grow).
+    buffer: AtomicPtr<Buffer>,
+    /// Grown-out buffers, kept alive for slow thieves; owner-only.
+    retired: UnsafeCell<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all cross-thread state (`top`, `bottom`, `buffer`, the cells)
+// is atomic. `retired` is touched only by the owner thread (push/grow)
+// and by `drop` (exclusive access); the engine upholds the owner-only
+// protocol for `push`/`pop`. Tasks are `Send`, so handing a stolen
+// pointer to another thread is sound.
+unsafe impl Send for ChaseLev {}
+unsafe impl Sync for ChaseLev {}
+
+impl ChaseLev {
+    pub(crate) fn new() -> Self {
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(64)),
+            retired: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: pushes a task at the bottom.
+    pub(crate) fn push(&self, task: TaskPtr) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the buffer pointer is always valid — it is only
+        // replaced by the owner (us) and old buffers are retired, not
+        // freed.
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.capacity() as isize {
+            self.grow(t, b);
+            buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        }
+        buf.put(b, task);
+        // Release: a thief that acquires this `bottom` store sees the
+        // cell write above.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops a task from the bottom (LIFO).
+    pub(crate) fn pop(&self) -> Option<TaskPtr> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: as in `push`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // The decrement of `bottom` must be globally visible before we
+        // read `top`, and a thief's CAS on `top` must be visible before
+        // it reads `bottom` — otherwise both sides could take the last
+        // element. Acquire/release cannot express this (it is a
+        // store→load ordering), hence the fence.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Last element: race the thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then(|| buf.get(b))
+            } else {
+                Some(buf.get(b))
+            }
+        } else {
+            // Already empty; undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: attempts to steal the top (oldest) task.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Pairs with the fence in `pop`; see the comment there.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            // Acquire pairs with the release store in `grow`, so the
+            // buffer we read contains index `t` if it was ever grown.
+            // SAFETY: buffers are retired, never freed, while the deque
+            // lives — this read is valid even if the owner grew the
+            // buffer after we loaded the pointer.
+            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let task = buf.get(t);
+            // Claim index t. Success means no other thief nor the
+            // owner's last-element pop took it, so `task` is ours; on
+            // failure the (possibly stale) read is discarded.
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(task)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Owner-only: doubles the buffer, copying live indices `t..b`.
+    fn grow(&self, t: isize, b: isize) {
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: as in `push`.
+        let old = unsafe { &*old_ptr };
+        let new_ptr = Buffer::alloc(old.capacity() * 2);
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.put(i, old.get(i));
+        }
+        // Release-publish the filled buffer for thieves.
+        self.buffer.store(new_ptr, Ordering::Release);
+        // Thieves may still hold `old_ptr`: retire it until drop.
+        // SAFETY: `retired` is owner-only and we are the owner.
+        unsafe { (*self.retired.get()).push(old_ptr) };
+    }
+}
+
+impl Drop for ChaseLev {
+    fn drop(&mut self) {
+        // Exclusive access: no owner, no thieves. Engine workers drain
+        // their deques before exiting, so this is normally empty — but a
+        // panicking drop path must not leak queued closures.
+        while let Some(ptr) = self.pop() {
+            // SAFETY: popped exactly once, from `into_ptr` form.
+            drop(unsafe { from_ptr(ptr) });
+        }
+        // SAFETY: the current buffer and every retired buffer came from
+        // `Buffer::alloc` and are freed exactly once, here.
+        unsafe {
+            Buffer::free(self.buffer.load(Ordering::Relaxed));
+            for ptr in self.retired.get_mut().drain(..) {
+                Buffer::free(ptr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn counting_task(counter: &Arc<AtomicUsize>) -> TaskPtr {
+        let counter = Arc::clone(counter);
+        into_ptr(Box::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }))
+    }
+
+    fn run(ptr: TaskPtr) {
+        (unsafe { from_ptr(ptr) })();
+    }
+
+    #[test]
+    fn owner_push_pop_is_lifo_and_grows() {
+        let dq = ChaseLev::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        // Push past the initial capacity to force a grow.
+        for _ in 0..200 {
+            dq.push(counting_task(&ran));
+        }
+        let mut popped = 0;
+        while let Some(p) = dq.pop() {
+            run(p);
+            popped += 1;
+        }
+        assert_eq!(popped, 200);
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+        assert!(dq.pop().is_none());
+    }
+
+    #[test]
+    fn steal_takes_oldest_and_empty_reports() {
+        let dq = ChaseLev::new();
+        assert_eq!(dq.steal(), Steal::Empty);
+        let ran = Arc::new(AtomicUsize::new(0));
+        dq.push(counting_task(&ran));
+        dq.push(counting_task(&ran));
+        match dq.steal() {
+            Steal::Success(p) => run(p),
+            other => panic!("expected steal success, got {other:?}"),
+        }
+        assert!(dq.pop().is_some_and(|p| {
+            run(p);
+            true
+        }));
+        assert_eq!(dq.steal(), Steal::Empty);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn drop_reclaims_queued_tasks() {
+        // No task may leak if a deque drops while still holding work.
+        let dq = ChaseLev::new();
+        for _ in 0..100 {
+            dq.push(into_ptr(Box::new(|| {})));
+        }
+        drop(dq); // Miri verifies nothing leaks.
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_account_for_every_task() {
+        // The core stress: one owner pushes and pops while thieves CAS
+        // the top; every task must run exactly once (the counter is the
+        // proof — a double-run would overshoot, a loss would undershoot).
+        let total: usize = if cfg!(miri) { 200 } else { 20_000 };
+        let thieves = 3;
+        let dq = Arc::new(ChaseLev::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..thieves {
+            let dq = Arc::clone(&dq);
+            let stolen = Arc::clone(&stolen);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || loop {
+                match dq.steal() {
+                    Steal::Success(p) => {
+                        run(p);
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) == 1 {
+                            return;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        let mut popped = 0usize;
+        for i in 0..total {
+            dq.push(counting_task(&ran));
+            // Interleave owner pops to exercise the last-element race.
+            if i % 3 == 0 {
+                if let Some(p) = dq.pop() {
+                    run(p);
+                    popped += 1;
+                }
+            }
+        }
+        while let Some(p) = dq.pop() {
+            run(p);
+            popped += 1;
+        }
+        done.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), total, "every task ran once");
+        assert_eq!(popped + stolen.load(Ordering::Relaxed), total);
+    }
+}

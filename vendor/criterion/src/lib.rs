@@ -15,10 +15,14 @@
 //! Honors `ATC_BENCH_QUICK=1` to run a single sample per benchmark (used
 //! by CI smoke runs), and `ATC_BENCH_JSON=<path>` to append one JSON
 //! object per benchmark to `<path>` (JSON Lines), which CI collects as a
-//! machine-readable artifact and gates against a checked-in baseline:
+//! machine-readable artifact and gates against a checked-in baseline.
+//! `ns_per_iter` is the **median** over samples (robust to a single noisy
+//! sample); `ns_min`/`ns_max` record the spread so a wide run is visible
+//! in the artifact. `bench_gate` keys on `ns_per_iter` and the throughput
+//! field only, so the extra keys are backward compatible:
 //!
 //! ```text
-//! {"id":"codec/compress/bzip","ns_per_iter":11030000.0,"mib_per_s":90.7}
+//! {"id":"codec/compress/bzip","ns_per_iter":11030000.0,"ns_min":10900000.0,"ns_max":11400000.0,"mib_per_s":90.7}
 //! ```
 
 use std::io::Write as _;
@@ -160,13 +164,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn report(&self, id: &BenchmarkId, b: &Bencher) {
-        let Some(&ns) = b
-            .samples
-            .iter()
-            .min_by(|a, b| a.partial_cmp(b).expect("no NaN samples"))
-        else {
+        let Some(stats) = SampleStats::from_samples(&b.samples) else {
             return;
         };
+        let ns = stats.median;
         let label = if self.name.is_empty() {
             id.id.clone()
         } else {
@@ -185,10 +186,41 @@ impl BenchmarkGroup<'_> {
         };
         println!("{label:<44} time: {}{thrpt}", format_ns(ns));
         if let Some(path) = std::env::var_os("ATC_BENCH_JSON") {
-            if let Err(e) = append_json_record(&path, &label, ns, self.throughput) {
+            if let Err(e) = append_json_record(&path, &label, stats, self.throughput) {
                 eprintln!("warning: cannot write bench record to {path:?}: {e}");
             }
         }
+    }
+}
+
+/// Median/min/max of the per-iteration samples: the median is the
+/// reported figure (one noisy sample cannot move it), the extremes record
+/// the run's spread.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Self {
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
     }
 }
 
@@ -196,10 +228,16 @@ impl BenchmarkGroup<'_> {
 fn append_json_record(
     path: &std::ffi::OsStr,
     label: &str,
-    ns: f64,
+    stats: SampleStats,
     throughput: Option<Throughput>,
 ) -> std::io::Result<()> {
-    let mut record = format!("{{\"id\":{},\"ns_per_iter\":{ns:.1}", json_string(label));
+    let ns = stats.median;
+    let mut record = format!(
+        "{{\"id\":{},\"ns_per_iter\":{ns:.1},\"ns_min\":{:.1},\"ns_max\":{:.1}",
+        json_string(label),
+        stats.min,
+        stats.max
+    );
     match throughput {
         Some(Throughput::Bytes(n)) => {
             let mib = n as f64 / (1 << 20) as f64 / (ns / 1e9);
@@ -377,19 +415,51 @@ mod tests {
         append_json_record(
             path.as_os_str(),
             "group/f/p",
-            2e9,
+            SampleStats {
+                median: 2e9,
+                min: 1.5e9,
+                max: 2.5e9,
+            },
             Some(Throughput::Bytes(1 << 20)),
         )
         .unwrap();
-        append_json_record(path.as_os_str(), "group/g", 1500.0, None).unwrap();
+        append_json_record(
+            path.as_os_str(),
+            "group/g",
+            SampleStats {
+                median: 1500.0,
+                min: 1500.0,
+                max: 1500.0,
+            },
+            None,
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"id\":\"group/f/p\",\"ns_per_iter\":2000000000.0,\"mib_per_s\":0.500}"
+            "{\"id\":\"group/f/p\",\"ns_per_iter\":2000000000.0,\"ns_min\":1500000000.0,\"ns_max\":2500000000.0,\"mib_per_s\":0.500}"
         );
-        assert_eq!(lines[1], "{\"id\":\"group/g\",\"ns_per_iter\":1500.0}");
+        assert_eq!(
+            lines[1],
+            "{\"id\":\"group/g\",\"ns_per_iter\":1500.0,\"ns_min\":1500.0,\"ns_max\":1500.0}"
+        );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_median_is_robust_to_one_outlier() {
+        let s = SampleStats::from_samples(&[100.0, 101.0, 99.0, 5000.0, 100.5]).unwrap();
+        assert_eq!(s.median, 100.5);
+        assert_eq!(s.min, 99.0);
+        assert_eq!(s.max, 5000.0);
+        // Even sample count averages the middle pair.
+        let e = SampleStats::from_samples(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.median, 25.0);
+        // Single sample (the ATC_BENCH_QUICK shape): all three coincide.
+        let q = SampleStats::from_samples(&[7.0]).unwrap();
+        assert_eq!((q.median, q.min, q.max), (7.0, 7.0, 7.0));
+        assert!(SampleStats::from_samples(&[]).is_none());
     }
 }
