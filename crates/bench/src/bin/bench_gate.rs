@@ -138,6 +138,20 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot read {baseline_path}: {e}"))?,
     );
 
+    // A deleted or silently-failing bench leaves the current run with no
+    // entries under the gated prefix at all. Catch that shape up front
+    // with one clear error instead of (at best) a per-id "missing"
+    // failure per baseline entry — and instead of *nothing* when the
+    // baseline's entries under this prefix carry no throughput figure.
+    if baseline.keys().any(|id| id.starts_with(&prefix))
+        && !current.keys().any(|id| id.starts_with(&prefix))
+    {
+        return Err(format!(
+            "current run {current_path} has no entries with prefix {prefix:?} but the \
+             baseline does — was the bench deleted, or did it fail to run?"
+        ));
+    }
+
     let mut failures = Vec::new();
     let mut gated = 0usize;
     for (id, base) in baseline.iter().filter(|(id, _)| id.starts_with(&prefix)) {
@@ -292,6 +306,26 @@ mod tests {
         let cur = write_tmp("cur-none", SAMPLE);
         let args = vec![cur.display().to_string(), base.display().to_string()];
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn deleted_bench_fails_even_without_gated_throughput() {
+        // Baseline lists the prefix (here with ns-only entries that the
+        // throughput gate skips); the current run has nothing under it —
+        // the "was the bench deleted" check must fire rather than the
+        // gate passing vacuously or drowning in per-id noise.
+        let base = write_tmp(
+            "base-deleted",
+            "{\"id\":\"codec/compress/bzip\",\"ns_per_iter\":1.0}\n",
+        );
+        let cur = write_tmp(
+            "cur-deleted",
+            "{\"id\":\"other/bench\",\"ns_per_iter\":1.0}\n",
+        );
+        let args = vec![cur.display().to_string(), base.display().to_string()];
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("no entries with prefix"), "{err}");
+        assert!(err.contains("deleted"), "{err}");
     }
 
     #[test]

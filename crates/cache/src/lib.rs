@@ -10,6 +10,10 @@
 //! * [`StackSim`] — a Mattson LRU stack-distance simulator giving the miss
 //!   ratio of every associativity in one pass per set count; this replaces
 //!   the Cheetah simulator used for Figure 3.
+//! * [`SegmentCache`] — not a simulation subject but a *production*
+//!   component: the process-wide, byte-budgeted LRU of decoded codec
+//!   segments that the random-access read path shares across concurrent
+//!   readers of a hot trace.
 //!
 //! # Examples
 //!
@@ -28,8 +32,12 @@
 
 mod cache;
 mod filter;
+mod segment;
 mod stack;
 
 pub use cache::{AccessResult, Cache, CacheConfig};
 pub use filter::{block_of, filtered_trace, is_writeback, CacheFilter, Filtered, WRITEBACK_BIT};
+pub use segment::{
+    trace_id, SegmentCache, SegmentCacheStats, SegmentKey, DEFAULT_SEGMENT_CACHE_BYTES,
+};
 pub use stack::StackSim;

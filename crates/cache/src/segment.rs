@@ -1,0 +1,290 @@
+//! Process-wide decoded-segment cache for the random-access read path.
+//!
+//! `AtcReader::seek` decodes exactly one compressed segment to reach its
+//! target frame. When N concurrent readers hammer the same hot trace (the
+//! access pattern of a trace-serving daemon or SimPoint-style sampling),
+//! each would decode the same segments over and over; a shared
+//! [`SegmentCache`] lets them reuse each other's decode work instead.
+//!
+//! Entries are keyed by `(trace_id, segment_idx)` — [`trace_id`] hashes
+//! the canonicalized trace directory path, so two readers of the same
+//! directory agree on the key while distinct traces never collide in
+//! practice — and hold the segment's *decoded* bytes behind an `Arc`, so
+//! a hit is a clone of a pointer, not a copy of a megabyte.
+//!
+//! Capacity is bytes, not entries, accounted through the same
+//! [`ByteBudget`] the write pipeline uses for its buffering gate:
+//! least-recently-used entries are evicted until an insert fits, and an
+//! entry larger than the whole cap bypasses the cache entirely (caching
+//! it would evict everything for one reader's benefit). Hit, miss, and
+//! eviction counters are exposed for `atcstat`/`atcstore stat`.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use atc_codec::ByteBudget;
+
+/// Cache key: `(trace_id, segment_idx)` (see [`trace_id`]).
+pub type SegmentKey = (u64, u64);
+
+/// Default byte capacity of the process-wide cache ([`SegmentCache::global`]).
+pub const DEFAULT_SEGMENT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Counter snapshot of a [`SegmentCache`] (see [`SegmentCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Decoded bytes currently held.
+    pub bytes: u64,
+    /// Configured byte capacity.
+    pub cap: u64,
+}
+
+/// A byte-budgeted, true-LRU cache of decoded codec segments shared by
+/// every reader in the process.
+///
+/// Thread-safe; lookups and inserts take one short mutex-protected pass
+/// over an MRU-ordered list. The entry payload is `Arc<Vec<u8>>`, so
+/// readers keep using a segment after it is evicted — eviction only
+/// releases the cache's byte accounting, the memory follows the last
+/// reader.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use atc_cache::SegmentCache;
+///
+/// let cache = SegmentCache::new(1 << 20);
+/// assert!(cache.get((7, 0)).is_none());
+/// cache.insert((7, 0), Arc::new(vec![1, 2, 3]));
+/// assert_eq!(cache.get((7, 0)).unwrap().as_slice(), &[1, 2, 3]);
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct SegmentCache {
+    budget: ByteBudget,
+    /// `(key, decoded bytes)`, least recently used first.
+    entries: Mutex<Vec<(SegmentKey, Arc<Vec<u8>>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SegmentCache {
+    /// Creates a cache holding up to `cap_bytes` of decoded segments
+    /// (clamped to at least 1).
+    pub fn new(cap_bytes: u64) -> Self {
+        Self {
+            budget: ByteBudget::new(cap_bytes),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache every reader shares by default
+    /// ([`DEFAULT_SEGMENT_CACHE_BYTES`] capacity), created on first use.
+    pub fn global() -> Arc<SegmentCache> {
+        static GLOBAL: OnceLock<Arc<SegmentCache>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(SegmentCache::new(DEFAULT_SEGMENT_CACHE_BYTES))))
+    }
+
+    /// Looks up a decoded segment, refreshing its recency on a hit.
+    pub fn get(&self, key: SegmentKey) -> Option<Arc<Vec<u8>>> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                // Move to MRU (the end); the list is short enough that a
+                // rotate beats a linked structure's pointer chasing.
+                let entry = entries.remove(i);
+                let bytes = Arc::clone(&entry.1);
+                entries.push(entry);
+                drop(entries);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            None => {
+                drop(entries);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a decoded segment, evicting from the LRU
+    /// end until it fits. A segment larger than the whole capacity is
+    /// not cached at all — admitting it would flush every other entry
+    /// for a single reader's benefit.
+    pub fn insert(&self, key: SegmentKey, bytes: Arc<Vec<u8>>) {
+        let len = bytes.len() as u64;
+        if len > self.budget.cap() {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
+            // Already cached (two readers raced on the same miss): keep
+            // the incumbent bytes, just refresh recency.
+            let entry = entries.remove(i);
+            entries.push(entry);
+            return;
+        }
+        // Evict before acquiring so the (blocking) budget acquire is
+        // always immediate: after this loop `in_use + len <= cap` holds.
+        while self.budget.in_use() + len > self.budget.cap() {
+            let (_, evicted) = entries.remove(0);
+            self.budget.release(evicted.len() as u64);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.budget.acquire(len);
+        entries.push((key, bytes));
+    }
+
+    /// Drops every entry (the counters survive; `bytes` returns to 0).
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for (_, bytes) in entries.drain(..) {
+            self.budget.release(bytes.len() as u64);
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> SegmentCacheStats {
+        SegmentCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: self.budget.in_use(),
+            cap: self.budget.cap(),
+        }
+    }
+}
+
+/// Stable identifier of a trace directory for [`SegmentKey`]s: an
+/// FNV-1a hash of the canonicalized path (falling back to the path as
+/// given when canonicalization fails, e.g. the directory vanished), so
+/// every reader of one on-disk trace lands on the same id no matter how
+/// its path was spelled.
+pub fn trace_id(dir: &Path) -> u64 {
+    let canonical = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in canonical.to_string_lossy().as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let c = SegmentCache::new(1000);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), seg(400, 0xA));
+        c.insert((1, 1), seg(400, 0xB));
+        assert_eq!(c.get((1, 0)).unwrap().len(), 400);
+        // (1,1) is now LRU; a 400-byte insert must evict it, not (1,0).
+        c.insert((1, 2), seg(400, 0xC));
+        assert!(c.get((1, 1)).is_none(), "LRU entry evicted");
+        assert!(c.get((1, 0)).is_some(), "recently used entry survives");
+        assert!(c.get((1, 2)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes, 800);
+        assert_eq!(s.cap, 1000);
+    }
+
+    #[test]
+    fn oversized_entries_bypass() {
+        let c = SegmentCache::new(100);
+        c.insert((0, 0), seg(50, 1));
+        c.insert((0, 1), seg(101, 2)); // larger than the whole cap
+        assert!(c.get((0, 1)).is_none());
+        assert!(c.get((0, 0)).is_some(), "bypass must not evict anything");
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_incumbent_and_accounting() {
+        let c = SegmentCache::new(1000);
+        c.insert((3, 7), seg(100, 1));
+        c.insert((3, 7), seg(100, 2)); // racing reader's copy
+        assert_eq!(c.stats().bytes, 100, "one entry's bytes, not two");
+        assert_eq!(c.get((3, 7)).unwrap()[0], 1, "first insert wins");
+    }
+
+    #[test]
+    fn clear_releases_bytes() {
+        let c = SegmentCache::new(1000);
+        c.insert((0, 0), seg(600, 1));
+        c.clear();
+        assert_eq!(c.stats().bytes, 0);
+        assert!(c.get((0, 0)).is_none());
+        c.insert((0, 1), seg(900, 2)); // full capacity is available again
+        assert_eq!(c.stats().bytes, 900);
+    }
+
+    #[test]
+    fn evicted_entries_stay_alive_for_holders() {
+        let c = SegmentCache::new(100);
+        c.insert((0, 0), seg(80, 7));
+        let held = c.get((0, 0)).unwrap();
+        c.insert((0, 1), seg(80, 8)); // evicts (0,0)
+        assert!(c.get((0, 0)).is_none());
+        assert_eq!(held.len(), 80, "the Arc keeps evicted bytes alive");
+        assert!(held.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn trace_id_stable_across_spellings() {
+        let dir = std::env::temp_dir().join(format!("atc-seg-id-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spelled = dir
+            .parent()
+            .unwrap()
+            .join(format!("./{}", dir.file_name().unwrap().to_string_lossy()));
+        assert_eq!(trace_id(&dir), trace_id(&spelled));
+        assert_ne!(trace_id(&dir), trace_id(Path::new("/nonexistent/other")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Arc::new(SegmentCache::new(1 << 20));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (1, i % 8);
+                        match c.get(key) {
+                            Some(bytes) => assert_eq!(bytes.len(), 64),
+                            None => c.insert(key, Arc::new(vec![t as u8; 64])),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.stats().bytes <= 8 * 64);
+    }
+}

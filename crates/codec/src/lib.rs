@@ -53,7 +53,7 @@ pub use parallel::{
     ByteBudget, ParallelCodecWriter, ReadaheadReader, ScratchStats, IN_FLIGHT_PER_WORKER,
 };
 pub use store::Store;
-pub use stream::{CodecReader, CodecWriter, StreamScratch, DEFAULT_SEGMENT_SIZE};
+pub use stream::{CodecReader, CodecWriter, SegmentRecord, StreamScratch, DEFAULT_SEGMENT_SIZE};
 
 /// A one-shot, thread-safe byte compressor.
 ///

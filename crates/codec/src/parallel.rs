@@ -65,7 +65,7 @@ use std::thread::JoinHandle;
 use atc_engine::Engine;
 
 use crate::error::CodecError;
-use crate::stream::DEFAULT_SEGMENT_SIZE;
+use crate::stream::{SegmentRecord, DEFAULT_SEGMENT_SIZE};
 use crate::varint;
 use crate::Codec;
 
@@ -222,6 +222,11 @@ pub struct ParallelCodecWriter<W: Write> {
     /// fails with it. A failed frame write may have landed partially, so
     /// retrying would silently corrupt the stream — fail fast instead.
     poisoned: Option<(io::ErrorKind, String)>,
+    /// One record per segment written out, in stream order.
+    segments: Vec<SegmentRecord>,
+    /// Raw length of each submitted-but-unwritten segment, keyed by
+    /// sequence number; drained into `segments` at ordered write time.
+    raw_lens: BTreeMap<u64, u64>,
 }
 
 /// The writer's engine attachment: where tasks go and where results come
@@ -349,6 +354,8 @@ impl<W: Write> ParallelCodecWriter<W> {
             stats: ScratchStats::default(),
             budget: None,
             poisoned: None,
+            segments: Vec::new(),
+            raw_lens: BTreeMap::new(),
         }
     }
 
@@ -428,6 +435,7 @@ impl<W: Write> ParallelCodecWriter<W> {
         while let Some(result) = self.done.remove(&self.next_write) {
             match result {
                 Ok(packed) => {
+                    let file_offset = self.compressed_bytes;
                     if let Err(e) = self.write_frame(&packed) {
                         // Keep the accounting consistent (no deadlock
                         // waiting for a result that was already consumed);
@@ -436,6 +444,15 @@ impl<W: Write> ParallelCodecWriter<W> {
                         self.done.insert(self.next_write, Ok(packed));
                         return Err(e);
                     }
+                    let raw_len = self
+                        .raw_lens
+                        .remove(&self.next_write)
+                        .expect("every submitted segment recorded its raw length");
+                    self.segments.push(SegmentRecord {
+                        file_offset,
+                        compressed_len: self.compressed_bytes - file_offset,
+                        raw_len,
+                    });
                     self.next_write += 1;
                     self.in_flight -= 1;
                     self.recycle_packed(packed);
@@ -492,11 +509,20 @@ impl<W: Write> ParallelCodecWriter<W> {
         if self.pool.is_none() {
             // Inline serial path: identical bytes to CodecWriter, with the
             // packed scratch cycling through a one-deep pool.
+            let raw_len = self.buf.len() as u64;
+            let file_offset = self.compressed_bytes;
             let mut out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
             self.codec.compress_into(&self.buf, &mut out);
             self.buf.clear();
             let result = self.write_frame(&out);
             self.recycle_packed(out);
+            if result.is_ok() {
+                self.segments.push(SegmentRecord {
+                    file_offset,
+                    compressed_len: self.compressed_bytes - file_offset,
+                    raw_len,
+                });
+            }
             return result;
         }
 
@@ -528,6 +554,7 @@ impl<W: Write> ParallelCodecWriter<W> {
         let mut out = Self::take_buffer(&mut self.packed_pool, &mut self.stats, 0);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.raw_lens.insert(seq, raw_len);
         let pool = self.pool.as_ref().expect("pool checked above");
         let tx = pool.tx.clone();
         let codec = Arc::clone(&self.codec);
@@ -577,7 +604,20 @@ impl<W: Write> ParallelCodecWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the inner writer and task failures.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(self) -> io::Result<W> {
+        self.finish_with_segments().map(|(inner, _)| inner)
+    }
+
+    /// Like [`ParallelCodecWriter::finish`], but also hands back one
+    /// [`SegmentRecord`] per sealed segment, in stream order — identical
+    /// to the records the serial [`CodecWriter`](crate::CodecWriter)
+    /// would produce for the same input, since the frames are written in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer and task failures.
+    pub fn finish_with_segments(mut self) -> io::Result<(W, Vec<SegmentRecord>)> {
         self.check_poisoned()?;
         self.flush_segment()?;
         while self.in_flight > 0 {
@@ -598,7 +638,7 @@ impl<W: Write> ParallelCodecWriter<W> {
         self.inner.write_all(&eos[..eos_len])?;
         self.compressed_bytes += eos_len as u64;
         self.inner.flush()?;
-        Ok(self.inner)
+        Ok((self.inner, self.segments))
     }
 }
 
@@ -1164,6 +1204,29 @@ mod tests {
                 ParallelCodecWriter::with_engine(Vec::new(), Arc::clone(&codec), 9000, 4, engine);
             w.write_all(&data).unwrap();
             assert_eq!(w.finish().unwrap(), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn segment_records_identical_to_serial_at_every_thread_count() {
+        let data = sample(120_000);
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(4096));
+        let mut serial = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 10_000);
+        serial.write_all(&data).unwrap();
+        let (_, expect) = serial.finish_with_segments().unwrap();
+        assert_eq!(expect.len(), 12);
+        let mut threads_axis = vec![0usize];
+        threads_axis.extend(test_threads());
+        for threads in threads_axis {
+            let mut w = ParallelCodecWriter::with_segment_size(
+                Vec::new(),
+                Arc::clone(&codec),
+                10_000,
+                threads,
+            );
+            w.write_all(&data).unwrap();
+            let (_, segs) = w.finish_with_segments().unwrap();
+            assert_eq!(segs, expect, "threads={threads}");
         }
     }
 

@@ -43,6 +43,29 @@ use crate::Codec;
 /// Default raw-bytes-per-segment for streaming adapters.
 pub const DEFAULT_SEGMENT_SIZE: usize = 1 << 20;
 
+/// Where one sealed segment landed in the compressed stream: the byte
+/// offset of its `varint(compressed_len)` header, the framed length
+/// (header + payload), and how many raw bytes it decodes to.
+///
+/// The stream writers record one of these per sealed segment — for free,
+/// since both values are already on hand when the segment is framed — and
+/// hand the list back from [`CodecWriter::finish_with_segments`] /
+/// [`ParallelCodecWriter::finish_with_segments`]. Containers persist it as
+/// a seek sidecar so readers can jump to any segment without decoding the
+/// prefix.
+///
+/// [`ParallelCodecWriter::finish_with_segments`]:
+///     crate::ParallelCodecWriter::finish_with_segments
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Byte offset of the segment's varint header in the codec stream.
+    pub file_offset: u64,
+    /// Framed length on disk: varint header plus compressed payload.
+    pub compressed_len: u64,
+    /// Raw (decoded) length of the segment.
+    pub raw_len: u64,
+}
+
 /// Reusable buffers for one codec stream: the raw segment accumulator and
 /// the compressed-segment scratch.
 ///
@@ -82,6 +105,7 @@ pub struct CodecWriter<W: Write> {
     segment_size: usize,
     raw_bytes: u64,
     compressed_bytes: u64,
+    segments: Vec<SegmentRecord>,
 }
 
 impl<W: Write> CodecWriter<W> {
@@ -125,6 +149,7 @@ impl<W: Write> CodecWriter<W> {
             segment_size,
             raw_bytes: 0,
             compressed_bytes: 0,
+            segments: Vec::new(),
         }
     }
 
@@ -142,6 +167,8 @@ impl<W: Write> CodecWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let file_offset = self.compressed_bytes;
+        let raw_len = self.buf.len() as u64;
         let n = self.codec.compress_into(&self.buf, &mut self.packed);
         self.buf.clear();
         // Fixed-size stack header: a u64 varint never exceeds 10 bytes.
@@ -152,6 +179,11 @@ impl<W: Write> CodecWriter<W> {
         self.inner.write_all(&header[..header_len])?;
         self.inner.write_all(&self.packed[..n])?;
         self.compressed_bytes += (header_len + n) as u64;
+        self.segments.push(SegmentRecord {
+            file_offset,
+            compressed_len: (header_len + n) as u64,
+            raw_len,
+        });
         Ok(())
     }
 
@@ -162,7 +194,7 @@ impl<W: Write> CodecWriter<W> {
     ///
     /// Propagates I/O errors from the inner writer.
     pub fn finish(self) -> io::Result<W> {
-        self.finish_with_scratch().map(|(inner, _)| inner)
+        self.finish_parts().map(|(inner, _, _)| inner)
     }
 
     /// Like [`CodecWriter::finish`], but also hands back the stream's
@@ -171,7 +203,23 @@ impl<W: Write> CodecWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the inner writer.
-    pub fn finish_with_scratch(mut self) -> io::Result<(W, StreamScratch)> {
+    pub fn finish_with_scratch(self) -> io::Result<(W, StreamScratch)> {
+        self.finish_parts()
+            .map(|(inner, scratch, _)| (inner, scratch))
+    }
+
+    /// Like [`CodecWriter::finish`], but also hands back one
+    /// [`SegmentRecord`] per sealed segment, in stream order — the raw
+    /// material for a seek sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer.
+    pub fn finish_with_segments(self) -> io::Result<(W, Vec<SegmentRecord>)> {
+        self.finish_parts().map(|(inner, _, segs)| (inner, segs))
+    }
+
+    fn finish_parts(mut self) -> io::Result<(W, StreamScratch, Vec<SegmentRecord>)> {
         self.flush_segment()?;
         let mut eos = [0u8; 10];
         let mut cursor = &mut eos[..];
@@ -186,6 +234,7 @@ impl<W: Write> CodecWriter<W> {
                 buf: self.buf,
                 packed: self.packed,
             },
+            self.segments,
         ))
     }
 }
@@ -232,6 +281,7 @@ pub struct CodecReader<R: Read> {
     current: Vec<u8>,
     pos: usize,
     finished: bool,
+    segments_decoded: u64,
 }
 
 impl<R: Read> CodecReader<R> {
@@ -244,6 +294,7 @@ impl<R: Read> CodecReader<R> {
             current: Vec::new(),
             pos: 0,
             finished: false,
+            segments_decoded: 0,
         }
     }
 
@@ -251,6 +302,13 @@ impl<R: Read> CodecReader<R> {
     /// after the end-of-stream marker if the stream was fully read.
     pub fn into_inner(self) -> R {
         self.inner
+    }
+
+    /// Number of segments decompressed so far — the work counter a seek
+    /// implementation uses to prove it skipped the prefix instead of
+    /// decoding through it.
+    pub fn segments_decoded(&self) -> u64 {
+        self.segments_decoded
     }
 
     fn refill(&mut self) -> io::Result<bool> {
@@ -279,6 +337,7 @@ impl<R: Read> CodecReader<R> {
             // A zero-raw-byte segment is never written; treat as corrupt.
             return Err(io::Error::from(CodecError::Corrupt("empty segment".into())));
         }
+        self.segments_decoded += 1;
         Ok(true)
     }
 }
@@ -483,6 +542,59 @@ mod tests {
         // fill_buf after EOF stays empty; consume past the end is a no-op.
         assert!(r.fill_buf().unwrap().is_empty());
         r.consume(10_000);
+    }
+
+    #[test]
+    fn segment_records_describe_the_stream_exactly() {
+        let codec: Arc<dyn Codec> = Arc::new(Bzip::with_block_size(2048));
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 199) as u8).collect();
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 4096);
+        w.write_all(&data).unwrap();
+        let (file, segs) = w.finish_with_segments().unwrap();
+
+        // 10_000 bytes over 4096-byte segments: 4096 + 4096 + 1808.
+        assert_eq!(
+            segs.iter().map(|s| s.raw_len).collect::<Vec<_>>(),
+            vec![4096, 4096, 1808]
+        );
+        // Records tile the file: contiguous, starting at 0, ending just
+        // before the EOS marker, and each one frames a decodable segment.
+        let mut off = 0u64;
+        for s in &segs {
+            assert_eq!(s.file_offset, off);
+            let framed = &file[s.file_offset as usize..(s.file_offset + s.compressed_len) as usize];
+            let mut cursor = framed;
+            let payload_len = varint::read_u64(&mut cursor).unwrap() as usize;
+            assert_eq!(cursor.len(), payload_len);
+            let raw = codec.decompress(cursor).unwrap();
+            assert_eq!(raw.len() as u64, s.raw_len);
+            assert_eq!(raw, data[off_raw(&segs, s)..off_raw(&segs, s) + raw.len()]);
+            off += s.compressed_len;
+        }
+        // Only the EOS varint (one zero byte) follows the last record.
+        assert_eq!(off as usize, file.len() - 1);
+        assert_eq!(file[off as usize], 0);
+
+        fn off_raw(segs: &[SegmentRecord], target: &SegmentRecord) -> usize {
+            segs.iter()
+                .take_while(|s| s.file_offset < target.file_offset)
+                .map(|s| s.raw_len as usize)
+                .sum()
+        }
+    }
+
+    #[test]
+    fn reader_counts_decoded_segments() {
+        let codec: Arc<dyn Codec> = Arc::new(Store);
+        let mut w = CodecWriter::with_segment_size(Vec::new(), Arc::clone(&codec), 1000);
+        w.write_all(&[3u8; 2500]).unwrap();
+        let file = w.finish().unwrap();
+        let mut r = CodecReader::new(&file[..], codec);
+        assert_eq!(r.segments_decoded(), 0);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back.len(), 2500);
+        assert_eq!(r.segments_decoded(), 3);
     }
 
     #[test]

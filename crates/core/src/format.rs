@@ -25,7 +25,7 @@
 
 use std::io::{BufRead, Read, Write};
 
-use atc_codec::varint;
+use atc_codec::{varint, SegmentRecord};
 
 use crate::bytesort::{self, BytesortInverse};
 use crate::error::{AtcError, Result};
@@ -40,6 +40,9 @@ pub const META_FILE: &str = "meta";
 pub const DATA_FILE: &str = "data.atc";
 /// Name of the interval-trace file (lossy mode).
 pub const INFO_FILE: &str = "info.atc";
+/// Name of the per-trace seek sidecar (lossless mode, written by current
+/// tools; tolerated absent on old archives).
+pub const SEEK_FILE: &str = "seek.atc";
 
 /// File name for chunk `id`.
 pub fn chunk_file_name(id: u64) -> String {
@@ -299,12 +302,16 @@ pub struct Meta {
     pub count: u64,
     /// Number of stored chunks.
     pub chunks: u64,
+    /// Number of segments recorded in the trace's [`SEEK_FILE`] sidecar
+    /// (`None` = no sidecar: lossy traces, and lossless archives written
+    /// before seek support — readers fall back to linear decode).
+    pub seek_segments: Option<u64>,
 }
 
 impl Meta {
     /// Serializes as `key=value` lines.
     pub fn to_text(&self) -> String {
-        format!(
+        let mut text = format!(
             "version={}\nmode={}\ncodec={}\nbuffer={}\ninterval_len={}\nthreshold={}\ncount={}\nchunks={}\n",
             self.version,
             self.mode,
@@ -314,7 +321,11 @@ impl Meta {
             self.threshold,
             self.count,
             self.chunks
-        )
+        );
+        if let Some(n) = self.seek_segments {
+            text.push_str(&format!("seek_segments={n}\n"));
+        }
+        text
     }
 
     /// Parses the `meta` file contents.
@@ -355,7 +366,200 @@ impl Meta {
                 .map_err(|_| AtcError::Format("meta key \"threshold\" is not a number".into()))?,
             count: parse_u64("count")?,
             chunks: parse_u64("chunks")?,
+            // Optional: absent in archives written before seek support
+            // (old parsers ignore unknown keys, so this is symmetric).
+            seek_segments: map
+                .get("seek_segments")
+                .map(|v| {
+                    v.parse().map_err(|_| {
+                        AtcError::Format("meta key \"seek_segments\" is not an integer".into())
+                    })
+                })
+                .transpose()?,
         })
+    }
+}
+
+/// Magic prefix of an encoded [`SeekTable`] (the [`SEEK_FILE`] sidecar).
+const SEEK_MAGIC: &[u8; 8] = b"ATCSEEK1";
+
+/// The per-stream seek index: one [`SegmentRecord`] per sealed codec
+/// segment, in stream order, mapping raw (decoded) byte ranges to the
+/// file range holding their compressed form.
+///
+/// Written as the [`SEEK_FILE`] sidecar next to `data.atc` — for free,
+/// since the stream writers already know every segment's offsets as they
+/// seal it — and used by readers to jump to any frame in O(log segments)
+/// instead of decoding from frame 0. The sidecar is an *optimization*,
+/// not part of the trace's integrity story: readers tolerate its absence
+/// (old archives) and fall back to linear decode.
+///
+/// Encoded layout: `"ATCSEEK1"` magic, `varint(segment_count)`, then per
+/// segment `varint(compressed_len) varint(raw_len)`, and a little-endian
+/// CRC-32 of all preceding bytes. File offsets and raw starts are prefix
+/// sums from zero, so they are derived at decode time rather than stored.
+///
+/// # Examples
+///
+/// ```
+/// use atc_codec::SegmentRecord;
+/// use atc_core::format::SeekTable;
+///
+/// let table = SeekTable::from_records(vec![
+///     SegmentRecord { file_offset: 0, compressed_len: 100, raw_len: 4096 },
+///     SegmentRecord { file_offset: 100, compressed_len: 80, raw_len: 1000 },
+/// ]).unwrap();
+/// assert_eq!(table.locate(4095), Some(0));
+/// assert_eq!(table.locate(4096), Some(1));
+/// assert_eq!(table.locate(5096), None); // past the end
+/// assert_eq!(SeekTable::decode(&table.encode()).unwrap(), table);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeekTable {
+    segments: Vec<SegmentRecord>,
+    /// Raw byte offset where each segment starts (prefix sums of
+    /// `raw_len`), kept alongside for binary search.
+    raw_starts: Vec<u64>,
+}
+
+impl SeekTable {
+    /// Builds a table from the records a stream writer handed back
+    /// ([`atc_codec::CodecWriter::finish_with_segments`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] if the records are not contiguous
+    /// from file offset 0 or contain a zero-raw-length segment — either
+    /// means they do not describe one writer's stream.
+    pub fn from_records(segments: Vec<SegmentRecord>) -> Result<Self> {
+        let mut raw_starts = Vec::with_capacity(segments.len());
+        let mut file_offset = 0u64;
+        let mut raw_start = 0u64;
+        for (i, s) in segments.iter().enumerate() {
+            if s.file_offset != file_offset {
+                return Err(AtcError::Format(format!(
+                    "seek table: segment {i} starts at file offset {}, expected {file_offset}",
+                    s.file_offset
+                )));
+            }
+            if s.raw_len == 0 || s.compressed_len == 0 {
+                return Err(AtcError::Format(format!(
+                    "seek table: segment {i} has a zero length"
+                )));
+            }
+            raw_starts.push(raw_start);
+            file_offset += s.compressed_len;
+            raw_start += s.raw_len;
+        }
+        Ok(Self {
+            segments,
+            raw_starts,
+        })
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the stream sealed no segments (an empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The per-segment records, stream order.
+    pub fn segments(&self) -> &[SegmentRecord] {
+        &self.segments
+    }
+
+    /// Raw byte offset at which segment `index` starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn raw_start(&self, index: usize) -> u64 {
+        self.raw_starts[index]
+    }
+
+    /// Total decoded bytes across all segments.
+    pub fn total_raw_bytes(&self) -> u64 {
+        self.raw_starts.last().map_or(0, |&s| s) + self.segments.last().map_or(0, |s| s.raw_len)
+    }
+
+    /// Index of the segment containing raw (decoded) byte `raw_offset`,
+    /// or `None` when the offset is at or past the end of the stream.
+    /// O(log segments).
+    pub fn locate(&self, raw_offset: u64) -> Option<usize> {
+        if raw_offset >= self.total_raw_bytes() {
+            return None;
+        }
+        Some(self.raw_starts.partition_point(|&s| s <= raw_offset) - 1)
+    }
+
+    /// Serializes the table (see the type docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.segments.len() * 4);
+        out.extend_from_slice(SEEK_MAGIC);
+        varint::write_u64(&mut out, self.segments.len() as u64).expect("vec write");
+        for s in &self.segments {
+            varint::write_u64(&mut out, s.compressed_len).expect("vec write");
+            varint::write_u64(&mut out, s.raw_len).expect("vec write");
+        }
+        let crc = atc_codec::crc::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses [`SeekTable::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on bad magic, CRC mismatch, truncated
+    /// or trailing bytes, zero-length segments, or an absurd segment
+    /// count. A failed parse means the sidecar is unusable, not that the
+    /// trace is — callers fall back to linear decode.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let bad = |what: &str| AtcError::Format(format!("seek table: {what}"));
+        if bytes.len() < SEEK_MAGIC.len() + 4 {
+            return Err(bad("truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if atc_codec::crc::crc32(body) != crc {
+            return Err(bad("checksum mismatch"));
+        }
+        let mut cur = body;
+        if &cur[..SEEK_MAGIC.len()] != SEEK_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        cur = &cur[SEEK_MAGIC.len()..];
+        let count =
+            varint::read_u64(&mut cur).map_err(|_| bad("truncated segment count"))? as usize;
+        // 2 bytes minimum per encoded segment: reject absurd counts
+        // before reserving memory for them.
+        if count > body.len() / 2 {
+            return Err(bad("segment count exceeds encoded size"));
+        }
+        let mut segments = Vec::with_capacity(count);
+        let mut file_offset = 0u64;
+        for _ in 0..count {
+            let compressed_len =
+                varint::read_u64(&mut cur).map_err(|_| bad("truncated compressed length"))?;
+            let raw_len = varint::read_u64(&mut cur).map_err(|_| bad("truncated raw length"))?;
+            if compressed_len == 0 || raw_len == 0 {
+                return Err(bad("zero-length segment"));
+            }
+            segments.push(SegmentRecord {
+                file_offset,
+                compressed_len,
+                raw_len,
+            });
+            file_offset += compressed_len;
+        }
+        if !cur.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Self::from_records(segments)
     }
 }
 
@@ -955,8 +1159,99 @@ mod tests {
             threshold: 0.1,
             count: 123_456_789,
             chunks: 17,
+            seek_segments: None,
         };
-        assert_eq!(Meta::parse(&m.to_text()).unwrap(), m);
+        let text = m.to_text();
+        assert!(
+            !text.contains("seek_segments"),
+            "sidecar-less meta stays byte-identical to the old format"
+        );
+        assert_eq!(Meta::parse(&text).unwrap(), m);
+        let with_seek = Meta {
+            seek_segments: Some(42),
+            ..m
+        };
+        assert_eq!(Meta::parse(&with_seek.to_text()).unwrap(), with_seek);
+        assert!(Meta::parse("version=1\nmode=lossless\ncodec=bzip\nbuffer=1\ninterval_len=0\nthreshold=0\ncount=0\nchunks=0\nseek_segments=x\n").is_err());
+    }
+
+    #[test]
+    fn seek_table_roundtrips_and_locates() {
+        let recs = vec![
+            SegmentRecord {
+                file_offset: 0,
+                compressed_len: 1000,
+                raw_len: 4096,
+            },
+            SegmentRecord {
+                file_offset: 1000,
+                compressed_len: 7,
+                raw_len: 4096,
+            },
+            SegmentRecord {
+                file_offset: 1007,
+                compressed_len: 300,
+                raw_len: 1809,
+            },
+        ];
+        let t = SeekTable::from_records(recs.clone()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.segments(), &recs[..]);
+        assert_eq!(t.total_raw_bytes(), 4096 + 4096 + 1809);
+        assert_eq!(t.raw_start(0), 0);
+        assert_eq!(t.raw_start(1), 4096);
+        assert_eq!(t.raw_start(2), 8192);
+        assert_eq!(t.locate(0), Some(0));
+        assert_eq!(t.locate(4095), Some(0));
+        assert_eq!(t.locate(4096), Some(1));
+        assert_eq!(t.locate(8192), Some(2));
+        assert_eq!(t.locate(10_000), Some(2));
+        assert_eq!(t.locate(10_001), None);
+        assert_eq!(SeekTable::decode(&t.encode()).unwrap(), t);
+
+        let empty = SeekTable::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.total_raw_bytes(), 0);
+        assert_eq!(empty.locate(0), None);
+        assert_eq!(SeekTable::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn seek_table_rejects_malformed() {
+        let t = SeekTable::from_records(vec![SegmentRecord {
+            file_offset: 0,
+            compressed_len: 10,
+            raw_len: 100,
+        }])
+        .unwrap();
+        let good = t.encode();
+        assert!(SeekTable::decode(&good[..good.len() - 1]).is_err(), "short");
+        let mut flipped = good.clone();
+        flipped[9] ^= 1;
+        assert!(SeekTable::decode(&flipped).is_err(), "crc catches edits");
+        let mut trailing = good.clone();
+        let crc_at = trailing.len() - 4;
+        trailing.insert(crc_at, 0);
+        assert!(SeekTable::decode(&trailing).is_err(), "trailing bytes");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(SeekTable::decode(&bad_magic).is_err(), "bad magic");
+        assert!(SeekTable::decode(b"").is_err(), "empty input");
+
+        // Builder-side validation: gaps and zero lengths are rejected.
+        assert!(SeekTable::from_records(vec![SegmentRecord {
+            file_offset: 5,
+            compressed_len: 10,
+            raw_len: 100,
+        }])
+        .is_err());
+        assert!(SeekTable::from_records(vec![SegmentRecord {
+            file_offset: 0,
+            compressed_len: 10,
+            raw_len: 0,
+        }])
+        .is_err());
     }
 
     #[test]

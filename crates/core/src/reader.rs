@@ -3,11 +3,12 @@
 
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use atc_codec::{codec_by_name, Codec, CodecReader, ReadaheadReader};
+use atc_cache::{trace_id, SegmentCache};
+use atc_codec::{codec_by_name, varint, Codec, CodecReader, ReadaheadReader, SegmentRecord};
 use atc_engine::Engine;
 
 use crate::bytesort::BytesortInverse;
@@ -40,6 +41,13 @@ pub struct ReadOptions {
     /// store) inject one so many readers share a worker set and isolated
     /// counters.
     pub engine: Option<Engine>,
+    /// Decoded-segment cache for lossless traces that carry a seek
+    /// sidecar. When set (usually to [`SegmentCache::global`]), payload
+    /// segments are decoded at most once per process while cached —
+    /// every reader of a hot trace reuses the others' decode work, and
+    /// [`AtcReader::seek`] lands on already-decoded segments for free.
+    /// Traces without a sidecar ignore this and read linearly.
+    pub segment_cache: Option<Arc<SegmentCache>>,
 }
 
 impl Default for ReadOptions {
@@ -48,15 +56,18 @@ impl Default for ReadOptions {
             chunk_cache: DEFAULT_CHUNK_CACHE,
             threads: 1,
             engine: None,
+            segment_cache: None,
         }
     }
 }
 
-/// A payload stream: decoded inline or through the readahead pipeline.
+/// A payload stream: decoded inline, through the readahead pipeline, or
+/// segment-at-a-time through the process-wide [`SegmentCache`].
 #[derive(Debug)]
 enum SegmentStream {
     Serial(CodecReader<BufReader<File>>),
     Readahead(ReadaheadReader),
+    Cached(CachedSegmentStream),
 }
 
 impl SegmentStream {
@@ -84,11 +95,26 @@ impl SegmentStream {
     }
 }
 
+impl SegmentStream {
+    /// Compressed segments this stream decoded since it was built (i.e.
+    /// since open or the last seek). `None` for the readahead pipeline,
+    /// which does not track per-stream decode counts. Cache *hits* are
+    /// not decodes — a warm [`SegmentCache`] read reports 0.
+    fn segments_decoded(&self) -> Option<u64> {
+        match self {
+            Self::Serial(r) => Some(r.segments_decoded()),
+            Self::Readahead(_) => None,
+            Self::Cached(r) => Some(r.decoded),
+        }
+    }
+}
+
 impl Read for SegmentStream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
             Self::Serial(r) => r.read(buf),
             Self::Readahead(r) => r.read(buf),
+            Self::Cached(r) => r.read(buf),
         }
     }
 }
@@ -98,6 +124,7 @@ impl BufRead for SegmentStream {
         match self {
             Self::Serial(r) => r.fill_buf(),
             Self::Readahead(r) => r.fill_buf(),
+            Self::Cached(r) => r.fill_buf(),
         }
     }
 
@@ -105,7 +132,144 @@ impl BufRead for SegmentStream {
         match self {
             Self::Serial(r) => r.consume(amt),
             Self::Readahead(r) => r.consume(amt),
+            Self::Cached(r) => r.consume(amt),
         }
+    }
+}
+
+/// A payload stream that decodes one segment at a time, sharing decoded
+/// bytes through a [`SegmentCache`]. Segment boundaries come from the
+/// seek sidecar, so the stream can start (and `seek_to_raw` restart) at
+/// any raw offset by decoding at most the one segment containing it.
+#[derive(Debug)]
+struct CachedSegmentStream {
+    file: File,
+    codec: Arc<dyn Codec>,
+    table: format::SeekTable,
+    trace: u64,
+    cache: Arc<SegmentCache>,
+    /// Decoded bytes of the segment currently being consumed.
+    current: Arc<Vec<u8>>,
+    /// Read position within `current`.
+    pos: usize,
+    /// Index of the next segment to load once `current` is drained.
+    next_seg: usize,
+    /// Segments actually decompressed (cache misses) by this stream.
+    decoded: u64,
+}
+
+impl CachedSegmentStream {
+    fn new(
+        file: File,
+        codec: Arc<dyn Codec>,
+        table: format::SeekTable,
+        trace: u64,
+        cache: Arc<SegmentCache>,
+    ) -> Self {
+        Self {
+            file,
+            codec,
+            table,
+            trace,
+            cache,
+            current: Arc::new(Vec::new()),
+            pos: 0,
+            next_seg: 0,
+            decoded: 0,
+        }
+    }
+
+    /// Fetches segment `idx` from the cache, decoding (and caching) it on
+    /// a miss.
+    fn load_segment(&mut self, idx: usize) -> std::io::Result<Arc<Vec<u8>>> {
+        let key = (self.trace, idx as u64);
+        if let Some(bytes) = self.cache.get(key) {
+            return Ok(bytes);
+        }
+        let rec = self.table.segments()[idx];
+        let framed = usize::try_from(rec.compressed_len)
+            .map_err(|_| invalid_data(format!("segment {idx} length overflows usize")))?;
+        let mut buf = vec![0u8; framed];
+        self.file.seek(SeekFrom::Start(rec.file_offset))?;
+        self.file.read_exact(&mut buf)?;
+        let mut cur = &buf[..];
+        let payload = varint::read_u64(&mut cur)? as usize;
+        if payload != cur.len() {
+            return Err(invalid_data(format!(
+                "segment {idx} frames {payload} payload bytes but the sidecar spans {}",
+                cur.len()
+            )));
+        }
+        let mut raw = Vec::with_capacity(rec.raw_len as usize);
+        self.codec
+            .decompress_into(cur, &mut raw)
+            .map_err(|e| invalid_data(format!("segment {idx}: {e}")))?;
+        if raw.len() as u64 != rec.raw_len {
+            return Err(invalid_data(format!(
+                "segment {idx} decoded to {} bytes, sidecar says {}",
+                raw.len(),
+                rec.raw_len
+            )));
+        }
+        self.decoded += 1;
+        let raw = Arc::new(raw);
+        self.cache.insert(key, Arc::clone(&raw));
+        Ok(raw)
+    }
+
+    /// Repositions the stream to `raw_offset` bytes into the decoded
+    /// payload, loading at most the one segment containing it.
+    fn seek_to_raw(&mut self, raw_offset: u64) -> std::io::Result<()> {
+        if raw_offset >= self.table.total_raw_bytes() {
+            self.current = Arc::new(Vec::new());
+            self.pos = 0;
+            self.next_seg = self.table.len();
+            return Ok(());
+        }
+        let idx = self
+            .table
+            .locate(raw_offset)
+            .expect("raw_offset below total_raw_bytes always lands in a segment");
+        self.current = self.load_segment(idx)?;
+        self.pos = (raw_offset - self.table.raw_start(idx)) as usize;
+        self.next_seg = idx + 1;
+        Ok(())
+    }
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl Read for CachedSegmentStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = {
+            let avail = self.fill_buf()?;
+            let n = avail.len().min(buf.len());
+            buf[..n].copy_from_slice(&avail[..n]);
+            n
+        };
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for CachedSegmentStream {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        while self.pos >= self.current.len() {
+            if self.next_seg >= self.table.len() {
+                return Ok(&[]);
+            }
+            let idx = self.next_seg;
+            self.current = self.load_segment(idx)?;
+            self.pos = 0;
+            self.next_seg = idx + 1;
+        }
+        Ok(&self.current[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.current.len());
     }
 }
 
@@ -157,6 +321,17 @@ pub struct AtcReader {
     /// stream has a hole, so anything "decoded" past it would be garbage
     /// that happens to parse — fail fast at every thread count instead.
     poisoned: Option<String>,
+    /// Retained [`ReadOptions`] so [`AtcReader::seek`]'s linear fallback
+    /// can rebuild the payload stream the way it was opened.
+    threads: usize,
+    engine: Option<Engine>,
+    segment_cache: Option<Arc<SegmentCache>>,
+    /// Set by [`AtcReader::decode_all_flat`]: the payload was consumed
+    /// out of band, so the streaming paths must report end of trace
+    /// instead of re-decoding the (unconsumed) underlying stream.
+    exhausted: bool,
+    /// The missing-sidecar fallback warns once per reader, not per call.
+    warned_linear: bool,
 }
 
 #[derive(Debug)]
@@ -218,14 +393,29 @@ impl AtcReader {
         );
         let threads = options.threads.max(1);
         let engine = options.engine.clone();
+        let segment_cache = options.segment_cache.clone();
         let state = match meta.mode.as_str() {
             "lossless" => State::Lossless {
-                stream: SegmentStream::open(
-                    &dir.join(format::DATA_FILE),
-                    &codec,
-                    threads,
-                    engine.as_ref(),
-                )?,
+                stream: match segment_cache
+                    .as_ref()
+                    .and_then(|cache| Some((cache, load_seek_table(&dir, &meta)?)))
+                {
+                    Some((cache, table)) => SegmentStream::Cached(CachedSegmentStream::new(
+                        File::open(dir.join(format::DATA_FILE))?,
+                        Arc::clone(&codec),
+                        table,
+                        trace_id(&dir),
+                        Arc::clone(cache),
+                    )),
+                    // No cache requested, or no usable sidecar to cut
+                    // segments with: plain streaming decode.
+                    None => SegmentStream::open(
+                        &dir.join(format::DATA_FILE),
+                        &codec,
+                        threads,
+                        engine.as_ref(),
+                    )?,
+                },
             },
             "lossy" => {
                 let file = BufReader::new(File::open(dir.join(format::INFO_FILE))?);
@@ -233,7 +423,7 @@ impl AtcReader {
                     // The interval trace is tiny — always decoded inline;
                     // `threads` accelerates the chunk-file loads instead.
                     info: CodecReader::new(file, Arc::clone(&codec)),
-                    cache: ChunkCache::new(options.chunk_cache.max(1), threads, engine),
+                    cache: ChunkCache::new(options.chunk_cache.max(1), threads, engine.clone()),
                 }
             }
             other => {
@@ -252,6 +442,11 @@ impl AtcReader {
             col_scratch: Vec::new(),
             frame_stats: FrameReadStats::default(),
             poisoned: None,
+            threads,
+            engine,
+            segment_cache,
+            exhausted: false,
+            warned_linear: false,
         })
     }
 
@@ -338,6 +533,10 @@ impl AtcReader {
             self.frame_stats.frames += 1;
             return Ok(Some(FrameSlot::Buffer));
         }
+        if self.exhausted {
+            self.check_complete()?;
+            return Ok(None);
+        }
         match &mut self.state {
             State::Lossless { stream } => {
                 if format::read_frame_borrowed(
@@ -415,7 +614,272 @@ impl AtcReader {
         Values { reader: self }
     }
 
+    /// Repositions the reader so the next value decoded is the first
+    /// address of frame `frame_no` (address number `frame_no ×
+    /// meta.buffer`), in O(log segments) when the trace carries a seek
+    /// sidecar: the target segment is found by binary search and at most
+    /// that one segment is decoded before the target — never the
+    /// megabytes in front of it. Traces written before the sidecar
+    /// existed still work: the reader warns once on stderr and falls
+    /// back to a linear decode-and-discard up to the target.
+    ///
+    /// Seeking is frame-granular because frames are the compression
+    /// unit; callers wanting address granularity seek to
+    /// `addr / meta.buffer` and discard `addr % meta.buffer` values.
+    /// Seeking to the one-past-the-end frame is allowed and behaves like
+    /// a fully drained reader. After a seek the payload decodes on the
+    /// calling thread ([`ReadOptions::threads`] accelerates linear
+    /// scans, which a seek is not); the [`ReadOptions::segment_cache`],
+    /// when configured, is consulted so repeated seeks into hot
+    /// segments skip even the one decode.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lossy traces (their intervals are not frame-addressable
+    /// on disk), on targets past the end of the trace, and on the usual
+    /// I/O/codec/format errors. Errors latch like every other path.
+    pub fn seek(&mut self, frame_no: u64) -> Result<()> {
+        self.check_poisoned()?;
+        let result = self.seek_inner(frame_no);
+        if let Err(e) = &result {
+            self.poisoned = Some(e.to_string());
+        }
+        result
+    }
+
+    fn seek_inner(&mut self, frame_no: u64) -> Result<()> {
+        if !matches!(self.state, State::Lossless { .. }) {
+            return Err(AtcError::Format(
+                "seek requires a lossless trace: lossy intervals are not frame-addressable".into(),
+            ));
+        }
+        let buffer = self.meta.buffer;
+        if buffer == 0 {
+            return Err(AtcError::Format(
+                "meta records buffer=0: cannot seek".into(),
+            ));
+        }
+        let past_end = || {
+            AtcError::Format(format!(
+                "seek target frame {frame_no} is past the end of the trace \
+                 ({} addresses in frames of {buffer})",
+                self.meta.count
+            ))
+        };
+        let total_frames = self.meta.count.div_ceil(buffer);
+        if frame_no > total_frames {
+            return Err(past_end());
+        }
+        let target_value = frame_no
+            .checked_mul(buffer)
+            .ok_or_else(past_end)?
+            .min(self.meta.count);
+        // Every frame before the target is full (exactly `buffer`
+        // addresses), so its raw frame bytes are a fixed
+        // varint-header-plus-columns size and the target's raw offset is
+        // one multiplication — no index of frame offsets is needed. The
+        // one-past-the-end frame accounts for a partial tail frame.
+        let frame_raw = varint_len(buffer)
+            .checked_add(buffer.checked_mul(8).ok_or_else(past_end)?)
+            .ok_or_else(past_end)?;
+        let target_raw = if frame_no == total_frames {
+            let rem = self.meta.count % buffer;
+            let tail = if rem > 0 {
+                varint_len(rem) + 8 * rem
+            } else {
+                0
+            };
+            (self.meta.count / buffer)
+                .checked_mul(frame_raw)
+                .and_then(|v| v.checked_add(tail))
+                .ok_or_else(past_end)?
+        } else {
+            frame_no.checked_mul(frame_raw).ok_or_else(past_end)?
+        };
+
+        self.pending.clear();
+        self.exhausted = false;
+        let table = load_seek_table(&self.dir, &self.meta);
+        if table.is_none() {
+            self.warn_linear_fallback();
+        }
+        let threads = self.threads;
+        let engine = self.engine.clone();
+        let data_path = self.dir.join(format::DATA_FILE);
+        let State::Lossless { stream } = &mut self.state else {
+            unreachable!("checked above");
+        };
+        match table {
+            Some(table) => {
+                if target_raw > table.total_raw_bytes() {
+                    return Err(AtcError::Format(format!(
+                        "seek sidecar spans {} raw bytes but frame {frame_no} starts at {target_raw}",
+                        table.total_raw_bytes()
+                    )));
+                }
+                if let Some(cache) = &self.segment_cache {
+                    let mut cached = CachedSegmentStream::new(
+                        File::open(&data_path)?,
+                        Arc::clone(&self.codec),
+                        table,
+                        trace_id(&self.dir),
+                        Arc::clone(cache),
+                    );
+                    cached.seek_to_raw(target_raw)?;
+                    *stream = SegmentStream::Cached(cached);
+                } else {
+                    let mut file = File::open(&data_path)?;
+                    let (file_offset, in_segment) = match table.locate(target_raw) {
+                        Some(idx) => (
+                            table.segments()[idx].file_offset,
+                            target_raw - table.raw_start(idx),
+                        ),
+                        // Exactly at end of payload: park on the
+                        // end-of-stream marker after the last segment.
+                        None => {
+                            let end = table
+                                .segments()
+                                .last()
+                                .map_or(0, |s| s.file_offset + s.compressed_len);
+                            (end, 0)
+                        }
+                    };
+                    file.seek(SeekFrom::Start(file_offset))?;
+                    let mut reader =
+                        CodecReader::new(BufReader::new(file), Arc::clone(&self.codec));
+                    skip_raw(&mut reader, in_segment)?;
+                    *stream = SegmentStream::Serial(reader);
+                }
+            }
+            None => {
+                let mut fresh =
+                    SegmentStream::open(&data_path, &self.codec, threads, engine.as_ref())?;
+                skip_raw(&mut fresh, target_raw)?;
+                *stream = fresh;
+            }
+        }
+        self.produced = target_value;
+        Ok(())
+    }
+
+    /// Decodes the whole trace by fanning every compressed segment out
+    /// over the engine as one scope — no readahead window, no ordered
+    /// reassembly stage: the seek sidecar says where each segment's
+    /// decoded bytes land, so every worker decompresses straight into
+    /// its disjoint slice of one flat buffer and the frames are parsed
+    /// from it sequentially afterwards.
+    ///
+    /// Requires a fresh reader (nothing decoded yet) and a lossless
+    /// trace with a seek sidecar; anything else falls back to
+    /// [`AtcReader::decode_all`] (warning once on stderr when the
+    /// fallback is a missing sidecar). Uses [`ReadOptions::engine`] if
+    /// one was injected, else the process-wide engine grown to
+    /// [`ReadOptions::threads`] workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, codec, and format errors; errors latch.
+    pub fn decode_all_flat(&mut self) -> Result<Vec<u64>> {
+        self.check_poisoned()?;
+        if !matches!(self.state, State::Lossless { .. })
+            || self.produced != 0
+            || !self.pending.is_empty()
+            || self.exhausted
+        {
+            return self.decode_all();
+        }
+        let Some(table) = load_seek_table(&self.dir, &self.meta) else {
+            self.warn_linear_fallback();
+            return self.decode_all();
+        };
+        let result = self.decode_all_flat_inner(&table);
+        if let Err(e) = &result {
+            self.poisoned = Some(e.to_string());
+        }
+        result
+    }
+
+    fn decode_all_flat_inner(&mut self, table: &format::SeekTable) -> Result<Vec<u64>> {
+        let data = std::fs::read(self.dir.join(format::DATA_FILE))?;
+        let raw_total = usize::try_from(table.total_raw_bytes())
+            .map_err(|_| AtcError::Format("sidecar raw size overflows usize".into()))?;
+        let mut raw = vec![0u8; raw_total];
+        // Carve the flat buffer into per-segment output slices: the
+        // sidecar's raw lengths are contiguous from zero by construction.
+        let mut slices = Vec::with_capacity(table.len());
+        let mut rest = raw.as_mut_slice();
+        for seg in table.segments() {
+            let raw_len = usize::try_from(seg.raw_len)
+                .map_err(|_| AtcError::Format("segment raw size overflows usize".into()))?;
+            let (head, tail) = rest.split_at_mut(raw_len);
+            slices.push(head);
+            rest = tail;
+        }
+        let errors: Vec<Mutex<Option<String>>> =
+            table.segments().iter().map(|_| Mutex::new(None)).collect();
+        let engine = match &self.engine {
+            Some(e) => e.clone(),
+            None => Engine::global_with(self.threads),
+        };
+        let codec = &self.codec;
+        let data = &data;
+        engine.scope(|scope| {
+            for ((seg, out), slot) in table.segments().iter().zip(slices).zip(&errors) {
+                let codec = Arc::clone(codec);
+                let seg = *seg;
+                scope.spawn(move || {
+                    if let Err(msg) = decode_segment_into(&codec, data, &seg, out) {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(msg);
+                    }
+                });
+            }
+        });
+        for slot in &errors {
+            if let Some(msg) = slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                return Err(AtcError::Format(msg));
+            }
+        }
+        let mut cur: &[u8] = &raw;
+        let mut out = Vec::with_capacity(self.meta.count.min(1 << 24) as usize);
+        while let Some(frame) = format::read_frame(&mut cur)? {
+            out.extend(frame);
+        }
+        self.produced = out.len() as u64;
+        self.exhausted = true;
+        self.check_complete()?;
+        Ok(out)
+    }
+
+    /// Compressed segments decoded by the current payload stream (since
+    /// open or the last [`AtcReader::seek`]): `None` for lossy traces
+    /// and the readahead pipeline, which do not track it. This is the
+    /// observable behind seek's O(1)-decode promise — after a seek,
+    /// reading one frame costs at most one segment decode (zero when
+    /// the segment cache is warm).
+    pub fn segments_decoded(&self) -> Option<u64> {
+        match &self.state {
+            State::Lossless { stream } => stream.segments_decoded(),
+            State::Lossy { .. } => None,
+        }
+    }
+
+    /// Warns (once per reader) that random access degraded to a linear
+    /// decode because the trace has no usable seek sidecar.
+    fn warn_linear_fallback(&mut self) {
+        if !self.warned_linear {
+            self.warned_linear = true;
+            eprintln!(
+                "atc: warning: {} has no usable seek sidecar ({}); falling back to linear decode",
+                self.dir.display(),
+                format::SEEK_FILE
+            );
+        }
+    }
+
     fn refill(&mut self) -> Result<bool> {
+        if self.exhausted {
+            return Ok(false);
+        }
         match &mut self.state {
             State::Lossless { stream } => match format::read_frame(stream)? {
                 Some(addrs) => {
@@ -433,6 +897,79 @@ impl AtcReader {
             }
         }
     }
+}
+
+/// Loads and validates the trace's seek sidecar; `None` means "no usable
+/// sidecar" (absent, unreadable, malformed, or disagreeing with `meta`) —
+/// the caller falls back to linear decoding, it is never a hard error.
+fn load_seek_table(dir: &Path, meta: &Meta) -> Option<format::SeekTable> {
+    let bytes = std::fs::read(dir.join(format::SEEK_FILE)).ok()?;
+    let table = format::SeekTable::decode(&bytes).ok()?;
+    if let Some(n) = meta.seek_segments {
+        if n != table.len() as u64 {
+            return None;
+        }
+    }
+    Some(table)
+}
+
+/// Encoded length of `varint(value)` in bytes (LEB128, 7 bits per byte).
+fn varint_len(value: u64) -> u64 {
+    u64::from((64 - value.leading_zeros()).max(1)).div_ceil(7)
+}
+
+/// Reads and discards exactly `n` decoded bytes (positioning within a
+/// segment, or the whole linear-fallback skip).
+fn skip_raw<R: Read>(r: &mut R, n: u64) -> Result<()> {
+    let skipped = std::io::copy(&mut r.by_ref().take(n), &mut std::io::sink())?;
+    if skipped != n {
+        return Err(AtcError::Format(format!(
+            "payload ended after {skipped} of the {n} bytes before the seek target"
+        )));
+    }
+    Ok(())
+}
+
+/// Decompresses one sidecar-described segment of `data` into its slice of
+/// the flat output buffer (the [`AtcReader::decode_all_flat`] worker).
+/// Returns the error as a message so workers on different threads can
+/// report through a plain slot.
+fn decode_segment_into(
+    codec: &Arc<dyn Codec>,
+    data: &[u8],
+    seg: &SegmentRecord,
+    out: &mut [u8],
+) -> std::result::Result<(), String> {
+    let start = usize::try_from(seg.file_offset).map_err(|_| "segment offset overflow")?;
+    let len = usize::try_from(seg.compressed_len).map_err(|_| "segment length overflow")?;
+    let mut cur = data
+        .get(start..start.checked_add(len).ok_or("segment extent overflow")?)
+        .ok_or_else(|| {
+            format!(
+                "sidecar segment at {start}+{len} runs past the {}-byte payload file",
+                data.len()
+            )
+        })?;
+    let payload = varint::read_u64(&mut cur).map_err(|e| e.to_string())? as usize;
+    if payload != cur.len() {
+        return Err(format!(
+            "segment frames {payload} payload bytes but the sidecar spans {}",
+            cur.len()
+        ));
+    }
+    let mut raw = Vec::with_capacity(out.len());
+    codec
+        .decompress_into(cur, &mut raw)
+        .map_err(|e| e.to_string())?;
+    if raw.len() != out.len() {
+        return Err(format!(
+            "segment decoded to {} bytes, sidecar says {}",
+            raw.len(),
+            out.len()
+        ));
+    }
+    out.copy_from_slice(&raw);
+    Ok(())
 }
 
 /// Decodes one interval record into `out`: loads its chunk (through the
@@ -1006,6 +1543,198 @@ mod tests {
                 assert!(r.next_frame().is_err(), "threads={threads}");
             }
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Writes a multi-segment lossless trace: small segments force many
+    /// sidecar entries so seeks have something to skip.
+    fn write_segmented(dir: &PathBuf, addrs: &[u64], codec: &str, buffer: usize) {
+        let mut w = AtcWriter::with_options(
+            dir,
+            Mode::Lossless,
+            AtcOptions {
+                codec: codec.into(),
+                buffer,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all(addrs.iter().copied()).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn seek_matches_linear_decode_at_every_offset() {
+        // ~470 KB raw in 1 MiB segments would be one segment; lz at
+        // buffer 700 over 60k addresses still spans multiple segments
+        // because DEFAULT_SEGMENT_SIZE cuts on raw bytes (480 KB < 1 MiB:
+        // single segment). Use enough data for several segments.
+        let addrs: Vec<u64> = (0..300_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let dir = tmp("seek-offsets");
+        write_segmented(&dir, &addrs, "lz", 700);
+        let mut linear = AtcReader::open(&dir).unwrap();
+        let expect = linear.decode_all().unwrap();
+
+        let mut r = AtcReader::open(&dir).unwrap();
+        let frames = addrs.len().div_ceil(700) as u64;
+        for frame_no in [0u64, 1, frames / 2, frames - 1, frames] {
+            r.seek(frame_no).unwrap();
+            let rest = r.decode_all().unwrap();
+            let at = ((frame_no * 700) as usize).min(expect.len());
+            assert_eq!(rest, &expect[at..], "frame {frame_no}");
+        }
+        // Past-the-end seeks fail cleanly (and latch).
+        assert!(r.seek(frames + 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seek_decodes_at_most_one_segment_before_target() {
+        let addrs: Vec<u64> = (0..500_000u64).map(|i| i * 64).collect();
+        let dir = tmp("seek-one-segment");
+        write_segmented(&dir, &addrs, "lz", 1000);
+        let mut r = AtcReader::open(&dir).unwrap();
+        let table = load_seek_table(&dir, r.meta()).expect("sidecar written");
+        assert!(table.len() >= 3, "need a multi-segment trace");
+
+        // Seek deep into the trace: only the segment holding the target
+        // may be decoded, not the ones in front of it.
+        r.seek(400).unwrap();
+        assert_eq!(r.segments_decoded(), Some(1));
+        assert_eq!(r.decode().unwrap(), Some(addrs[400 * 1000]));
+        assert!(
+            r.segments_decoded().unwrap() <= 2,
+            "target frame spans at most 2 segments"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seek_falls_back_linearly_without_sidecar() {
+        let addrs: Vec<u64> = (0..120_000u64).map(|i| i.wrapping_mul(13)).collect();
+        let dir = tmp("seek-fallback");
+        write_segmented(&dir, &addrs, "lz", 1000);
+        std::fs::remove_file(dir.join(format::SEEK_FILE)).unwrap();
+        for threads in [1usize, 4] {
+            let mut r = AtcReader::open_with(
+                &dir,
+                ReadOptions {
+                    threads,
+                    ..ReadOptions::default()
+                },
+            )
+            .unwrap();
+            r.seek(57).unwrap();
+            let rest = r.decode_all().unwrap();
+            assert_eq!(rest, &addrs[57_000..], "threads={threads}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seek_rejects_lossy_traces() {
+        let dir = tmp("seek-lossy");
+        let cfg = LossyConfig {
+            interval_len: 100,
+            ..LossyConfig::default()
+        };
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossy(cfg),
+            AtcOptions {
+                codec: "store".into(),
+                buffer: 50,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        w.code_all((0..250u64).map(|i| i * 8)).unwrap();
+        w.finish().unwrap();
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert!(r.seek(1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_reads_are_byte_identical_and_record_hits() {
+        let addrs: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x517C)).collect();
+        let dir = tmp("cached-reads");
+        write_segmented(&dir, &addrs, "lz", 1000);
+        let cache = Arc::new(SegmentCache::new(64 << 20));
+        let with_cache = || ReadOptions {
+            segment_cache: Some(Arc::clone(&cache)),
+            ..ReadOptions::default()
+        };
+
+        // Cold pass decodes and populates; warm pass must read the very
+        // same bytes out of the cache without decoding anything.
+        let mut cold = AtcReader::open_with(&dir, with_cache()).unwrap();
+        assert_eq!(cold.decode_all().unwrap(), addrs);
+        let decoded_cold = cold.segments_decoded().unwrap();
+        assert!(decoded_cold >= 2, "multi-segment trace");
+        assert_eq!(cache.stats().hits, 0);
+
+        let mut warm = AtcReader::open_with(&dir, with_cache()).unwrap();
+        assert_eq!(warm.decode_all().unwrap(), addrs);
+        assert_eq!(warm.segments_decoded(), Some(0), "every segment was cached");
+        assert_eq!(cache.stats().hits, decoded_cold);
+
+        // Warm seeks decode nothing either.
+        let mut seeker = AtcReader::open_with(&dir, with_cache()).unwrap();
+        seeker.seek(150).unwrap();
+        assert_eq!(seeker.decode().unwrap(), Some(addrs[150_000]));
+        assert_eq!(seeker.segments_decoded(), Some(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_all_flat_matches_streaming() {
+        let addrs: Vec<u64> = (0..250_000u64).map(|i| i.wrapping_mul(0xABCD)).collect();
+        let dir = tmp("flat-decode");
+        for codec in ["lz", "bzip", "store"] {
+            write_segmented(&dir, &addrs, codec, 900);
+            let mut streaming = AtcReader::open(&dir).unwrap();
+            let expect = streaming.decode_all().unwrap();
+            for threads in [1usize, 4] {
+                let mut flat = AtcReader::open_with(
+                    &dir,
+                    ReadOptions {
+                        threads,
+                        ..ReadOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(flat.decode_all_flat().unwrap(), expect, "{codec}/{threads}");
+                // The reader is drained, not rewound.
+                assert_eq!(flat.decode().unwrap(), None, "{codec}/{threads}");
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_all_flat_falls_back_without_sidecar() {
+        let addrs: Vec<u64> = (0..50_000u64).map(|i| i * 3).collect();
+        let dir = tmp("flat-fallback");
+        write_segmented(&dir, &addrs, "lz", 500);
+        std::fs::remove_file(dir.join(format::SEEK_FILE)).unwrap();
+        let mut r = AtcReader::open(&dir).unwrap();
+        assert_eq!(r.decode_all_flat().unwrap(), addrs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seek_then_next_frame_continues_borrowed_path() {
+        let addrs: Vec<u64> = (0..100_000u64).map(|i| i * 7).collect();
+        let dir = tmp("seek-frames");
+        write_segmented(&dir, &addrs, "lz", 1000);
+        let mut r = AtcReader::open(&dir).unwrap();
+        r.seek(42).unwrap();
+        let mut got = Vec::new();
+        while let Some(frame) = r.next_frame().unwrap() {
+            got.extend_from_slice(frame);
+        }
+        assert_eq!(got, &addrs[42_000..]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

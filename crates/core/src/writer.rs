@@ -833,12 +833,19 @@ impl AtcWriter {
             self.end_interval()?;
         }
 
+        let mut seek_segments = None;
         let (intervals, chunks, imitations, interval_len, threshold) = match self.state {
             State::Lossless { mut out, buf } => {
                 if !buf.is_empty() {
                     format::write_frame(&mut out, &buf)?;
                 }
-                out.finish()?;
+                // The writer has every segment's offsets on hand as it
+                // seals them, so the seek sidecar is free: persist it and
+                // record the segment count in `meta`.
+                let (_, segments) = out.finish_with_segments()?;
+                let table = format::SeekTable::from_records(segments)?;
+                seek_segments = Some(table.len() as u64);
+                fs::write(self.dir.join(format::SEEK_FILE), table.encode())?;
                 (0, 0, 0, 0u64, 0.0)
             }
             State::Lossy {
@@ -892,6 +899,7 @@ impl AtcWriter {
             threshold,
             count: self.count,
             chunks,
+            seek_segments,
         };
         fs::write(self.dir.join(format::META_FILE), meta.to_text())?;
 

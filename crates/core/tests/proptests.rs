@@ -146,7 +146,11 @@ proptest! {
         count in any::<u64>(),
         chunks in any::<u64>(),
         thr_millis in 0u32..2000,
+        seek in any::<u64>(),
     ) {
+        // The vendored proptest has no Option strategy: odd draws map to
+        // None, even draws to Some(half), covering both meta shapes.
+        let seek_segments = seek.is_multiple_of(2).then_some(seek / 2);
         let m = Meta {
             version: 1,
             mode: "lossy".into(),
@@ -156,6 +160,7 @@ proptest! {
             threshold: thr_millis as f64 / 1000.0,
             count,
             chunks,
+            seek_segments,
         };
         prop_assert_eq!(Meta::parse(&m.to_text()).unwrap(), m);
     }

@@ -7,24 +7,35 @@
 //! the engine/worker counters (`tasks run`, `steals`, `scratch reuse`)
 //! alongside the reader's `frame_stats()`.
 //!
+//! With `--seek FRAME` it becomes a random-access extractor instead:
+//! seek to that frame through the seek sidecar (decoding at most one
+//! segment before the target; linear fallback with a warning on traces
+//! without a sidecar), then dump the remaining addresses as raw
+//! little-endian 64-bit values on stdout. Segment-cache and decode
+//! counters go to stderr.
+//!
 //! ```text
 //! cargo run --release --example atcstat -- foobar
 //! cargo run --release --example atcstat -- foobar --threads 4
+//! cargo run --release --example atcstat -- foobar --seek 42 > tail.bin
 //! ```
 
 use std::error::Error;
+use std::io::Write;
 
+use atc::cache::SegmentCache;
 use atc::core::{verify, AtcReader, ReadOptions};
 use atc::engine::Engine;
 
+#[path = "cli_util/mod.rs"]
+mod cli_util;
+use cli_util::positional;
+
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = args
-        .iter()
-        .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
-        .map(|(_, a)| a.clone())
-        .ok_or("usage: atcstat <dir> [--threads N]")?;
+    let dir = positional(&args, &["--threads", "--seek"])
+        .cloned()
+        .ok_or("usage: atcstat <dir> [--threads N] [--seek FRAME]")?;
     let threads: usize = args
         .iter()
         .position(|a| a == "--threads")
@@ -32,6 +43,39 @@ fn main() -> Result<(), Box<dyn Error>> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
     let dir = std::path::PathBuf::from(dir);
+
+    if let Some(i) = args.iter().position(|a| a == "--seek") {
+        let frame: u64 = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or("--seek takes a frame number")?;
+        let cache = SegmentCache::global();
+        let mut r = AtcReader::open_with(
+            &dir,
+            ReadOptions {
+                threads,
+                segment_cache: Some(cache.clone()),
+                ..ReadOptions::default()
+            },
+        )?;
+        r.seek(frame)?;
+        let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+        while let Some(frame) = r.next_frame()? {
+            for v in frame {
+                stdout.write_all(&v.to_le_bytes())?;
+            }
+        }
+        stdout.flush()?;
+        if let Some(decoded) = r.segments_decoded() {
+            eprintln!("seek: frame {frame}, {decoded} segments decoded");
+        }
+        let s = cache.stats();
+        eprintln!(
+            "segment cache: {} hits, {} misses, {} evictions, {}/{} bytes",
+            s.hits, s.misses, s.evictions, s.bytes, s.cap
+        );
+        return Ok(());
+    }
 
     let meta_text = std::fs::read_to_string(dir.join("meta"))?;
     println!("header:");

@@ -16,6 +16,12 @@
 //! # one shard only:
 //! atcstore unpack store.atc --shard 2 > shard2.bin
 //!
+//! # random access: global addresses A..B of the merged stream, without
+//! # decoding the stream in front of them (per-shard seek sidecars +
+//! # mid-run interleave replay; falls back to linear skip with a
+//! # warning on legacy shards without sidecars):
+//! atcstore read store.atc --range 1000000..1001000 > window.bin
+//!
 //! # manifest + per-shard summary (add --threads N for a verification
 //! # drain with engine/worker counters):
 //! atcstore stat store.atc --threads 4
@@ -28,6 +34,7 @@
 use std::error::Error;
 use std::io::{Read, Write};
 
+use atc::cache::SegmentCache;
 use atc::core::format::shard_dir_name;
 use atc::core::{AtcOptions, AtcReader, LossyConfig, Mode, ReadOptions};
 use atc::engine::{Engine, EngineStats};
@@ -37,9 +44,10 @@ use atc::store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
 mod cli_util;
 use cli_util::positional;
 
-const USAGE: &str = "usage: atcstore <pack|unpack|stat> <root> \
+const USAGE: &str = "usage: atcstore <pack|unpack|read|stat> <root> \
     [--shards N] [--policy round-robin|addr-range:SHIFT] \
-    [--lossless] [--interval N] [--buffer N] [--codec NAME] [--threads N] [--shard I]";
+    [--lossless] [--interval N] [--buffer N] [--codec NAME] [--threads N] [--shard I] \
+    [--range A..B]";
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +59,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "--codec",
         "--threads",
         "--shard",
+        "--range",
     ];
     let command = positional(&args, &value_flags).ok_or(USAGE)?.clone();
     let rest: Vec<String> = args
@@ -88,7 +97,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let read_options = || ReadOptions {
         threads,
         engine: engine.clone(),
+        // The process-wide decoded-segment cache: shards carrying a seek
+        // sidecar decode each hot segment at most once per process.
+        segment_cache: Some(SegmentCache::global()),
         ..ReadOptions::default()
+    };
+    let print_cache_stats = || {
+        let s = SegmentCache::global().stats();
+        eprintln!(
+            "segment cache: {} hits, {} misses, {} evictions, {}/{} bytes",
+            s.hits, s.misses, s.evictions, s.bytes, s.cap
+        );
     };
 
     match command.as_str() {
@@ -183,6 +202,30 @@ fn main() -> Result<(), Box<dyn Error>> {
                 print_engine_stats(engine.stats());
             }
         }
+        "read" => {
+            let range_arg = args
+                .iter()
+                .position(|a| a == "--range")
+                .and_then(|i| args.get(i + 1))
+                .ok_or("read needs --range A..B (global merged positions)")?;
+            let (a, b) = range_arg
+                .split_once("..")
+                .ok_or("--range takes A..B, e.g. --range 1000..2000")?;
+            let start: u64 = a.parse().map_err(|_| "--range start is not a number")?;
+            let end: u64 = b.parse().map_err(|_| "--range end is not a number")?;
+            let mut r = StoreReader::open_with(&root, read_options())?;
+            let window = r.read_range(start..end)?;
+            let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+            for v in &window {
+                stdout.write_all(&v.to_le_bytes())?;
+            }
+            stdout.flush()?;
+            eprintln!("read {} addresses from {start}..{end}", window.len());
+            print_cache_stats();
+            if let Some(engine) = &engine {
+                print_engine_stats(engine.stats());
+            }
+        }
         "stat" => {
             let mut r = StoreReader::open(&root)?;
             let m = r.manifest().clone();
@@ -237,6 +280,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     start.elapsed()
                 );
                 print_engine_stats(engine.stats());
+                print_cache_stats();
             }
         }
         _ => return Err(USAGE.into()),

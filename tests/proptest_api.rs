@@ -200,6 +200,86 @@ proptest! {
         prop_assert_eq!(out, values);
     }
 
+    // Random access must agree with the linear decode at every frame
+    // boundary, for every codec and worker count — including frames that
+    // land mid-segment and the one-past-the-end park position (small
+    // buffers over multi-segment traces cross segment boundaries).
+    #[test]
+    fn seek_matches_linear_decode(
+        values in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..500,
+        codec_idx in 0usize..3,
+        threads_sel in 0usize..2,
+        frame_sel in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let codec = ["bzip", "lz", "store"][codec_idx];
+        let threads = [1usize, 4][threads_sel];
+        let dir = scratch(seed.wrapping_add(303));
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions { codec: codec.into(), buffer, threads: 1 },
+        ).unwrap();
+        w.code_all(values.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        let buffer = buffer as u64;
+        let total_frames = (values.len() as u64).div_ceil(buffer);
+        let frame = frame_sel % (total_frames + 1);
+        let mut r = atc::core::AtcReader::open_with(
+            &dir,
+            atc::core::ReadOptions { threads, ..Default::default() },
+        ).unwrap();
+        r.seek(frame).unwrap();
+        let rest = r.decode_all().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let at = ((frame * buffer) as usize).min(values.len());
+        prop_assert_eq!(rest, &values[at..]);
+    }
+
+    // Cache-enabled reads are byte-identical to the cold decode, the
+    // warm pass re-decodes nothing, and every segment the cold pass
+    // decoded comes back as a recorded hit.
+    #[test]
+    fn cached_reads_match_cold_with_hits(
+        values in vec(any::<u64>(), 0..3000),
+        buffer in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        use std::sync::Arc;
+        use atc::cache::SegmentCache;
+        let dir = scratch(seed.wrapping_add(404));
+        let mut w = AtcWriter::with_options(
+            &dir,
+            Mode::Lossless,
+            AtcOptions { codec: "lz".into(), buffer, threads: 1 },
+        ).unwrap();
+        w.code_all(values.iter().copied()).unwrap();
+        w.finish().unwrap();
+
+        let cache = Arc::new(SegmentCache::new(64 << 20));
+        let open = |cache: &Arc<SegmentCache>| atc::core::AtcReader::open_with(
+            &dir,
+            atc::core::ReadOptions {
+                segment_cache: Some(cache.clone()),
+                ..Default::default()
+            },
+        ).unwrap();
+        let mut cold = open(&cache);
+        let cold_out = cold.decode_all().unwrap();
+        let decoded_cold = cold.segments_decoded().unwrap();
+        let mut warm = open(&cache);
+        let warm_out = warm.decode_all().unwrap();
+        let warm_decoded = warm.segments_decoded();
+        let hits = cache.stats().hits;
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(&cold_out, &values);
+        prop_assert_eq!(&warm_out, &values);
+        prop_assert_eq!(warm_decoded, Some(0));
+        prop_assert_eq!(hits, decoded_cold);
+    }
+
     #[test]
     fn tcgen_roundtrip_arbitrary(values in vec(any::<u64>(), 0..2000)) {
         use std::sync::Arc;
