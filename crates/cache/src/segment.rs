@@ -46,6 +46,27 @@ pub struct SegmentCacheStats {
     pub cap: u64,
 }
 
+impl SegmentCacheStats {
+    /// Counter deltas accumulated since `base` was snapshotted (gauges —
+    /// `bytes`, `cap` — are taken from `self` as-is).
+    ///
+    /// This is how long-lived services report *their* cache traffic off
+    /// a shared cache: snapshot at start, subtract on report. Counters
+    /// are monotonic, but `saturating_sub` keeps a mismatched baseline
+    /// (e.g. from a different cache instance) from panicking in debug
+    /// builds.
+    #[must_use]
+    pub fn since(&self, base: &SegmentCacheStats) -> SegmentCacheStats {
+        SegmentCacheStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            bytes: self.bytes,
+            cap: self.cap,
+        }
+    }
+}
+
 /// A byte-budgeted, true-LRU cache of decoded codec segments shared by
 /// every reader in the process.
 ///
@@ -96,6 +117,18 @@ impl SegmentCache {
     pub fn global() -> Arc<SegmentCache> {
         static GLOBAL: OnceLock<Arc<SegmentCache>> = OnceLock::new();
         Arc::clone(GLOBAL.get_or_init(|| Arc::new(SegmentCache::new(DEFAULT_SEGMENT_CACHE_BYTES))))
+    }
+
+    /// A private cache with its own counters, shaped for sharing
+    /// (`Arc`-wrapped like [`SegmentCache::global`]).
+    ///
+    /// [`global`](SegmentCache::global)'s counters are process-wide: two
+    /// tests (or a server and an unrelated reader) observing `stats()`
+    /// see each other's traffic. Code that asserts on hit/miss counts —
+    /// or a server that reports *its* cache efficiency — should own an
+    /// isolated instance instead.
+    pub fn isolated(cap_bytes: u64) -> Arc<SegmentCache> {
+        Arc::new(SegmentCache::new(cap_bytes))
     }
 
     /// Looks up a decoded segment, refreshing its recency on a hit.
@@ -250,6 +283,41 @@ mod tests {
         assert!(c.get((0, 0)).is_none());
         assert_eq!(held.len(), 80, "the Arc keeps evicted bytes alive");
         assert!(held.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn isolated_instances_do_not_share_counters() {
+        let a = SegmentCache::isolated(1 << 20);
+        let b = SegmentCache::isolated(1 << 20);
+        a.insert((1, 0), seg(64, 1));
+        assert!(a.get((1, 0)).is_some());
+        assert!(b.get((1, 0)).is_none(), "no entry sharing");
+        assert_eq!(a.stats().hits, 1);
+        assert_eq!(b.stats().hits, 0, "no counter bleed");
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters_keeps_gauges() {
+        let c = SegmentCache::isolated(1 << 20);
+        c.insert((1, 0), seg(64, 1));
+        c.get((1, 9));
+        let base = c.stats();
+        c.get((1, 0));
+        c.get((1, 0));
+        c.get((1, 7));
+        let delta = c.stats().since(&base);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.evictions, 0);
+        assert_eq!(delta.bytes, 64, "bytes is a gauge, not a delta");
+        assert_eq!(delta.cap, 1 << 20);
+        // A baseline from elsewhere saturates instead of underflowing.
+        let skewed = SegmentCacheStats {
+            hits: u64::MAX,
+            ..base
+        };
+        assert_eq!(c.stats().since(&skewed).hits, 0);
     }
 
     #[test]

@@ -898,6 +898,437 @@ impl StoreManifest {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Network protocol (`atcd`)
+// ---------------------------------------------------------------------------
+//
+// The trace service speaks a small length-prefixed binary protocol over
+// TCP. A connection opens with a magic exchange (server banner first,
+// then the client's copy), after which both directions carry *frames*:
+//
+// ```text
+// varint(len) ++ body          len = body length in bytes, body[0] = tag
+// ```
+//
+// The first request on a connection must be [`NetRequest::Hello`]; the
+// server answers [`NetResponse::Hello`] and then serves requests until
+// the client closes the socket. Range and shard queries answer with zero
+// or more [`NetResponse::Data`] frames followed by one
+// [`NetResponse::Done`]; every failure is a [`NetResponse::Error`].
+//
+// A declared frame length above [`NET_MAX_FRAME`] is a protocol error:
+// readers reject it *before* allocating, so a hostile length cannot
+// balloon server or client memory.
+
+/// Magic banner exchanged at the start of every `atcd` connection.
+pub const NET_MAGIC: [u8; 7] = *b"ATCNET1";
+
+/// Protocol version carried by the `Hello` exchange.
+pub const NET_PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on any declared frame length (body bytes). Data frames are
+/// sized by the server's send window, which is far below this; anything
+/// larger is a malformed or hostile frame and is rejected unread.
+pub const NET_MAX_FRAME: u64 = 8 << 20;
+
+const NET_REQ_HELLO: u8 = 0x01;
+const NET_REQ_STAT: u8 = 0x02;
+const NET_REQ_READ_RANGE: u8 = 0x03;
+const NET_REQ_STREAM_SHARD: u8 = 0x04;
+
+const NET_RESP_HELLO: u8 = 0x81;
+const NET_RESP_STAT: u8 = 0x82;
+const NET_RESP_DATA: u8 = 0x83;
+const NET_RESP_DONE: u8 = 0x84;
+const NET_RESP_ERROR: u8 = 0xFF;
+
+/// Longest `Error` message the encoder will emit (longer ones truncate).
+const NET_MAX_ERROR_LEN: usize = 4096;
+
+/// Writes one protocol frame: `varint(body.len()) ++ body`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`; refuses bodies above [`NET_MAX_FRAME`].
+pub fn write_net_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<()> {
+    if body.len() as u64 > NET_MAX_FRAME {
+        return Err(AtcError::Format(format!(
+            "refusing to send a {} byte frame (cap {NET_MAX_FRAME})",
+            body.len()
+        )));
+    }
+    varint::write_u64(w, body.len() as u64)?;
+    w.write_all(body)?;
+    Ok(())
+}
+
+/// Reads one protocol frame body. `Ok(None)` on clean end of stream
+/// (EOF before the first length byte).
+///
+/// # Errors
+///
+/// Returns [`AtcError::Format`] when the declared length exceeds
+/// [`NET_MAX_FRAME`] or the body is empty, and [`AtcError::Io`] on
+/// truncated input.
+pub fn read_net_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    match r.read_exact(&mut first) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = if first[0] & 0x80 == 0 {
+        u64::from(first[0])
+    } else {
+        // Continue the varint whose first byte is already consumed.
+        let mut value = u64::from(first[0] & 0x7F);
+        let mut shift = 7u32;
+        loop {
+            let mut byte = [0u8; 1];
+            r.read_exact(&mut byte)?;
+            value |= u64::from(byte[0] & 0x7F) << shift;
+            if byte[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(AtcError::Format("frame length varint overflows".into()));
+            }
+        }
+        value
+    };
+    net_check_frame_len(len)?;
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Validates a declared frame length before anything is allocated.
+///
+/// # Errors
+///
+/// Returns [`AtcError::Format`] for empty frames and for lengths above
+/// [`NET_MAX_FRAME`].
+pub fn net_check_frame_len(len: u64) -> Result<()> {
+    if len == 0 {
+        return Err(AtcError::Format("empty protocol frame".into()));
+    }
+    if len > NET_MAX_FRAME {
+        return Err(AtcError::Format(format!(
+            "declared frame length {len} exceeds the {NET_MAX_FRAME} byte cap"
+        )));
+    }
+    Ok(())
+}
+
+/// A client-to-server request record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRequest {
+    /// Opens the session; must be the first request on a connection.
+    Hello {
+        /// Client protocol version (see [`NET_PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// Asks for the store's manifest summary and cache counters.
+    StatStore,
+    /// Asks for global merged positions `start..end` (half-open).
+    ReadRange {
+        /// First merged position wanted.
+        start: u64,
+        /// One past the last merged position wanted.
+        end: u64,
+    },
+    /// Streams shard `shard`'s sub-stream starting at its value `from`.
+    StreamShard {
+        /// Shard index within the store.
+        shard: u32,
+        /// First shard-local value position wanted.
+        from: u64,
+    },
+}
+
+impl NetRequest {
+    /// Serializes the request as one frame into `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write<W: Write>(&self, w: &mut W) -> Result<()> {
+        let mut body = Vec::with_capacity(24);
+        match self {
+            NetRequest::Hello { version } => {
+                body.push(NET_REQ_HELLO);
+                varint::write_u64(&mut body, u64::from(*version))?;
+            }
+            NetRequest::StatStore => body.push(NET_REQ_STAT),
+            NetRequest::ReadRange { start, end } => {
+                body.push(NET_REQ_READ_RANGE);
+                varint::write_u64(&mut body, *start)?;
+                varint::write_u64(&mut body, *end)?;
+            }
+            NetRequest::StreamShard { shard, from } => {
+                body.push(NET_REQ_STREAM_SHARD);
+                varint::write_u64(&mut body, u64::from(*shard))?;
+                varint::write_u64(&mut body, *from)?;
+            }
+        }
+        write_net_frame(w, &body)
+    }
+
+    /// Parses a request from a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on unknown tags, truncated fields,
+    /// out-of-range values, or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Self> {
+        let bad = |what: &str| AtcError::Format(format!("net request: {what}"));
+        let (&tag, mut cur) = body.split_first().ok_or_else(|| bad("empty frame"))?;
+        let req = match tag {
+            NET_REQ_HELLO => {
+                let version = varint::read_u64(&mut cur).map_err(|_| bad("truncated hello"))?;
+                NetRequest::Hello {
+                    version: u32::try_from(version)
+                        .map_err(|_| bad("hello version exceeds u32"))?,
+                }
+            }
+            NET_REQ_STAT => NetRequest::StatStore,
+            NET_REQ_READ_RANGE => NetRequest::ReadRange {
+                start: varint::read_u64(&mut cur).map_err(|_| bad("truncated range start"))?,
+                end: varint::read_u64(&mut cur).map_err(|_| bad("truncated range end"))?,
+            },
+            NET_REQ_STREAM_SHARD => NetRequest::StreamShard {
+                shard: u32::try_from(
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated shard index"))?,
+                )
+                .map_err(|_| bad("shard index exceeds u32"))?,
+                from: varint::read_u64(&mut cur).map_err(|_| bad("truncated shard offset"))?,
+            },
+            other => return Err(bad(&format!("unknown request tag {other:#04x}"))),
+        };
+        if !cur.is_empty() {
+            return Err(bad(&format!("{} trailing bytes", cur.len())));
+        }
+        Ok(req)
+    }
+}
+
+/// The manifest-summary payload of [`NetResponse::Stat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStat {
+    /// Store manifest version.
+    pub manifest_version: u32,
+    /// Shard-routing policy name from the manifest.
+    pub policy: String,
+    /// Total merged addresses in the store.
+    pub count: u64,
+    /// Per-shard address counts (length = shard count).
+    pub shard_counts: Vec<u64>,
+    /// Whether the merged read-back replays exact arrival order.
+    pub exact_merge: bool,
+    /// Segment-cache hits accumulated since the server started.
+    pub cache_hits: u64,
+    /// Segment-cache misses accumulated since the server started.
+    pub cache_misses: u64,
+}
+
+/// A server-to-client response record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetResponse {
+    /// Session accepted; carries the server's protocol version.
+    Hello {
+        /// Server protocol version (see [`NET_PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// Manifest summary + cache counters (answers `StatStore`).
+    Stat(NetStat),
+    /// One window of payload values, little-endian `u64`s.
+    Data(Vec<u64>),
+    /// Terminates a `Data` stream; `values` totals the preceding frames.
+    Done {
+        /// Number of values sent across the whole response.
+        values: u64,
+    },
+    /// The request failed; the connection may or may not survive.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl NetResponse {
+    /// Serializes the response as one frame into `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`; a `Data` frame larger than
+    /// [`NET_MAX_FRAME`] is refused (chunk before encoding).
+    pub fn write<W: Write>(&self, w: &mut W) -> Result<()> {
+        match self {
+            NetResponse::Hello { version } => {
+                let mut body = Vec::with_capacity(8);
+                body.push(NET_RESP_HELLO);
+                varint::write_u64(&mut body, u64::from(*version))?;
+                write_net_frame(w, &body)
+            }
+            NetResponse::Stat(stat) => {
+                let mut body = Vec::with_capacity(64 + stat.policy.len());
+                body.push(NET_RESP_STAT);
+                varint::write_u64(&mut body, u64::from(stat.manifest_version))?;
+                varint::write_u64(&mut body, stat.count)?;
+                body.push(u8::from(stat.exact_merge));
+                varint::write_u64(&mut body, stat.shard_counts.len() as u64)?;
+                for &c in &stat.shard_counts {
+                    varint::write_u64(&mut body, c)?;
+                }
+                varint::write_u64(&mut body, stat.cache_hits)?;
+                varint::write_u64(&mut body, stat.cache_misses)?;
+                varint::write_u64(&mut body, stat.policy.len() as u64)?;
+                body.extend_from_slice(stat.policy.as_bytes());
+                write_net_frame(w, &body)
+            }
+            NetResponse::Data(values) => Self::write_values_frame(w, values),
+            NetResponse::Done { values } => {
+                let mut body = Vec::with_capacity(12);
+                body.push(NET_RESP_DONE);
+                varint::write_u64(&mut body, *values)?;
+                write_net_frame(w, &body)
+            }
+            NetResponse::Error { message } => {
+                let trimmed = if message.len() > NET_MAX_ERROR_LEN {
+                    let mut end = NET_MAX_ERROR_LEN;
+                    while !message.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    &message[..end]
+                } else {
+                    message.as_str()
+                };
+                let mut body = Vec::with_capacity(1 + trimmed.len());
+                body.push(NET_RESP_ERROR);
+                body.extend_from_slice(trimmed.as_bytes());
+                write_net_frame(w, &body)
+            }
+        }
+    }
+
+    /// Writes one `Data` frame straight from a value slice — the server's
+    /// hot path, which never materializes an intermediate byte buffer
+    /// beyond the frame itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`; refuses slices whose encoding
+    /// would exceed [`NET_MAX_FRAME`].
+    pub fn write_values_frame<W: Write>(w: &mut W, values: &[u64]) -> Result<()> {
+        let body_len = 1 + values.len() as u64 * 8;
+        net_check_frame_len(body_len.min(NET_MAX_FRAME + 1))?;
+        if body_len > NET_MAX_FRAME {
+            return Err(AtcError::Format(format!(
+                "data frame of {} values exceeds the frame cap",
+                values.len()
+            )));
+        }
+        varint::write_u64(w, body_len)?;
+        w.write_all(&[NET_RESP_DATA])?;
+        for v in values {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Parses a response from a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtcError::Format`] on unknown tags, truncated fields,
+    /// misaligned data payloads, non-UTF-8 error text, or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Self> {
+        let bad = |what: &str| AtcError::Format(format!("net response: {what}"));
+        let (&tag, mut cur) = body.split_first().ok_or_else(|| bad("empty frame"))?;
+        let resp = match tag {
+            NET_RESP_HELLO => NetResponse::Hello {
+                version: u32::try_from(
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated hello"))?,
+                )
+                .map_err(|_| bad("hello version exceeds u32"))?,
+            },
+            NET_RESP_STAT => {
+                let manifest_version = u32::try_from(
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated stat version"))?,
+                )
+                .map_err(|_| bad("manifest version exceeds u32"))?;
+                let count = varint::read_u64(&mut cur).map_err(|_| bad("truncated count"))?;
+                let mut flag = [0u8; 1];
+                cur.read_exact(&mut flag)
+                    .map_err(|_| bad("truncated merge flag"))?;
+                let shards =
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated shard count"))?;
+                if shards > NET_MAX_FRAME {
+                    return Err(bad("absurd shard count"));
+                }
+                let mut shard_counts = Vec::with_capacity(shards.min(1 << 16) as usize);
+                for _ in 0..shards {
+                    shard_counts.push(
+                        varint::read_u64(&mut cur).map_err(|_| bad("truncated shard counts"))?,
+                    );
+                }
+                let cache_hits =
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated cache hits"))?;
+                let cache_misses =
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated cache misses"))?;
+                let policy_len =
+                    varint::read_u64(&mut cur).map_err(|_| bad("truncated policy length"))?;
+                if policy_len != cur.len() as u64 {
+                    return Err(bad("policy length disagrees with frame"));
+                }
+                let policy = std::str::from_utf8(cur)
+                    .map_err(|_| bad("policy is not UTF-8"))?
+                    .to_string();
+                cur = &[];
+                NetResponse::Stat(NetStat {
+                    manifest_version,
+                    policy,
+                    count,
+                    shard_counts,
+                    exact_merge: flag[0] != 0,
+                    cache_hits,
+                    cache_misses,
+                })
+            }
+            NET_RESP_DATA => {
+                if cur.len() % 8 != 0 {
+                    return Err(bad(&format!(
+                        "data payload of {} bytes is not a whole number of values",
+                        cur.len()
+                    )));
+                }
+                let values = cur
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect();
+                cur = &[];
+                NetResponse::Data(values)
+            }
+            NET_RESP_DONE => NetResponse::Done {
+                values: varint::read_u64(&mut cur).map_err(|_| bad("truncated done count"))?,
+            },
+            NET_RESP_ERROR => {
+                let message = std::str::from_utf8(cur)
+                    .map_err(|_| bad("error text is not UTF-8"))?
+                    .to_string();
+                cur = &[];
+                NetResponse::Error { message }
+            }
+            other => return Err(bad(&format!("unknown response tag {other:#04x}"))),
+        };
+        if !cur.is_empty() {
+            return Err(bad(&format!("{} trailing bytes", cur.len())));
+        }
+        Ok(resp)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1265,5 +1696,143 @@ mod tests {
         assert_eq!(chunk_file_name(0), "chunk-000000.atc");
         assert_eq!(chunk_file_name(999_999), "chunk-999999.atc");
         assert!(chunk_file_name(1) < chunk_file_name(2));
+    }
+
+    fn req_roundtrip(req: &NetRequest) -> NetRequest {
+        let mut buf = Vec::new();
+        req.write(&mut buf).unwrap();
+        let mut cur = buf.as_slice();
+        let body = read_net_frame(&mut cur).unwrap().unwrap();
+        assert!(cur.is_empty(), "one frame, nothing after");
+        NetRequest::decode(&body).unwrap()
+    }
+
+    fn resp_roundtrip(resp: &NetResponse) -> NetResponse {
+        let mut buf = Vec::new();
+        resp.write(&mut buf).unwrap();
+        let mut cur = buf.as_slice();
+        let body = read_net_frame(&mut cur).unwrap().unwrap();
+        assert!(cur.is_empty(), "one frame, nothing after");
+        NetResponse::decode(&body).unwrap()
+    }
+
+    #[test]
+    fn net_request_roundtrip() {
+        for req in [
+            NetRequest::Hello {
+                version: NET_PROTOCOL_VERSION,
+            },
+            NetRequest::StatStore,
+            NetRequest::ReadRange { start: 0, end: 0 },
+            NetRequest::ReadRange {
+                start: 12_345,
+                end: u64::MAX,
+            },
+            NetRequest::StreamShard {
+                shard: u32::MAX,
+                from: 1 << 40,
+            },
+        ] {
+            assert_eq!(req_roundtrip(&req), req);
+        }
+    }
+
+    #[test]
+    fn net_response_roundtrip() {
+        for resp in [
+            NetResponse::Hello {
+                version: NET_PROTOCOL_VERSION,
+            },
+            NetResponse::Stat(NetStat {
+                manifest_version: 1,
+                policy: "addr-range:6".into(),
+                count: 1 << 33,
+                shard_counts: vec![3, 0, 1 << 33],
+                exact_merge: true,
+                cache_hits: 17,
+                cache_misses: 4,
+            }),
+            NetResponse::Data(vec![]),
+            NetResponse::Data(vec![0, u64::MAX, 0xdead_beef]),
+            NetResponse::Done { values: 987 },
+            NetResponse::Error {
+                message: "no such shard".into(),
+            },
+        ] {
+            assert_eq!(resp_roundtrip(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn net_frame_clean_eof_vs_truncation() {
+        // EOF before any length byte: a clean close.
+        assert!(read_net_frame(&mut &[][..]).unwrap().is_none());
+        // A declared length with a short body: an error, not a clean close.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 10).unwrap();
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(read_net_frame(&mut buf.as_slice()).is_err());
+        // Truncated mid-varint likewise.
+        assert!(read_net_frame(&mut &[0x80u8][..]).is_err());
+    }
+
+    #[test]
+    fn net_frame_rejects_oversized_and_empty_lengths() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, NET_MAX_FRAME + 1).unwrap();
+        let err = read_net_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+        let mut zero = Vec::new();
+        varint::write_u64(&mut zero, 0).unwrap();
+        assert!(read_net_frame(&mut zero.as_slice()).is_err());
+        // The writer refuses to produce an oversized frame too.
+        let big = vec![0u8; NET_MAX_FRAME as usize + 1];
+        assert!(write_net_frame(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn net_decode_rejects_malformed_bodies() {
+        // Unknown tags, both directions.
+        assert!(NetRequest::decode(&[0x7E]).is_err());
+        assert!(NetResponse::decode(&[0x42]).is_err());
+        // Empty bodies.
+        assert!(NetRequest::decode(&[]).is_err());
+        assert!(NetResponse::decode(&[]).is_err());
+        // Truncated fields.
+        assert!(NetRequest::decode(&[NET_REQ_READ_RANGE, 0x05]).is_err());
+        assert!(NetResponse::decode(&[NET_RESP_DONE]).is_err());
+        // Trailing bytes after a complete record.
+        assert!(NetRequest::decode(&[NET_REQ_STAT, 0x00]).is_err());
+        let mut done = vec![NET_RESP_DONE];
+        varint::write_u64(&mut done, 3).unwrap();
+        done.push(0xEE);
+        assert!(NetResponse::decode(&done).is_err());
+        // Data payload not a multiple of 8.
+        assert!(NetResponse::decode(&[NET_RESP_DATA, 1, 2, 3]).is_err());
+        // Error text must be UTF-8.
+        assert!(NetResponse::decode(&[NET_RESP_ERROR, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn net_error_messages_truncate() {
+        let resp = NetResponse::Error {
+            message: "x".repeat(10_000),
+        };
+        match resp_roundtrip(&resp) {
+            NetResponse::Error { message } => assert_eq!(message.len(), 4096),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn net_data_frame_matches_write_values_frame() {
+        let values = [5u64, 6, 7];
+        let mut via_enum = Vec::new();
+        NetResponse::Data(values.to_vec())
+            .write(&mut via_enum)
+            .unwrap();
+        let mut via_slice = Vec::new();
+        NetResponse::write_values_frame(&mut via_slice, &values).unwrap();
+        assert_eq!(via_enum, via_slice);
     }
 }

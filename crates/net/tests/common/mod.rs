@@ -1,0 +1,128 @@
+//! Shared fixtures for the net test binaries: scratch stores and
+//! loopback servers on ephemeral ports.
+#![allow(dead_code)]
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use atc_cache::SegmentCache;
+use atc_core::{AtcOptions, Mode, Result};
+use atc_net::{NetServer, ServeOptions, ServerHandle, ServerStats};
+use atc_store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
+
+/// A scratch directory unique to this test and process.
+pub fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atc-net-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Packs a lossless store of `n` keyed addresses under `root` and
+/// returns them in arrival order (what the merged read-back replays).
+pub fn build_store(
+    root: &std::path::Path,
+    shards: usize,
+    policy: ShardPolicy,
+    n: u64,
+    buffer: usize,
+    codec: &str,
+) -> Vec<u64> {
+    let mut store = AtcStore::create(
+        root,
+        Mode::Lossless,
+        StoreOptions {
+            shards,
+            policy,
+            atc: AtcOptions {
+                codec: codec.into(),
+                buffer,
+                threads: 1,
+            },
+            max_buffered_bytes: None,
+        },
+    )
+    .unwrap();
+    let mut addrs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        // Bursty keys and a few address regions, so thread-id and
+        // addr-range policies both produce non-trivial interleaves.
+        let addr = (i % 5) << 16 | (i.wrapping_mul(8) & 0xFFFF);
+        store.code_from((i / 13) % 4, addr).unwrap();
+        addrs.push(addr);
+    }
+    store.finish().unwrap();
+    addrs
+}
+
+/// A loopback server running on its own thread.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    pub handle: ServerHandle,
+    pub cache: Arc<SegmentCache>,
+    join: JoinHandle<Result<ServerStats>>,
+}
+
+impl TestServer {
+    /// Binds an ephemeral port over `root` and starts serving. The
+    /// cache is always an isolated instance, so the stats this server
+    /// reports are this test's traffic only.
+    pub fn start(root: &std::path::Path, mut options: ServeOptions) -> Self {
+        let cache = match options.segment_cache.take() {
+            Some(cache) => cache,
+            None => SegmentCache::isolated(64 << 20),
+        };
+        options.segment_cache = Some(Arc::clone(&cache));
+        let server = NetServer::bind(root, "127.0.0.1:0", options).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        Self {
+            addr,
+            handle,
+            cache,
+            join,
+        }
+    }
+
+    /// Shuts down and returns the final counters (panics on a server
+    /// that failed or hung past the deadline).
+    pub fn stop(self) -> ServerStats {
+        self.handle.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !self.join.is_finished() {
+            assert!(Instant::now() < deadline, "server did not stop in time");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.join.join().unwrap().unwrap()
+    }
+
+    /// Polls the live counters until `pred` holds or `wait` lapses.
+    pub fn wait_for(&self, wait: Duration, pred: impl Fn(&ServerStats) -> bool) -> bool {
+        let deadline = Instant::now() + wait;
+        loop {
+            if pred(&self.handle.stats()) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// The store's merged stream read locally (the byte-identical oracle
+/// for every network reply).
+pub fn local_range(root: &std::path::Path, start: u64, end: u64) -> Vec<u64> {
+    let mut reader = StoreReader::open(root).unwrap();
+    reader.read_range(start..end).unwrap()
+}
+
+/// One shard's full sub-stream read locally.
+pub fn local_shard(root: &std::path::Path, shard: usize) -> Vec<u64> {
+    let mut reader = StoreReader::open(root).unwrap();
+    reader.shard(shard).decode_all().unwrap()
+}

@@ -1,0 +1,211 @@
+//! Property-based protocol equivalence: arbitrary interleaved
+//! `ReadRange`/`StreamShard` sequences against a live loopback server
+//! must agree, call for call, with a model replaying the same queries
+//! on a local `StoreReader` — across every shard policy, including
+//! empty and one-past-end ranges, on one long-lived connection.
+
+mod common;
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use atc_net::{AtcClient, ServeOptions};
+use atc_store::{ShardPolicy, StoreReader};
+use common::{build_store, scratch, TestServer};
+
+/// One policy's packed store with a server that lives for the whole
+/// test process (proptest cases reuse it; tearing a server down per
+/// case would dominate the run).
+struct Setup {
+    policy: &'static str,
+    addr: SocketAddr,
+    /// Merged stream in arrival order — the oracle for `ReadRange`.
+    merged: Vec<u64>,
+    /// Per-shard sub-streams — the oracle for `StreamShard`.
+    shards: Vec<Vec<u64>>,
+}
+
+fn setups() -> &'static [Setup] {
+    static SETUPS: OnceLock<Vec<Setup>> = OnceLock::new();
+    SETUPS.get_or_init(|| {
+        let policies: [(&'static str, ShardPolicy); 3] = [
+            ("rr", ShardPolicy::RoundRobin),
+            ("ar", ShardPolicy::AddressRange { shift: 16 }),
+            ("tid", ShardPolicy::ThreadId),
+        ];
+        policies
+            .into_iter()
+            .map(|(tag, policy)| {
+                let root: PathBuf = scratch(&format!("prop-{tag}"));
+                build_store(&root, 3, policy, 3_000, 250, "lz");
+                let mut reader = StoreReader::open(&root).unwrap();
+                let merged = reader.decode_all().unwrap();
+                let shards = (0..3usize)
+                    .map(|i| {
+                        let mut r = StoreReader::open(&root).unwrap();
+                        r.shard(i).decode_all().unwrap()
+                    })
+                    .collect();
+                // The server (and its scratch directory) intentionally
+                // outlive the test binary's run.
+                let server = TestServer::start(&root, ServeOptions::default());
+                let addr = server.addr;
+                std::mem::forget(server);
+                Setup {
+                    policy: tag,
+                    addr,
+                    merged,
+                    shards,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Splitmix64: deterministic op parameters from one seed each (the
+/// vendored proptest has no tuple/enum strategies, so compound ops are
+/// derived from plain `u64` seeds).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One derived protocol call, replayed against server and model alike.
+#[derive(Debug)]
+enum Op {
+    ReadRange { start: u64, end: u64 },
+    StreamShard { shard: u32, from: u64 },
+}
+
+/// Expands each seed into an op. The spread deliberately lands on the
+/// edges: empty ranges, `end == count`, one-past-end, `from` at the
+/// exact shard count, and out-of-range shards.
+fn derive_ops(seeds: &[u64], count: u64) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(seeds.len() + 4);
+    for &seed in seeds {
+        let mut state = seed;
+        let kind = splitmix(&mut state) % 8;
+        ops.push(match kind {
+            // In-bounds ranges of every size, a==b included.
+            0..=3 => {
+                let a = splitmix(&mut state) % (count + 1);
+                let b = a + splitmix(&mut state) % (count - a + 1);
+                Op::ReadRange { start: a, end: b }
+            }
+            // Hostile ranges: inverted and past the end.
+            4 => {
+                let a = splitmix(&mut state) % (count + 3);
+                let b = splitmix(&mut state) % (count + 3);
+                Op::ReadRange { start: a, end: b }
+            }
+            // Shard streams from arbitrary (sometimes invalid) offsets.
+            5 | 6 => Op::StreamShard {
+                shard: (splitmix(&mut state) % 3) as u32,
+                from: splitmix(&mut state) % (count + 2),
+            },
+            // Out-of-range shard indexes.
+            _ => Op::StreamShard {
+                shard: (splitmix(&mut state) % 6) as u32,
+                from: splitmix(&mut state) % 8,
+            },
+        });
+    }
+    // Always-on edge cases, independent of what the seeds produced.
+    ops.push(Op::ReadRange { start: 0, end: 0 });
+    ops.push(Op::ReadRange {
+        start: count,
+        end: count,
+    });
+    ops.push(Op::ReadRange {
+        start: count,
+        end: count + 1,
+    });
+    ops.push(Op::ReadRange {
+        start: 0,
+        end: count,
+    });
+    ops
+}
+
+/// The model: what a local reader says this op should produce.
+fn model(setup: &Setup, op: &Op) -> Result<Vec<u64>, ()> {
+    let count = setup.merged.len() as u64;
+    match *op {
+        Op::ReadRange { start, end } => {
+            if start > end || end > count {
+                Err(())
+            } else {
+                Ok(setup.merged[start as usize..end as usize].to_vec())
+            }
+        }
+        Op::StreamShard { shard, from } => {
+            let Some(sub) = setup.shards.get(shard as usize) else {
+                return Err(());
+            };
+            if from > sub.len() as u64 {
+                Err(())
+            } else {
+                Ok(sub[from as usize..].to_vec())
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn request_sequences_agree_with_the_local_reader_model(
+        seeds in vec(any::<u64>(), 1..16),
+    ) {
+        for setup in setups() {
+            let count = setup.merged.len() as u64;
+            let ops = derive_ops(&seeds, count);
+            // One connection per case: rejected queries must not poison
+            // the requests that follow them.
+            let mut client = AtcClient::connect(setup.addr).unwrap();
+            for op in &ops {
+                let expect = model(setup, op);
+                let got = match *op {
+                    Op::ReadRange { start, end } => client.read_range(start..end),
+                    Op::StreamShard { shard, from } => client.stream_shard(shard, from),
+                };
+                match (expect, got) {
+                    (Ok(want), Ok(got)) => prop_assert_eq!(
+                        got, want, "{} {:?}", setup.policy, op
+                    ),
+                    (Err(()), Err(e)) => prop_assert!(
+                        e.to_string().contains("server:"),
+                        "{} {:?}: server rejection expected, got {}",
+                        setup.policy, op, e
+                    ),
+                    (want, got) => prop_assert!(
+                        false,
+                        "{} {:?}: model {:?} vs client {:?}",
+                        setup.policy, op, want.map(|v| v.len()), got.map(|v| v.len())
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stat_agrees_with_the_local_manifest(_seed in any::<u64>()) {
+        for setup in setups() {
+            let mut client = AtcClient::connect(setup.addr).unwrap();
+            let stat = client.stat().unwrap();
+            prop_assert_eq!(stat.count, setup.merged.len() as u64);
+            prop_assert_eq!(stat.shard_counts.len(), 3);
+            let sub_total: u64 = setup.shards.iter().map(|s| s.len() as u64).sum();
+            prop_assert_eq!(stat.shard_counts.iter().sum::<u64>(), sub_total);
+            prop_assert!(stat.exact_merge);
+        }
+    }
+}

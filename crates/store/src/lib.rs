@@ -69,8 +69,10 @@
 
 mod policy;
 mod reader;
+mod service;
 mod writer;
 
 pub use policy::ShardPolicy;
 pub use reader::StoreReader;
+pub use service::StoreService;
 pub use writer::{AtcStore, StoreOptions, StoreStats};

@@ -25,6 +25,13 @@
 //! # manifest + per-shard summary (add --threads N for a verification
 //! # drain with engine/worker counters):
 //! atcstore stat store.atc --threads 4
+//!
+//! # the same random-access window, but served by a remote `atcd`
+//! # daemon instead of a local directory (see `examples/atcd.rs`):
+//! atcstore fetch --addr 127.0.0.1:9409 --range 1000000..1001000 > window.bin
+//!
+//! # one shard's sub-stream from value offset 5000 onward, remotely:
+//! atcstore fetch --addr 127.0.0.1:9409 --shard 2 --from 5000 > tail.bin
 //! ```
 //!
 //! `pack` and `unpack` with `--threads N` run their work on a private
@@ -38,6 +45,7 @@ use atc::cache::SegmentCache;
 use atc::core::format::shard_dir_name;
 use atc::core::{AtcOptions, AtcReader, LossyConfig, Mode, ReadOptions};
 use atc::engine::{Engine, EngineStats};
+use atc::net::AtcClient;
 use atc::store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
 
 #[path = "cli_util/mod.rs"]
@@ -47,7 +55,8 @@ use cli_util::positional;
 const USAGE: &str = "usage: atcstore <pack|unpack|read|stat> <root> \
     [--shards N] [--policy round-robin|addr-range:SHIFT] \
     [--lossless] [--interval N] [--buffer N] [--codec NAME] [--threads N] [--shard I] \
-    [--range A..B]";
+    [--range A..B] \
+    | atcstore fetch --addr HOST:PORT (--range A..B | --shard I [--from N])";
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,8 +69,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         "--threads",
         "--shard",
         "--range",
+        "--addr",
+        "--from",
     ];
     let command = positional(&args, &value_flags).ok_or(USAGE)?.clone();
+    if command == "fetch" {
+        // Remote verb: talks to an `atcd` daemon, takes no store root.
+        return fetch(&args);
+    }
     let rest: Vec<String> = args
         .iter()
         .skip_while(|a| **a != command)
@@ -285,5 +300,60 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         _ => return Err(USAGE.into()),
     }
+    Ok(())
+}
+
+/// `atcstore fetch`: the `read`/`unpack --shard` verbs, served by a
+/// remote `atcd` instead of a local directory. Output is the same LE
+/// 64-bit stream, so local and remote reads `cmp` byte-identical.
+fn fetch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let get_val = |key: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+    };
+    let addr = get_val("--addr").ok_or("fetch needs --addr HOST:PORT")?;
+    let mut client = AtcClient::connect(addr.as_str())?;
+    let values = if let Some(range_arg) = get_val("--range") {
+        let (a, b) = range_arg
+            .split_once("..")
+            .ok_or("--range takes A..B, e.g. --range 1000..2000")?;
+        let start: u64 = a.parse().map_err(|_| "--range start is not a number")?;
+        let end: u64 = b.parse().map_err(|_| "--range end is not a number")?;
+        let values = client.read_range(start..end)?;
+        eprintln!(
+            "fetched {} addresses from {start}..{end} at {addr}",
+            values.len()
+        );
+        values
+    } else if let Some(shard_arg) = get_val("--shard") {
+        let shard: u32 = shard_arg.parse().map_err(|_| "--shard takes an index")?;
+        let from: u64 = match get_val("--from") {
+            Some(v) => v.parse().map_err(|_| "--from takes a value offset")?,
+            None => 0,
+        };
+        let values = client.stream_shard(shard, from)?;
+        eprintln!(
+            "fetched {} addresses of shard {shard} from offset {from} at {addr}",
+            values.len()
+        );
+        values
+    } else {
+        return Err("fetch needs --range A..B or --shard I [--from N]".into());
+    };
+    let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+    for v in &values {
+        stdout.write_all(&v.to_le_bytes())?;
+    }
+    stdout.flush()?;
+    let stat = client.stat()?;
+    eprintln!(
+        "server: {} addresses over {} shards ({}), cache {} hits / {} misses",
+        stat.count,
+        stat.shard_counts.len(),
+        stat.policy,
+        stat.cache_hits,
+        stat.cache_misses
+    );
     Ok(())
 }

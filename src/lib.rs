@@ -27,6 +27,9 @@
 //!   runtime every parallel layer (codec segments, readahead decode,
 //!   multi-block Bzip, lossy classification/chunks, all store shards)
 //!   submits its tasks to.
+//! * [`net`] (`atc-net`) — the trace service: the `atcd` daemon serving
+//!   packed store roots to many clients over TCP, and the blocking
+//!   client.
 //!
 //! # Quick start
 //!
@@ -61,6 +64,7 @@ pub use atc_cache as cache;
 pub use atc_codec as codec;
 pub use atc_core as core;
 pub use atc_engine as engine;
+pub use atc_net as net;
 pub use atc_prefetch as prefetch;
 pub use atc_store as store;
 pub use atc_tcgen as tcgen;
