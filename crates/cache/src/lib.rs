@@ -15,6 +15,14 @@
 //!   segments that the random-access read path shares across concurrent
 //!   readers of a hot trace.
 //!
+//! The filter front end is the ingest bottleneck (every raw access goes
+//! through it before the codec sees anything), so it has a batched fast
+//! path ([`CacheFilter::filter_batch`]) and a set-partitioned parallel
+//! form ([`ParallelCacheFilter`], [`ParallelStackSim`]) that shards the
+//! independent cache sets across `atc-engine` workers while keeping the
+//! output byte-identical to the serial filter. See
+//! `docs/ARCHITECTURE.md`, "Filter front end".
+//!
 //! # Examples
 //!
 //! ```
@@ -30,14 +38,18 @@
 //! assert_eq!(curve.len(), 8);
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 mod filter;
+mod par;
 mod segment;
 mod stack;
 
 pub use cache::{AccessResult, Cache, CacheConfig};
 pub use filter::{block_of, filtered_trace, is_writeback, CacheFilter, Filtered, WRITEBACK_BIT};
+pub use par::ParallelCacheFilter;
 pub use segment::{
     trace_id, SegmentCache, SegmentCacheStats, SegmentKey, DEFAULT_SEGMENT_CACHE_BYTES,
 };
-pub use stack::StackSim;
+pub use stack::{ParallelStackSim, StackSim};

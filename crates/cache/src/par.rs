@@ -1,0 +1,348 @@
+//! Set-partitioned parallel cache filtering.
+//!
+//! Cache sets are independent: an access to set `s` never reads or
+//! writes the state of any other set. The parallel filter exploits this
+//! by giving each engine worker a *partition* of the set index space —
+//! worker `p` of `P` owns the contiguous set range
+//! `{s : (s * P) >> log2(sets) == p}` of both the instruction and the
+//! data cache. Every worker scans the whole access batch, simulates only
+//! the accesses that land in its own sets (in stream order, which is the
+//! serial per-set order), and records a per-access *verdict* — hit or
+//! miss, plus the evicted dirty block if any — into a slot keyed by the
+//! access's stream index. The coordinator then replays the verdicts in
+//! stream index order to reassemble the filtered trace, so the output is
+//! byte-identical to the serial [`CacheFilter`] at every partition
+//! count (pinned by differential proptests).
+//!
+//! The verdict slots are relaxed atomics: disjointness (each index is
+//! written by exactly one worker — the owner of its set) makes any
+//! ordering sufficient, and the [`atc_engine::Engine::scope`] join
+//! provides the happens-before edge for the coordinator's reads.
+//!
+//! [`CacheFilter`]: crate::CacheFilter
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use atc_engine::Engine;
+use atc_trace::{Access, AccessKind};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::filter::WRITEBACK_BIT;
+
+/// Verdict bit: the access missed (its block address joins the trace).
+const MISS: u64 = 1 << 63;
+/// Verdict bit: the miss evicted a dirty line whose block address is in
+/// the low bits (only ever set together with [`MISS`]).
+const HAS_WB: u64 = 1 << 62;
+/// Low-bit mask holding the written-back block address. Block addresses
+/// of 64-bit byte addresses occupy at most 58 bits, the same headroom
+/// [`WRITEBACK_BIT`] tagging already relies on.
+const WB_MASK: u64 = (1 << 59) - 1;
+
+/// One worker's private simulation state: full-size instruction and data
+/// caches of which only the partition's own sets are ever touched. The
+/// untouched sets cost a few KiB of zeros each — the paper's L1 pair is
+/// 6 KiB of state — and buy direct set indexing with no remapping.
+#[derive(Debug, Clone)]
+struct Partition {
+    icache: Cache,
+    dcache: Cache,
+}
+
+impl Partition {
+    /// Simulates partition `p` of `parts` over the whole batch, writing
+    /// one verdict per owned access into `slots`.
+    fn run(&mut self, p: usize, parts: usize, accesses: &[Access], slots: &[AtomicU64]) {
+        let ishift = self.icache.config().block_shift;
+        let dshift = self.dcache.config().block_shift;
+        let imask = self.icache.config().sets - 1;
+        let dmask = self.dcache.config().sets - 1;
+        let ilog = self.icache.config().sets.trailing_zeros();
+        let dlog = self.dcache.config().sets.trailing_zeros();
+        for (i, a) in accesses.iter().enumerate() {
+            let (cache, is_write, shift, mask, log) = match a.kind {
+                AccessKind::InstrFetch => (&mut self.icache, false, ishift, imask, ilog),
+                AccessKind::DataRead => (&mut self.dcache, false, dshift, dmask, dlog),
+                AccessKind::DataWrite => (&mut self.dcache, true, dshift, dmask, dlog),
+            };
+            let block = a.addr >> shift;
+            let set = (block as usize) & mask;
+            // Contiguous range partitioning without a division: set
+            // counts are powers of two, so `(set * parts) >> log2(sets)`
+            // maps sets onto 0..parts near-evenly.
+            if (set * parts) >> log != p {
+                continue;
+            }
+            let r = cache.access(block, is_write);
+            let mut v = 0u64;
+            if !r.hit {
+                v = MISS;
+                if let Some(wb) = r.writeback {
+                    debug_assert_eq!(wb & !WB_MASK, 0, "block address exceeds 59 bits");
+                    v |= HAS_WB | (wb & WB_MASK);
+                }
+            }
+            slots[i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Set-partitioned parallel version of [`CacheFilter`]: filters access
+/// batches across engine workers with output byte-identical to the
+/// serial filter.
+///
+/// With `partitions == 1` (or a single-worker engine) the filter runs
+/// inline on the calling thread with no verdict pass at all, so the
+/// degenerate configuration costs nothing over [`CacheFilter`].
+///
+/// # Examples
+///
+/// ```
+/// use atc_cache::{CacheFilter, ParallelCacheFilter};
+/// use atc_engine::Engine;
+/// use atc_trace::Access;
+///
+/// let accesses: Vec<Access> = (0..10_000).map(|i| Access::read(i * 64)).collect();
+///
+/// let mut serial = CacheFilter::paper();
+/// let mut want = Vec::new();
+/// serial.filter_batch(&accesses, &mut want);
+///
+/// let mut par = ParallelCacheFilter::paper(Engine::new(4), 4);
+/// let mut got = Vec::new();
+/// par.filter_batch(&accesses, &mut got);
+/// assert_eq!(got, want);
+/// ```
+///
+/// [`CacheFilter`]: crate::CacheFilter
+#[derive(Debug)]
+pub struct ParallelCacheFilter {
+    engine: Engine,
+    parts: Vec<Partition>,
+    emit_writebacks: bool,
+    /// Reused verdict scratch, grown to the largest batch seen.
+    slots: Vec<AtomicU64>,
+}
+
+impl ParallelCacheFilter {
+    /// Creates a parallel filter over custom geometries, sharded into
+    /// `partitions` set-partitions run on `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is 0 or exceeds the smaller cache's set
+    /// count (a partition must own at least one set of each cache).
+    pub fn new(icfg: CacheConfig, dcfg: CacheConfig, engine: Engine, partitions: usize) -> Self {
+        assert!(partitions > 0, "partitions must be positive");
+        assert!(
+            partitions <= icfg.sets.min(dcfg.sets),
+            "{partitions} partitions over {}/{} sets leaves empty partitions",
+            icfg.sets,
+            dcfg.sets
+        );
+        Self {
+            engine,
+            parts: (0..partitions)
+                .map(|_| Partition {
+                    icache: Cache::new(icfg),
+                    dcache: Cache::new(dcfg),
+                })
+                .collect(),
+            emit_writebacks: false,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration (32 KB 4-way LRU L1I + L1D), demand
+    /// misses only.
+    pub fn paper(engine: Engine, partitions: usize) -> Self {
+        Self::new(
+            CacheConfig::paper_l1(),
+            CacheConfig::paper_l1(),
+            engine,
+            partitions,
+        )
+    }
+
+    /// Same geometry, with dirty evictions emitted as tagged write-back
+    /// records.
+    pub fn paper_with_writebacks(engine: Engine, partitions: usize) -> Self {
+        let mut f = Self::paper(engine, partitions);
+        f.emit_writebacks = true;
+        f
+    }
+
+    /// Enables or disables tagged write-back emission.
+    pub fn set_emit_writebacks(&mut self, enable: bool) {
+        self.emit_writebacks = enable;
+    }
+
+    /// Number of set-partitions (parallel workers the batch fans out to).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Filters a batch of accesses, appending the surviving trace
+    /// records to `out` in exact access order — byte-identical to
+    /// [`CacheFilter::filter_batch`] over the same stream, at every
+    /// partition count.
+    ///
+    /// [`CacheFilter::filter_batch`]: crate::CacheFilter::filter_batch
+    pub fn filter_batch(&mut self, accesses: &[Access], out: &mut Vec<u64>) {
+        let parts = self.parts.len();
+        if parts == 1 {
+            // Degenerate: simulate directly into `out`, skipping the
+            // verdict array entirely.
+            let emit = self.emit_writebacks;
+            let part = &mut self.parts[0];
+            for a in accesses {
+                let (cache, is_write) = match a.kind {
+                    AccessKind::InstrFetch => (&mut part.icache, false),
+                    AccessKind::DataRead => (&mut part.dcache, false),
+                    AccessKind::DataWrite => (&mut part.dcache, true),
+                };
+                let block = a.addr >> cache.config().block_shift;
+                let r = cache.access(block, is_write);
+                if !r.hit {
+                    out.push(block);
+                    if emit {
+                        if let Some(wb) = r.writeback {
+                            out.push(wb | WRITEBACK_BIT);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if self.slots.len() < accesses.len() {
+            self.slots.resize_with(accesses.len(), || AtomicU64::new(0));
+        }
+        let slots = &self.slots[..accesses.len()];
+        let engine = self.engine.clone();
+        engine.scope(|s| {
+            for (p, part) in self.parts.iter_mut().enumerate() {
+                s.spawn(move || part.run(p, parts, accesses, slots));
+            }
+        });
+        // Reassembly: replay the verdicts in stream-index order. The
+        // demand-miss block address is recomputed from the access (it
+        // never fit the verdict word next to the write-back address).
+        let emit = self.emit_writebacks;
+        let ishift = self.parts[0].icache.config().block_shift;
+        let dshift = self.parts[0].dcache.config().block_shift;
+        for (a, slot) in accesses.iter().zip(slots) {
+            let v = slot.load(Ordering::Relaxed);
+            if v & MISS != 0 {
+                let shift = match a.kind {
+                    AccessKind::InstrFetch => ishift,
+                    _ => dshift,
+                };
+                out.push(a.addr >> shift);
+                if emit && v & HAS_WB != 0 {
+                    out.push((v & WB_MASK) | WRITEBACK_BIT);
+                }
+            }
+        }
+    }
+
+    /// Combined demand-miss count so far (summed over partitions).
+    pub fn misses(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.icache.misses() + p.dcache.misses())
+            .sum()
+    }
+
+    /// Combined access count so far.
+    pub fn accesses(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.icache.hits() + p.icache.misses() + p.dcache.hits() + p.dcache.misses())
+            .sum()
+    }
+
+    /// Data-cache write-backs so far (counted even when not emitted).
+    pub fn writebacks(&self) -> u64 {
+        self.parts.iter().map(|p| p.dcache.writebacks()).sum()
+    }
+
+    /// Overall miss (filter-pass) ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::CacheFilter;
+
+    fn pseudo_accesses(n: usize, span_blocks: u64, seed: u64) -> Vec<Access> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = (x >> 33) % (span_blocks * 64);
+                match x % 4 {
+                    0 => Access::fetch(addr),
+                    1 | 2 => Access::read(addr),
+                    _ => Access::write(addr),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_filter_at_every_partition_count() {
+        let accesses = pseudo_accesses(30_000, 4096, 42);
+        for emit in [false, true] {
+            let mut serial = CacheFilter::paper();
+            serial.set_emit_writebacks(emit);
+            let mut want = Vec::new();
+            serial.filter_batch(&accesses, &mut want);
+            for partitions in [1usize, 2, 3, 8] {
+                let engine = Engine::new(2);
+                let mut par = ParallelCacheFilter::paper(engine, partitions);
+                par.set_emit_writebacks(emit);
+                let mut got = Vec::new();
+                // Uneven batches: partition state must carry across.
+                for chunk in accesses.chunks(7001) {
+                    par.filter_batch(chunk, &mut got);
+                }
+                assert_eq!(got, want, "partitions={partitions} emit={emit}");
+                assert_eq!(par.misses(), serial.misses());
+                assert_eq!(par.writebacks(), serial.writebacks());
+                assert_eq!(par.accesses(), serial.accesses());
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_never_touches_the_engine() {
+        let engine = Engine::new(1);
+        let accesses = pseudo_accesses(1000, 64, 7);
+        let mut par = ParallelCacheFilter::paper(engine.clone(), 1);
+        let mut out = Vec::new();
+        par.filter_batch(&accesses, &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(engine.stats().submitted, 0, "inline path must not spawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partitions")]
+    fn more_partitions_than_sets_is_rejected() {
+        let tiny = CacheConfig {
+            sets: 2,
+            ways: 1,
+            block_shift: 6,
+        };
+        let _ = ParallelCacheFilter::new(tiny, tiny, Engine::new(1), 4);
+    }
+}

@@ -51,16 +51,20 @@ use atc::store::{AtcStore, ShardPolicy, StoreOptions, StoreReader};
 #[path = "cli_util/mod.rs"]
 mod cli_util;
 use cli_util::positional;
+#[path = "cli_util/filter.rs"]
+mod cli_filter;
+use cli_filter::FilterOptions;
 
 const USAGE: &str = "usage: atcstore <pack|unpack|read|stat> <root> \
     [--shards N] [--policy round-robin|addr-range:SHIFT] \
     [--lossless] [--interval N] [--buffer N] [--codec NAME] [--threads N] [--shard I] \
+    [--filter] [--filter-threads N] [--filter-writebacks] \
     [--range A..B] \
     | atcstore fetch --addr HOST:PORT (--range A..B | --shard I [--from N])";
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_flags = [
+    let mut value_flags = vec![
         "--shards",
         "--policy",
         "--interval",
@@ -72,6 +76,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "--addr",
         "--from",
     ];
+    value_flags.extend_from_slice(FilterOptions::VALUE_FLAGS);
     let command = positional(&args, &value_flags).ok_or(USAGE)?.clone();
     if command == "fetch" {
         // Remote verb: talks to an `atcd` daemon, takes no store root.
@@ -162,13 +167,22 @@ fn main() -> Result<(), Box<dyn Error>> {
                 Some(e) => AtcStore::create_with_engine(&root, mode, store_options, e.clone())?,
                 None => AtcStore::create(&root, mode, store_options)?,
             };
-            let mut stdin = std::io::stdin().lock();
-            let mut buf = [0u8; 8];
-            loop {
-                match stdin.read_exact(&mut buf) {
-                    Ok(()) => store.code(u64::from_le_bytes(buf))?,
-                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                    Err(e) => return Err(e.into()),
+            let filter = FilterOptions::parse(&args);
+            if filter.enabled {
+                // Filtered ingest: only L1-missing block addresses (and
+                // tagged write-backs, if enabled) reach the shards.
+                cli_filter::run(&filter, |values| {
+                    store.code_all(values.iter().copied()).map_err(Into::into)
+                })?;
+            } else {
+                let mut stdin = std::io::stdin().lock();
+                let mut buf = [0u8; 8];
+                loop {
+                    match stdin.read_exact(&mut buf) {
+                        Ok(()) => store.code(u64::from_le_bytes(buf))?,
+                        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                        Err(e) => return Err(e.into()),
+                    }
                 }
             }
             let stats = store.finish()?;

@@ -7,6 +7,11 @@
 //!
 //! # lossless ('c' mode):
 //! cat trace.bin | cargo run --release --example bin2atc -- foobar --lossless
+//!
+//! # L1-filter the raw addresses first (the paper's trace collection,
+//! # §4.2) with 4 set-partitioned filter workers:
+//! cat accesses.bin | cargo run --release --example bin2atc -- foobar \
+//!     --lossless --filter --filter-threads 4
 //! ```
 
 use std::error::Error;
@@ -17,12 +22,17 @@ use atc::core::{AtcOptions, AtcWriter, LossyConfig, Mode};
 #[path = "cli_util/mod.rs"]
 mod cli_util;
 use cli_util::positional;
+#[path = "cli_util/filter.rs"]
+mod cli_filter;
+use cli_filter::FilterOptions;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = positional(&args, &["--interval", "--buffer", "--codec", "--threads"]).ok_or(
+    let mut value_flags = vec!["--interval", "--buffer", "--codec", "--threads"];
+    value_flags.extend_from_slice(FilterOptions::VALUE_FLAGS);
+    let dir = positional(&args, &value_flags).ok_or(
         "usage: bin2atc <dir> [--lossless] [--interval N] [--buffer N] [--codec NAME] \
-             [--threads N]",
+             [--threads N] [--filter] [--filter-threads N] [--filter-writebacks]",
     )?;
     let lossless = args.iter().any(|a| a == "--lossless");
     let get = |key: &str, default: usize| -> usize {
@@ -60,14 +70,23 @@ fn main() -> Result<(), Box<dyn Error>> {
         },
     )?;
 
-    // The Figure 6 loop: fread 8 bytes at a time, atc_code each value.
-    let mut stdin = std::io::stdin().lock();
-    let mut buf = [0u8; 8];
-    loop {
-        match stdin.read_exact(&mut buf) {
-            Ok(()) => w.code(u64::from_le_bytes(buf))?,
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
+    let filter = FilterOptions::parse(&args);
+    if filter.enabled {
+        // Filtered ingest: stdin values are raw byte addresses; only the
+        // L1-missing block addresses reach the compressor, in blocks.
+        cli_filter::run(&filter, |values| {
+            w.code_all(values.iter().copied()).map_err(Into::into)
+        })?;
+    } else {
+        // The Figure 6 loop: fread 8 bytes at a time, atc_code each value.
+        let mut stdin = std::io::stdin().lock();
+        let mut buf = [0u8; 8];
+        loop {
+            match stdin.read_exact(&mut buf) {
+                Ok(()) => w.code(u64::from_le_bytes(buf))?,
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
         }
     }
     let stats = w.finish()?;
