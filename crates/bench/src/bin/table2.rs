@@ -39,6 +39,8 @@ impl TimingCodec {
     }
 
     fn take(&self) -> Duration {
+        // ordering: Relaxed — single-purpose timing accumulator, read
+        // after the measured work completes on this thread.
         Duration::from_nanos(self.decompress_nanos.swap(0, Ordering::Relaxed))
     }
 }
@@ -56,6 +58,8 @@ impl Codec for TimingCodec {
         let t0 = Instant::now();
         let out = self.inner.decompress(data);
         self.decompress_nanos
+            // ordering: Relaxed — timing accumulator; the engine's task
+            // handshake publishes it before `take` runs.
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
     }

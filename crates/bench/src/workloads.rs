@@ -1,6 +1,11 @@
 //! Shared experiment plumbing: trace production, transform+codec pipelines,
 //! and a tiny CLI-flag parser used by every experiment binary.
 
+// atclint: file-allow(library-unwrap) -- bench harness: experiment setup
+// failure (temp dirs, roundtrips of freshly written traces) has no
+// recovery story; fail fast with a message beats threading Result
+// through every table generator.
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -254,6 +259,8 @@ pub fn lossy_roundtrip(
 ) -> (Vec<u64>, atc_core::AtcStats) {
     use atc_core::{AtcOptions, AtcReader, AtcWriter, LossyConfig, Mode};
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    // ordering: Relaxed — the counter only needs uniqueness (atomic
+    // RMW), not ordering with any other memory.
     let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!("atc-lossy-roundtrip-{}-{id}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

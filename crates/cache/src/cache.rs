@@ -263,7 +263,10 @@ impl Cache {
         *clock += 1;
         let stamp = *clock;
         // `try_into` is a length-checked cast to a fixed-size array view.
+        // atclint: allow(library-unwrap) -- infallible: the slice is
+        // exactly W elements by construction of the range.
         let tags: &[u64; W] = self.tags[base..base + W].try_into().expect("ways");
+        // atclint: allow(library-unwrap) -- infallible: ditto.
         let stamps: &[u64; W] = self.stamps[base..base + W].try_into().expect("ways");
         let verdict = probe::<W>(tags, stamps, block);
         self.finish(W, base, verdict, block, stamp, is_write)

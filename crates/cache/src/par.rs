@@ -82,6 +82,10 @@ impl Partition {
                     v |= HAS_WB | (wb & WB_MASK);
                 }
             }
+            // ordering: Relaxed — each slot is written by exactly one
+            // partition worker; the engine's task-completion handshake
+            // (Release on finish, Acquire in the wait) publishes every
+            // store before the collector reads a single verdict.
             slots[i].store(v, Ordering::Relaxed);
         }
     }
@@ -231,6 +235,9 @@ impl ParallelCacheFilter {
         let ishift = self.parts[0].icache.config().block_shift;
         let dshift = self.parts[0].dcache.config().block_shift;
         for (a, slot) in accesses.iter().zip(slots) {
+            // ordering: Relaxed — runs strictly after the engine-side
+            // wait for all partition tasks, whose Acquire edge made every
+            // worker's Relaxed store visible (see the store above).
             let v = slot.load(Ordering::Relaxed);
             if v & MISS != 0 {
                 let shift = match a.kind {

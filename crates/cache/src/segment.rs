@@ -142,11 +142,13 @@ impl SegmentCache {
                 let bytes = Arc::clone(&entry.1);
                 entries.push(entry);
                 drop(entries);
+                // ordering: Relaxed — observability counter only.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(bytes)
             }
             None => {
                 drop(entries);
+                // ordering: Relaxed — observability counter only.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -175,6 +177,7 @@ impl SegmentCache {
         while self.budget.in_use() + len > self.budget.cap() {
             let (_, evicted) = entries.remove(0);
             self.budget.release(evicted.len() as u64);
+            // ordering: Relaxed — observability counter only.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.budget.acquire(len);
@@ -192,6 +195,8 @@ impl SegmentCache {
     /// Current counter snapshot.
     pub fn stats(&self) -> SegmentCacheStats {
         SegmentCacheStats {
+            // ordering: Relaxed — monotonic counters; a snapshot needs
+            // no cross-counter consistency. (All three loads below.)
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),

@@ -93,7 +93,7 @@ impl GlobalClockLru {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 8 }))]
 
     /// Parallel filter == serial filter, byte for byte, over workers
     /// {1, 2, 8} × ways {1, 2, 8} × write-back emission on/off, with the

@@ -196,9 +196,13 @@ impl Bzip {
         }
         let payload = bits.into_bytes();
 
+        // atclint: allow(library-unwrap) -- infallible: io::Write on a
+        // Vec<u8> never errors (all three varint writes below).
         varint::write_u64(out, data.len() as u64).expect("vec write");
         out.extend_from_slice(&crc.to_le_bytes());
+        // atclint: allow(library-unwrap) -- infallible: vec write.
         varint::write_u64(out, primary as u64).expect("vec write");
+        // atclint: allow(library-unwrap) -- infallible: vec write.
         varint::write_u64(out, payload.len() as u64).expect("vec write");
         out.extend_from_slice(&payload);
     }
@@ -219,6 +223,8 @@ impl Bzip {
         if cursor.len() < 4 {
             return Err(CodecError::Truncated);
         }
+        // atclint: allow(library-unwrap) -- infallible: the length check
+        // above guarantees at least 4 bytes remain.
         let crc = u32::from_le_bytes(cursor[..4].try_into().expect("4 bytes"));
         *cursor = &cursor[4..];
         let primary = varint::read_u64(cursor).map_err(|_| CodecError::Truncated)?;

@@ -175,6 +175,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 64 }))]
         /// Differential: slice-by-8 is byte-identical to the scalar
         /// reference on arbitrary inputs (incl. unaligned splits).
         #[test]

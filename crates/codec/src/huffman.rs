@@ -86,7 +86,10 @@ fn unbounded_code_lengths(freqs: &[u64]) -> Vec<u32> {
         used.iter().map(|&i| Reverse((freqs[i], i))).collect();
     let mut next = n;
     while heap.len() > 1 {
+        // atclint: allow(library-unwrap) -- infallible: the loop guard
+        // holds the heap at >= 2 items for both pops.
         let Reverse((fa, a)) = heap.pop().expect("heap has >= 2 items");
+        // atclint: allow(library-unwrap) -- infallible: ditto.
         let Reverse((fb, b)) = heap.pop().expect("heap has >= 2 items");
         parent[a] = next;
         parent[b] = next;

@@ -261,6 +261,9 @@ impl Lz {
                         bits.write_bits((len - LEN_BASE[lc]) as u64, LEN_EXTRA[lc]);
                     }
                     let dc = dist_code(dist);
+                    // atclint: allow(library-unwrap) -- infallible: the
+                    // table is built whenever the token stream holds at
+                    // least one match, and this arm only runs on matches.
                     let de = dist_enc.as_ref().expect("matches imply dist table");
                     de.encode(&mut bits, dc);
                     if DIST_EXTRA[dc] > 0 {
@@ -272,8 +275,11 @@ impl Lz {
         lit_enc.encode(&mut bits, EOB_SYM);
         let payload = bits.into_bytes();
 
+        // atclint: allow(library-unwrap) -- infallible: io::Write on a
+        // Vec<u8> never errors (both varint writes below).
         varint::write_u64(out, data.len() as u64).expect("vec write");
         out.extend_from_slice(&crc.to_le_bytes());
+        // atclint: allow(library-unwrap) -- infallible: vec write.
         varint::write_u64(out, payload.len() as u64).expect("vec write");
         out.extend_from_slice(&payload);
     }
@@ -283,6 +289,8 @@ impl Lz {
         if cursor.len() < 4 {
             return Err(CodecError::Truncated);
         }
+        // atclint: allow(library-unwrap) -- infallible: the length check
+        // above guarantees at least 4 bytes remain.
         let crc = u32::from_le_bytes(cursor[..4].try_into().expect("4 bytes"));
         *cursor = &cursor[4..];
         let payload_len = varint::read_u64(cursor).map_err(|_| CodecError::Truncated)? as usize;

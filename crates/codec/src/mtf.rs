@@ -149,6 +149,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 64 }))]
         /// Differential: the SWAR encoder is byte-identical to the scalar
         /// reference (incl. lengths 0/1/odd, repeated symbols).
         #[test]

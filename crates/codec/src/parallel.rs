@@ -140,6 +140,12 @@ impl ByteBudget {
         debug_assert!(s.in_use >= n, "budget release exceeds acquires");
         s.in_use = s.in_use.saturating_sub(n);
         drop(s);
+        // lock-held: not required here — `in_use` was decremented under
+        // the `state` mutex above, so a blocked `acquire` is either
+        // already in `wait` (and receives this notify) or has yet to
+        // take the lock (and will see the new budget when it does);
+        // notifying after the drop just spares the woken thread an
+        // immediate block on a still-held mutex.
         self.freed.notify_all();
     }
 
@@ -447,6 +453,10 @@ impl<W: Write> ParallelCodecWriter<W> {
                     let raw_len = self
                         .raw_lens
                         .remove(&self.next_write)
+                        // atclint: allow(library-unwrap) -- infallible: the
+                        // submit path inserts into raw_lens under the same seq
+                        // it sends to the engine, before in_flight is bumped,
+                        // and each seq drains here exactly once.
                         .expect("every submitted segment recorded its raw length");
                     self.segments.push(SegmentRecord {
                         file_offset,
@@ -489,6 +499,9 @@ impl<W: Write> ParallelCodecWriter<W> {
 
     /// Receives one completed segment from the engine, blocking.
     fn recv_one(&mut self) -> io::Result<()> {
+        // atclint: allow(library-unwrap) -- infallible: recv_one is only
+        // reached with in_flight > 0, and segments are only put in flight
+        // through the pool-holding submit path.
         let pool = self.pool.as_ref().expect("recv_one requires a pool");
         match pool.results.recv() {
             Ok((seq, raw, result)) => {
@@ -555,6 +568,8 @@ impl<W: Write> ParallelCodecWriter<W> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.raw_lens.insert(seq, raw_len);
+        // atclint: allow(library-unwrap) -- infallible: this function's
+        // serial fallback returned already when self.pool is None.
         let pool = self.pool.as_ref().expect("pool checked above");
         let tx = pool.tx.clone();
         let codec = Arc::clone(&self.codec);
@@ -589,6 +604,8 @@ impl<W: Write> ParallelCodecWriter<W> {
         while let Ok((seq, raw, result)) = self
             .pool
             .as_ref()
+            // atclint: allow(library-unwrap) -- infallible: same
+            // pool-is-Some branch as the submit a few lines up.
             .expect("pool checked above")
             .results
             .try_recv()
@@ -688,9 +705,12 @@ impl BufPool {
     }
 
     fn get(&self) -> Vec<u8> {
+        // A poisoner can only have been mid `push`/`pop` on the Vec,
+        // which never leaves it torn — recycle through the poison
+        // rather than cascading the panic into every other reader.
         self.bufs
             .lock()
-            .expect("buffer pool poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .pop()
             .unwrap_or_default()
     }
@@ -700,7 +720,7 @@ impl BufPool {
             return;
         }
         buf.clear();
-        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        let mut bufs = self.bufs.lock().unwrap_or_else(|e| e.into_inner());
         if bufs.len() < self.cap {
             bufs.push(buf);
         }
@@ -739,6 +759,10 @@ impl Gate {
     fn acquire(&self, dead: &AtomicBool) -> bool {
         let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
         loop {
+            // ordering: Relaxed — `dead` is a monotonic poll flag; the
+            // `count` mutex (held across this check) plus `cancel`'s
+            // locked notify already order the store against this load,
+            // so the atomic needs no ordering of its own.
             if dead.load(Ordering::Relaxed) {
                 return false;
             }
@@ -754,16 +778,21 @@ impl Gate {
         let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
         *n -= 1;
         drop(n);
+        // lock-held: not required — the count was decremented under the
+        // `count` mutex above, so a blocked `acquire` either already
+        // waits (and gets this notify) or re-checks `*n < cap` under the
+        // lock and sees the free slot without needing it.
         self.freed.notify_one();
     }
 
     /// Wakes any blocked `acquire` so it can re-check the dead flag.
     fn cancel(&self) {
-        // Notify under the count lock: the feeder holds it from its dead
-        // check until `wait` releases it, so acquiring here means the
-        // feeder is either before the check (and will see dead) or
-        // already waiting (and gets this wakeup) — a bare notify could
-        // land in that window and be lost, hanging shutdown's join.
+        // lock-held: notify under the count lock — the feeder holds it
+        // from its dead check until `wait` releases it, so acquiring
+        // here means the feeder is either before the check (and will
+        // see dead) or already waiting (and gets this wakeup); a bare
+        // notify could land in that window and be lost, hanging
+        // shutdown's join.
         let n = self.count.lock().unwrap_or_else(|e| e.into_inner());
         self.freed.notify_all();
         drop(n);
@@ -858,6 +887,9 @@ impl ReadaheadReader {
             std::thread::Builder::new()
                 .name("atc-codec-readahead".into())
                 .spawn(move || feed(inner, codec, threads, engine, tx, out_pool, gate, dead))
+                // atclint: allow(library-unwrap) -- OS thread-spawn failure
+                // at reader construction has no fallback; the infallible
+                // constructor signature is part of the public API.
                 .expect("spawn readahead thread")
         };
         Self {
@@ -934,6 +966,9 @@ impl ReadaheadReader {
         // gate wait *before* joining the feeder, or a feeder stalled on
         // a full window (slots held by messages we will never receive)
         // would never exit.
+        // ordering: Relaxed — `cancel` takes the gate mutex after this
+        // store, and the feeder reads `dead` under that same mutex, so
+        // the lock hand-off publishes the flag; Relaxed suffices.
         self.dead.store(true, Ordering::Relaxed);
         self.gate.cancel();
         self.rx.take();
@@ -1024,6 +1059,9 @@ fn feed<R: Read>(
     // per-batch barrier, and without ever blocking an engine worker.
     let home = engine.assign_home();
     loop {
+        // ordering: Relaxed — best-effort early exit; missing one store
+        // costs at most one extra readahead frame, and the gate's mutex
+        // in `acquire` gives the authoritative, ordered check below.
         if dead.load(Ordering::Relaxed) {
             break;
         }
@@ -1083,6 +1121,9 @@ fn feed<R: Read>(
                 // Consumer is gone: tell the feeder (dead first, so the
                 // release's wakeup observes it) and hand the slot back,
                 // since no consumer will.
+                // ordering: Relaxed — `release` takes the gate mutex
+                // after this store and the feeder re-checks `dead` under
+                // that mutex, so the lock publishes the flag.
                 dead.store(true, Ordering::Relaxed);
                 gate.release();
             }

@@ -199,6 +199,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 64 }))]
         /// Differential: the word-scanning encoder emits the identical
         /// symbol stream on arbitrary (zero-heavy) inputs.
         #[test]

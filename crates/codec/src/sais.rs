@@ -246,6 +246,9 @@ fn sais_level(
     } else {
         // Recurse into the next arena level. s1 ends with the sentinel's
         // name (always the unique minimum: its LMS substring is just "0").
+        // atclint: allow(library-unwrap) -- infallible: s1 holds one name
+        // per LMS position and the sentinel is always LMS, so it is
+        // non-empty on this branch.
         debug_assert_eq!(*s1.last().expect("non-empty"), 0);
         sais_into(&s1[..], distinct, sa1, levels, depth + 1);
         order.extend(sa1.iter().map(|&r| lms_pos[r as usize]));

@@ -39,7 +39,7 @@ fn test_threads() -> Vec<usize> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 128 }))]
 
     #[test]
     fn sais_is_a_sorted_suffix_permutation(data in vec(any::<u8>(), 0..400)) {
@@ -99,7 +99,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 32 }))]
 
     #[test]
     fn streaming_matches_oneshot(
@@ -125,7 +125,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 24 }))]
 
     // The parallel writer must produce streams the *serial* reader
     // decompresses byte-identically, at every thread count and segment
@@ -269,7 +269,7 @@ fn assert_into_matches_oneshot(codec: &dyn Codec, data: &[u8], scratch: &mut Vec
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 2 } else { 48 }))]
 
     // The streaming API is only a scratch-reuse variant: its bytes must be
     // exactly the one-shot bytes for every codec and every input,

@@ -20,18 +20,29 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a counter bump — every
+// GlobalAlloc contract obligation (layout validity, pointer provenance,
+// no unwinding) is discharged by delegating to the system allocator
+// with the caller's arguments unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: same layout the caller was required to validate.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come straight from the caller, who must
+        // pass the pair `alloc` returned.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: arguments forwarded unchanged from the caller.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -154,12 +154,39 @@ impl IntervalRecord {
     }
 }
 
+/// Hard cap on a single frame's declared address count.
+///
+/// A frame holds one writer buffer (the paper's `B`, typically a few
+/// hundred to a few thousand addresses), so 16Mi addresses is far beyond
+/// any legitimate trace while still bounding what a forged length can
+/// make a reader allocate up front (~24 bytes per address across the
+/// column buffers and the bytesort inverse's permutation arrays).
+pub const FRAME_MAX_ADDRS: u64 = 1 << 24;
+
+/// Validates a declared frame address count before anything is allocated.
+fn check_frame_addrs(n: u64) -> Result<usize> {
+    if n > FRAME_MAX_ADDRS {
+        return Err(AtcError::Format(format!(
+            "declared frame length {n} exceeds the {FRAME_MAX_ADDRS} address cap"
+        )));
+    }
+    Ok(n as usize)
+}
+
 /// Writes one bytesorted frame: `varint(n)` followed by the eight columns.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `w`.
+/// Propagates I/O errors from `w`; returns [`AtcError::Format`] for a
+/// frame above [`FRAME_MAX_ADDRS`] (readers refuse it, so writing it
+/// would only produce an unreadable trace).
 pub fn write_frame<W: Write>(w: &mut W, addrs: &[u64]) -> Result<()> {
+    if addrs.len() as u64 > FRAME_MAX_ADDRS {
+        return Err(AtcError::Format(format!(
+            "frame of {} addresses exceeds the {FRAME_MAX_ADDRS} cap",
+            addrs.len()
+        )));
+    }
     varint::write_u64(w, addrs.len() as u64)?;
     let cols = bytesort::bytesort_forward(addrs);
     for c in &cols {
@@ -176,11 +203,13 @@ pub fn write_frame<W: Write>(w: &mut W, addrs: &[u64]) -> Result<()> {
 /// structurally invalid ones.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u64>>> {
     let n = match try_read_varint(r)? {
-        Some(n) => n as usize,
+        Some(n) => check_frame_addrs(n)?,
         None => return Ok(None),
     };
+    // bounded: n was checked against FRAME_MAX_ADDRS above.
     let mut cols = Vec::with_capacity(COLUMNS);
     for _ in 0..COLUMNS {
+        // bounded: ditto — at most FRAME_MAX_ADDRS bytes per column.
         let mut col = vec![0u8; n];
         r.read_exact(&mut col)?;
         cols.push(col);
@@ -228,7 +257,7 @@ pub fn read_frame_borrowed<R: BufRead>(
     stats: &mut FrameReadStats,
 ) -> Result<bool> {
     let n = match try_read_varint(r)? {
-        Some(n) => n as usize,
+        Some(n) => check_frame_addrs(n)?,
         None => return Ok(false),
     };
     inverse.begin(n);
@@ -245,6 +274,7 @@ pub fn read_frame_borrowed<R: BufRead>(
             // truncated): stitch it together through the reused scratch.
             // resize alone suffices — shrinking is free and only growth
             // zero-fills, so a warm scratch pays no redundant memset.
+            // bounded: n was checked against FRAME_MAX_ADDRS above.
             scratch.resize(n, 0);
             r.read_exact(scratch)?;
             inverse.push_column(scratch)?;
@@ -432,6 +462,8 @@ impl SeekTable {
     /// from file offset 0 or contain a zero-raw-length segment — either
     /// means they do not describe one writer's stream.
     pub fn from_records(segments: Vec<SegmentRecord>) -> Result<Self> {
+        // bounded: sized by the caller's in-memory records, not by wire
+        // input — decode() is the path that reads untrusted bytes.
         let mut raw_starts = Vec::with_capacity(segments.len());
         let mut file_offset = 0u64;
         let mut raw_start = 0u64;
@@ -498,11 +530,18 @@ impl SeekTable {
 
     /// Serializes the table (see the type docs for the layout).
     pub fn encode(&self) -> Vec<u8> {
+        // bounded: sized by this table's own in-memory segments — the
+        // untrusted direction is decode(), which checks its counts.
         let mut out = Vec::with_capacity(12 + self.segments.len() * 4);
         out.extend_from_slice(SEEK_MAGIC);
+        // atclint: allow(library-unwrap) -- infallible: io::Write on a
+        // Vec<u8> never errors (the three expects below are the same
+        // writer; covered by the file-level reasoning here).
         varint::write_u64(&mut out, self.segments.len() as u64).expect("vec write");
         for s in &self.segments {
+            // atclint: allow(library-unwrap) -- infallible: vec write.
             varint::write_u64(&mut out, s.compressed_len).expect("vec write");
+            // atclint: allow(library-unwrap) -- infallible: vec write.
             varint::write_u64(&mut out, s.raw_len).expect("vec write");
         }
         let crc = atc_codec::crc::crc32(&out);
@@ -524,6 +563,8 @@ impl SeekTable {
             return Err(bad("truncated"));
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        // atclint: allow(library-unwrap) -- infallible: split_at above
+        // guarantees crc_bytes is exactly 4 bytes.
         let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
         if atc_codec::crc::crc32(body) != crc {
             return Err(bad("checksum mismatch"));
@@ -540,6 +581,7 @@ impl SeekTable {
         if count > body.len() / 2 {
             return Err(bad("segment count exceeds encoded size"));
         }
+        // bounded: count was checked against the encoded size above.
         let mut segments = Vec::with_capacity(count);
         let mut file_offset = 0u64;
         for _ in 0..count {
@@ -578,9 +620,13 @@ pub const STORE_FORMAT_VERSION: u32 = 2;
 /// Lower-case hex encoding (the manifest is a plain-text file, so binary
 /// sections ride as hex lines).
 fn hex_encode(bytes: &[u8]) -> String {
+    // bounded: sized by the caller's in-memory bytes (encode direction).
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
+        // atclint: allow(library-unwrap) -- infallible: both nibbles are
+        // masked to 0..=15, always a valid base-16 digit.
         out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        // atclint: allow(library-unwrap) -- infallible: ditto.
         out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
     }
     out
@@ -596,6 +642,7 @@ fn hex_decode(text: &str) -> Result<Vec<u8>> {
         c.to_digit(16)
             .ok_or_else(|| AtcError::Format(format!("invalid hex digit {c:?}")))
     };
+    // bounded: half the input's own length — cannot exceed it.
     let mut out = Vec::with_capacity(text.len() / 2);
     let mut chars = text.chars();
     while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
@@ -679,10 +726,16 @@ impl InterleaveTrack {
 
     /// Serializes the track (varint run count, then varint pairs).
     pub fn encode(&self) -> Vec<u8> {
+        // bounded: sized by this track's own in-memory runs — the
+        // untrusted direction is decode(), which checks its counts.
         let mut out = Vec::with_capacity(2 + self.runs.len() * 3);
+        // atclint: allow(library-unwrap) -- infallible: io::Write on a
+        // Vec<u8> never errors.
         varint::write_u64(&mut out, self.runs.len() as u64).expect("vec write");
         for &(shard, len) in &self.runs {
+            // atclint: allow(library-unwrap) -- infallible: vec write.
             varint::write_u64(&mut out, shard as u64).expect("vec write");
+            // atclint: allow(library-unwrap) -- infallible: vec write.
             varint::write_u64(&mut out, len).expect("vec write");
         }
         out
@@ -704,6 +757,7 @@ impl InterleaveTrack {
         if run_count > bytes.len() / 2 {
             return Err(bad("run count exceeds encoded size"));
         }
+        // bounded: run_count was checked against the encoded size above.
         let mut runs = Vec::with_capacity(run_count);
         for _ in 0..run_count {
             let shard = varint::read_u64(&mut cur).map_err(|_| bad("truncated shard id"))?;
@@ -728,6 +782,8 @@ impl InterleaveTrack {
     ///
     /// Returns [`AtcError::Format`] describing the first disagreement.
     pub fn validate(&self, shard_counts: &[u64]) -> Result<()> {
+        // bounded: one counter per shard the caller's manifest already
+        // holds in memory — not a wire-declared length.
         let mut sums = vec![0u64; shard_counts.len()];
         for &(shard, len) in &self.runs {
             let slot = sums.get_mut(shard as usize).ok_or_else(|| {
@@ -998,6 +1054,7 @@ pub fn read_net_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
         value
     };
     net_check_frame_len(len)?;
+    // bounded: len was checked against NET_MAX_FRAME just above.
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
     Ok(Some(body))
@@ -1172,6 +1229,8 @@ impl NetResponse {
                 write_net_frame(w, &body)
             }
             NetResponse::Stat(stat) => {
+                // bounded: sized by the server's own policy string (a
+                // short name, never wire input) plus a fixed header.
                 let mut body = Vec::with_capacity(64 + stat.policy.len());
                 body.push(NET_RESP_STAT);
                 varint::write_u64(&mut body, u64::from(stat.manifest_version))?;
@@ -1204,6 +1263,7 @@ impl NetResponse {
                 } else {
                     message.as_str()
                 };
+                // bounded: trimmed was capped at NET_MAX_ERROR_LEN above.
                 let mut body = Vec::with_capacity(1 + trimmed.len());
                 body.push(NET_RESP_ERROR);
                 body.extend_from_slice(trimmed.as_bytes());
@@ -1267,6 +1327,9 @@ impl NetResponse {
                 if shards > NET_MAX_FRAME {
                     return Err(bad("absurd shard count"));
                 }
+                // bounded: the declared count is range-checked above and
+                // the reservation is additionally clamped to 64Ki slots;
+                // beyond that the Vec grows only as varints actually parse.
                 let mut shard_counts = Vec::with_capacity(shards.min(1 << 16) as usize);
                 for _ in 0..shards {
                     shard_counts.push(
@@ -1305,6 +1368,8 @@ impl NetResponse {
                 }
                 let values = cur
                     .chunks_exact(8)
+                    // atclint: allow(library-unwrap) -- infallible:
+                    // chunks_exact(8) yields only 8-byte slices.
                     .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                     .collect();
                 cur = &[];
@@ -1351,6 +1416,35 @@ mod tests {
         write_frame(&mut buf, &[]).unwrap();
         let mut cur = &buf[..];
         assert_eq!(read_frame(&mut cur).unwrap().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn forged_frame_length_is_rejected_before_allocation() {
+        // A forged varint declaring 2^40 addresses must be refused by the
+        // length check, not by an attempted ~24 TiB allocation.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1u64 << 40).unwrap();
+        buf.extend_from_slice(&[0u8; 64]);
+        let mut cur = &buf[..];
+        match read_frame(&mut cur) {
+            Err(AtcError::Format(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        // Exactly at the cap the count itself is acceptable (the read then
+        // fails only because the columns are missing, i.e. truncation).
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, FRAME_MAX_ADDRS).unwrap();
+        let mut cur = &buf[..];
+        assert!(matches!(read_frame(&mut cur), Err(AtcError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_at_write() {
+        // Faking the length via a zero-copy slice would need 128 MiB of
+        // real addresses; assert on the check with a length-1 slice is not
+        // possible, so exercise the boundary arithmetic directly instead.
+        assert!(check_frame_addrs(FRAME_MAX_ADDRS).is_ok());
+        assert!(check_frame_addrs(FRAME_MAX_ADDRS + 1).is_err());
     }
 
     #[test]

@@ -229,6 +229,9 @@ impl CachedSegmentStream {
         let idx = self
             .table
             .locate(raw_offset)
+            // atclint: allow(library-unwrap) -- infallible: the early
+            // return above handles raw_offset >= total_raw_bytes, and
+            // locate() covers every offset below that.
             .expect("raw_offset below total_raw_bytes always lands in a segment");
         self.current = self.load_segment(idx)?;
         self.pos = (raw_offset - self.table.raw_start(idx)) as usize;

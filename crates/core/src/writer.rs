@@ -241,6 +241,9 @@ impl LossyCore {
             // chunk of different length would change the trace length).
             Classification::NewChunk
         };
+        // atclint: allow(library-unwrap) -- infallible: `info` is Some from
+        // construction until finish() takes it, and no interval is submitted
+        // after finish.
         let info = self.info.as_mut().expect("info stream lives until finish");
         match classification {
             Classification::NewChunk => {
@@ -302,6 +305,10 @@ impl LossyShared {
             .unwrap_or_else(|e| e.into_inner())
             .record(e);
         self.queue().failed = true;
+        // lock-held: not required — `failed` was set under the queue
+        // mutex above, so a thread blocked in `changed.wait` (which
+        // re-checks under that same mutex) either receives this notify
+        // or has yet to take the lock and sees the flag directly.
         self.changed.notify_all();
     }
 
@@ -445,12 +452,19 @@ fn run_actor(
                 Some(iv) => {
                     let failed = q.failed;
                     drop(q);
+                    // lock-held: not required — the pop happened under
+                    // the queue mutex just above; producers blocked in
+                    // `changed.wait` re-check queue depth under that
+                    // same mutex, so the freed slot cannot be missed.
                     shared.changed.notify_all();
                     (iv, failed)
                 }
                 None => {
                     q.actor_live = false;
                     drop(q);
+                    // lock-held: not required — `actor_live` was cleared
+                    // under the queue mutex above; `quiesce` waits on
+                    // that flag under the same mutex.
                     shared.changed.notify_all();
                     return;
                 }
@@ -536,6 +550,9 @@ fn run_chunk(
     let mut q = shared.queue();
     q.pending_chunks -= 1;
     drop(q);
+    // lock-held: not required — the decrement happened under the queue
+    // mutex above; `quiesce` re-checks `pending_chunks` under that same
+    // mutex, so this wakeup cannot race past an unseen update.
     shared.changed.notify_all();
 }
 
@@ -852,6 +869,8 @@ impl AtcWriter {
                 interval_len, back, ..
             } => match back {
                 LossyBack::Inline(mut inline) => {
+                    // atclint: allow(library-unwrap) -- infallible: finish()
+                    // consumes self, so this take is the only one.
                     let info = inline.info.take().expect("info lives until finish");
                     info.finish()?;
                     (
@@ -872,6 +891,9 @@ impl AtcWriter {
                         .actor
                         .lock()
                         .unwrap_or_else(|e| e.into_inner());
+                    // atclint: allow(library-unwrap) -- infallible: finish()
+                    // consumes self and quiesce() stopped the actor, so this
+                    // is the only take of the actor's info stream.
                     let info = actor.info.take().expect("info lives until finish");
                     info.finish()?;
                     (

@@ -105,11 +105,17 @@ impl Buffer {
         self.mask + 1
     }
 
+    // ordering: cell loads/stores are Relaxed — a cell's contents are
+    // published to thieves by the Release store of `bottom` in `push`
+    // and *validated* by the CAS on `top` in `steal`; a stale read is
+    // discarded when that CAS fails, so the cell itself needs no
+    // ordering (it only needs to be atomic, not synchronizing).
     fn get(&self, index: isize) -> TaskPtr {
         self.cells[index as usize & self.mask].load(Ordering::Relaxed)
     }
 
     fn put(&self, index: isize, task: TaskPtr) {
+        // ordering: Relaxed — see `get` above; `push` publishes.
         self.cells[index as usize & self.mask].store(task, Ordering::Relaxed);
     }
 }
@@ -146,49 +152,68 @@ impl ChaseLev {
 
     /// Owner-only: pushes a task at the bottom.
     pub(crate) fn push(&self, task: TaskPtr) {
+        // ordering: `bottom` is Relaxed — only the owner (us) writes
+        // it, so we always see our own latest value. `top` is Acquire
+        // to observe thief CASes, giving an accurate (or conservative:
+        // `top` only grows) fullness estimate for the grow decision.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         // SAFETY: the buffer pointer is always valid — it is only
         // replaced by the owner (us) and old buffers are retired, not
         // freed.
+        // ordering: Relaxed buffer load — only the owner swaps it, so
+        // the owner always sees its own latest store.
         let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         if b - t >= buf.capacity() as isize {
             self.grow(t, b);
             buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
         buf.put(b, task);
-        // Release: a thief that acquires this `bottom` store sees the
-        // cell write above.
+        // ordering: Release — a thief that Acquire-loads this `bottom`
+        // store sees the cell write above.
         self.bottom.store(b + 1, Ordering::Release);
     }
 
     /// Owner-only: pops a task from the bottom (LIFO).
     pub(crate) fn pop(&self) -> Option<TaskPtr> {
+        // ordering: owner-only values (`bottom`, the buffer pointer)
+        // are Relaxed — we always see our own latest stores, and the
+        // SeqCst fence below orders the decrement for everyone else.
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         // SAFETY: as in `push`.
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         self.bottom.store(b, Ordering::Relaxed);
-        // The decrement of `bottom` must be globally visible before we
-        // read `top`, and a thief's CAS on `top` must be visible before
-        // it reads `bottom` — otherwise both sides could take the last
-        // element. Acquire/release cannot express this (it is a
-        // store→load ordering), hence the fence.
+        // ordering: the decrement of `bottom` must be globally visible
+        // before we read `top`, and a thief's CAS on `top` must be
+        // visible before it reads `bottom` — otherwise both sides could
+        // take the last element. Acquire/release cannot express this
+        // (it is a store→load ordering), hence the SeqCst fence; the
+        // `top` load after it can stay Relaxed.
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             if t == b {
                 // Last element: race the thieves for it via `top`.
+                // ordering: SeqCst on the CAS keeps it in the single
+                // total order with the fences, so exactly one of
+                // {owner, thief} wins the last element; the failure
+                // load is Relaxed (the value is discarded).
                 let won = self
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                // ordering: Relaxed — resetting our own `bottom`;
+                // thieves never read past `top`, which the CAS already
+                // published.
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 won.then(|| buf.get(b))
             } else {
                 Some(buf.get(b))
             }
         } else {
-            // Already empty; undo the decrement.
+            // Already empty; undo the decrement. ordering: Relaxed —
+            // owner-only value, nothing to publish (no cell was
+            // written).
             self.bottom.store(b + 1, Ordering::Relaxed);
             None
         }
@@ -196,13 +221,18 @@ impl ChaseLev {
 
     /// Any thread: attempts to steal the top (oldest) task.
     pub(crate) fn steal(&self) -> Steal {
+        // ordering: Acquire on `top` so a retry observes other thieves'
+        // claims; the SeqCst fence pairs with the fence in `pop` (see
+        // the comment there) so our `bottom` read cannot pass the
+        // owner's decrement; Acquire on `bottom` pairs with the Release
+        // store in `push` to make the pushed cell visible.
         let t = self.top.load(Ordering::Acquire);
-        // Pairs with the fence in `pop`; see the comment there.
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
-            // Acquire pairs with the release store in `grow`, so the
-            // buffer we read contains index `t` if it was ever grown.
+            // ordering: Acquire pairs with the Release buffer store in
+            // `grow`, so the buffer we read contains index `t` if it
+            // was ever grown.
             // SAFETY: buffers are retired, never freed, while the deque
             // lives — this read is valid even if the owner grew the
             // buffer after we loaded the pointer.
@@ -211,6 +241,8 @@ impl ChaseLev {
             // Claim index t. Success means no other thief nor the
             // owner's last-element pop took it, so `task` is ours; on
             // failure the (possibly stale) read is discarded.
+            // ordering: SeqCst CAS — same total order as `pop`'s
+            // last-element CAS; Relaxed failure load (value unused).
             if self
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -227,15 +259,18 @@ impl ChaseLev {
 
     /// Owner-only: doubles the buffer, copying live indices `t..b`.
     fn grow(&self, t: isize, b: isize) {
+        // ordering: Relaxed — owner-only load, as in `push`.
         let old_ptr = self.buffer.load(Ordering::Relaxed);
-        // SAFETY: as in `push`.
+        // SAFETY: as in `push`; `new_ptr` is freshly allocated and
+        // unshared until the Release store below publishes it.
         let old = unsafe { &*old_ptr };
         let new_ptr = Buffer::alloc(old.capacity() * 2);
         let new = unsafe { &*new_ptr };
         for i in t..b {
             new.put(i, old.get(i));
         }
-        // Release-publish the filled buffer for thieves.
+        // ordering: Release-publish the filled buffer — a thief's
+        // Acquire load in `steal` then sees every cell copied above.
         self.buffer.store(new_ptr, Ordering::Release);
         // Thieves may still hold `old_ptr`: retire it until drop.
         // SAFETY: `retired` is owner-only and we are the owner.
@@ -254,6 +289,8 @@ impl Drop for ChaseLev {
         }
         // SAFETY: the current buffer and every retired buffer came from
         // `Buffer::alloc` and are freed exactly once, here.
+        // ordering: Relaxed — `&mut self` proves exclusive access, so
+        // there is nothing to synchronize with.
         unsafe {
             Buffer::free(self.buffer.load(Ordering::Relaxed));
             for ptr in self.retired.get_mut().drain(..) {
@@ -277,6 +314,8 @@ mod tests {
     }
 
     fn run(ptr: TaskPtr) {
+        // SAFETY: every `ptr` in these tests comes from `into_ptr` and
+        // reaches `run` exactly once (via a single pop or won steal).
         (unsafe { from_ptr(ptr) })();
     }
 

@@ -209,6 +209,9 @@ struct Shared {
 impl Shared {
     /// The published worker at `index` (< `count`).
     fn slot(&self, index: usize) -> &WorkerState {
+        // atclint: allow(library-unwrap) -- infallible: callers index
+        // below `count`, and `grow_to` sets each slot before the
+        // Release store of `count` that makes the index reachable.
         self.slots[index].get().expect("worker slot published")
     }
 
@@ -216,12 +219,17 @@ impl Shared {
     /// wakes exactly one parked worker if there is one. Lock-free unless
     /// a worker is actually asleep.
     fn signal_work(&self) {
+        // ordering: SeqCst pending increment + SeqCst sleepers load is
+        // one half of the Dekker handshake with `worker`'s park path
+        // (SeqCst sleepers increment + SeqCst pending re-check): in the
+        // single total order, either we see their sleeper registration
+        // (and notify) or they see our pending increment (and re-scan).
         self.pending.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            // Taking the mutex orders this notify against a worker
-            // mid-way into parking: it is either still before its
-            // pending re-check (and will see our increment) or already
-            // waiting (and receives the notify).
+            // lock-held: `sleep` — taking the mutex orders this notify
+            // against a worker mid-way into parking: it is either still
+            // before its pending re-check (and will see our increment)
+            // or already waiting (and receives the notify).
             let _guard = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
             self.wake.notify_one();
         }
@@ -238,10 +246,14 @@ struct ShutdownGuard {
 
 impl Drop for ShutdownGuard {
     fn drop(&mut self) {
+        // ordering: SeqCst — the shutdown flag joins the pending/
+        // sleepers total order, so a worker's final `pending == 0 &&
+        // shutdown` check cannot see a stale false for both.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Shutdown is the one broadcast: every sleeper must wake to
-        // observe the flag. Notify under the sleep mutex so a worker
-        // between its shutdown check and `wait` cannot miss it.
+        // observe the flag. lock-held: `sleep` — notifying under the
+        // mutex means a worker between its shutdown check and `wait`
+        // cannot miss it.
         {
             let _guard = self.shared.sleep.lock().unwrap_or_else(|e| e.into_inner());
             self.shared.wake.notify_all();
@@ -330,6 +342,8 @@ impl Engine {
     /// Adds workers until the engine has at least `target` of them.
     fn grow_to(&self, target: usize) {
         let target = target.min(MAX_WORKERS);
+        // ordering: Acquire pairs with the Release `count` store below,
+        // so a reader that sees index i published also sees slot i set.
         if self.shared.count.load(Ordering::Acquire) >= target {
             return;
         }
@@ -338,17 +352,23 @@ impl Engine {
             .lifecycle
             .lock()
             .unwrap_or_else(|e| e.into_inner());
+        // ordering: Acquire — re-read under the lifecycle lock (another
+        // handle may have grown the engine while we waited for it).
         let mut count = self.shared.count.load(Ordering::Acquire);
         while count < target {
             self.shared.slots[count]
                 .set(WorkerState::new())
                 .unwrap_or_else(|_| unreachable!("slot {count} published twice"));
-            // Publish the slot before any reader can compute this index.
+            // ordering: Release — publish the slot set above before any
+            // reader can compute this index from `count`.
             self.shared.count.store(count + 1, Ordering::Release);
             let shared = Arc::clone(&self.shared);
             let handle = std::thread::Builder::new()
                 .name(format!("atc-engine-{count}"))
                 .spawn(move || worker(shared, count))
+                // atclint: allow(library-unwrap) -- OS thread-spawn
+                // failure at engine construction has no fallback; the
+                // engine contract is workers exist or the process dies.
                 .expect("spawn engine worker");
             handles.push(handle);
             count += 1;
@@ -357,6 +377,7 @@ impl Engine {
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
+        // ordering: Acquire — see `grow_to`'s publication protocol.
         self.shared.count.load(Ordering::Acquire)
     }
 
@@ -366,20 +387,28 @@ impl Engine {
     /// workers steal from it, so the home is an affinity hint, never a
     /// constraint.
     pub fn assign_home(&self) -> usize {
+        // ordering: Relaxed — a round-robin ticket; only atomicity
+        // matters, no other memory rides on it.
         self.shared.next_home.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Queues `task` for `home`'s worker (modulo the worker count).
     /// Never blocks; submitters bound their own in-flight work.
     pub fn submit(&self, home: usize, task: impl FnOnce() + Send + 'static) {
+        // ordering: Acquire — see `grow_to`'s publication protocol.
         let slot = self
             .shared
             .slot(home % self.shared.count.load(Ordering::Acquire));
         {
             let mut inbox = slot.inbox.lock().unwrap_or_else(|e| e.into_inner());
             inbox.push_back(Box::new(task));
+            // ordering: Release length mirror, stored inside the lock;
+            // lets `find_task` skip an empty inbox without locking. A
+            // stale-empty read is safe — `pending` (SeqCst) forces a
+            // re-scan before any worker parks.
             slot.inbox_len.store(inbox.len(), Ordering::Release);
         }
+        // ordering: Relaxed — monotonic stats counter.
         self.shared
             .counters
             .submitted
@@ -396,10 +425,13 @@ impl Engine {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             injector.push_back(Box::new(task));
+            // ordering: Release length mirror inside the lock — same
+            // protocol as `submit`'s inbox_len.
             self.shared
                 .injector_len
                 .store(injector.len(), Ordering::Release);
         }
+        // ordering: Relaxed — monotonic stats counter.
         self.shared
             .counters
             .submitted
@@ -443,12 +475,14 @@ impl Engine {
     /// Snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         let c = &self.shared.counters;
+        // ordering: Relaxed — observability counters; a snapshot has no
+        // cross-counter consistency promise.
         EngineStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             tasks_run: c.tasks_run.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
             panics: c.panics.load(Ordering::Relaxed),
-            scratch_fresh: c.scratch_fresh.load(Ordering::Relaxed),
+            scratch_fresh: c.scratch_fresh.load(Ordering::Relaxed), // ordering: ditto
             scratch_reused: c.scratch_reused.load(Ordering::Relaxed),
         }
     }
@@ -468,6 +502,11 @@ fn find_task(shared: &Shared, me: &WorkerState, index: usize) -> Option<(Task, b
         // SAFETY: `pop` hands out a pushed pointer exactly once.
         return Some((unsafe { deque::from_ptr(ptr) }, false));
     }
+    // ordering: Acquire/Release on the queue-length mirrors throughout
+    // this scan — stores happen inside the owning lock, loads gate the
+    // lock acquisition. A stale-empty read only skips a queue; the
+    // SeqCst `pending` handshake forces a full re-scan before any
+    // worker parks, so no task is stranded.
     if me.inbox_len.load(Ordering::Acquire) > 0 {
         let mut inbox = me.inbox.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(first) = inbox.pop_front() {
@@ -477,10 +516,12 @@ fn find_task(shared: &Shared, me: &WorkerState, index: usize) -> Option<(Task, b
             for task in inbox.drain(..) {
                 me.deque.push(deque::into_ptr(task));
             }
+            // ordering: Release mirror store under the inbox lock.
             me.inbox_len.store(0, Ordering::Release);
             return Some((first, false));
         }
     }
+    // ordering: Acquire gate, Release mirror — as above.
     if shared.injector_len.load(Ordering::Acquire) > 0 {
         let mut injector = shared.injector.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(task) = injector.pop_front() {
@@ -488,6 +529,7 @@ fn find_task(shared: &Shared, me: &WorkerState, index: usize) -> Option<(Task, b
             return Some((task, false));
         }
     }
+    // ordering: Acquire pairs with `grow_to`'s Release count store.
     let n = shared.count.load(Ordering::Acquire);
     for d in 1..n {
         let j = (index + d) % n;
@@ -500,6 +542,7 @@ fn find_task(shared: &Shared, me: &WorkerState, index: usize) -> Option<(Task, b
                 Steal::Empty => break,
             }
         }
+        // ordering: Acquire gate, Release mirror — as above.
         if sibling.inbox_len.load(Ordering::Acquire) > 0 {
             let mut inbox = sibling.inbox.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(task) = inbox.pop_front() {
@@ -517,8 +560,11 @@ fn worker(shared: Arc<Shared>, index: usize) {
     let me = shared.slot(index);
     loop {
         if let Some((task, stolen)) = find_task(&shared, me, index) {
+            // ordering: SeqCst — `pending` lives in the Dekker total
+            // order with `signal_work`; see the field docs.
             shared.pending.fetch_sub(1, Ordering::SeqCst);
             if stolen {
+                // ordering: Relaxed — stats counters, both below too.
                 shared.counters.steals.fetch_add(1, Ordering::Relaxed);
             }
             shared.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
@@ -526,6 +572,7 @@ fn worker(shared: Arc<Shared>, index: usize) {
                 // Submitters observe the failure through their own result
                 // channels (a missing result / poisoned latch); the worker
                 // itself must survive to run unrelated submitters' tasks.
+                // ordering: Relaxed — stats counter.
                 shared.counters.panics.fetch_add(1, Ordering::Relaxed);
             }
             continue;
@@ -534,6 +581,10 @@ fn worker(shared: Arc<Shared>, index: usize) {
         // running (pending > 0), retry the scan instead of touching the
         // sleep mutex — the transient miss is common under a fast
         // producer and must not cost a lock acquisition.
+        // ordering: SeqCst — every `pending`/`sleepers`/`shutdown`
+        // access in this park path stays in the one total order with
+        // `signal_work`'s increment+check, so either the submitter sees
+        // our sleeper registration or we see its pending increment.
         if shared.pending.load(Ordering::SeqCst) > 0 {
             continue;
         }
@@ -542,16 +593,19 @@ fn worker(shared: Arc<Shared>, index: usize) {
         // the sleep mutex so a notify cannot slip between the re-check
         // and the wait.
         let guard = shared.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        // ordering: SeqCst — see the park-path comment above.
         if shared.pending.load(Ordering::SeqCst) == 0 && shared.shutdown.load(Ordering::SeqCst) {
             // Quiescent and shutting down: exit. (With pending > 0 we
             // loop again instead — queued work is drained even during
             // shutdown.)
             return;
         }
+        // ordering: SeqCst — see the park-path comment above.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
             let _guard = shared.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
+        // ordering: SeqCst — see the park-path comment above.
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -587,6 +641,9 @@ impl ScopeInner {
             sync.panic.get_or_insert(p);
         }
         sync.completed += 1;
+        // lock-held: `sync` — the guard is live until the end of this
+        // function, so `wait_done` cannot check `completed` and park
+        // between our increment and this notify.
         self.done.notify_all();
     }
 
@@ -689,6 +746,7 @@ impl<T: Default + Send> WorkerLocal<T> {
             }
             None => None,
         };
+        // ordering: Relaxed — stats counters.
         match &value {
             Some(_) => counters.scratch_reused.fetch_add(1, Ordering::Relaxed),
             None => counters.scratch_fresh.fetch_add(1, Ordering::Relaxed),

@@ -1,0 +1,593 @@
+//! A hand-rolled Rust lexer sufficient for invariant linting.
+//!
+//! The container has no registry access (so no `syn`); this lexer
+//! tokenizes Rust source precisely enough that the rules in
+//! [`crate::rules`] never look inside string literals or comments by
+//! accident. It handles the classically fiddly corners:
+//!
+//! * line comments and **nested** block comments (doc variants included),
+//! * string literals with escapes, raw strings `r"…"` / `r#"…"#` (any
+//!   number of `#`s), byte strings `b"…"` / `br#"…"#`, and C strings,
+//! * char literals vs. lifetimes (`'a'` is a char, `'a` is a lifetime,
+//!   `'\u{1F600}'` is a char),
+//! * raw identifiers (`r#match`),
+//! * numeric literals including hex/octal/binary and type suffixes.
+//!
+//! On top of the token stream it derives the two pieces of file
+//! structure the rules need: per-line comment text (for adjacency
+//! checks like `// SAFETY:`) and `#[cfg(test)]` / `#[test]` brace
+//! regions (so "library code" rules skip inline test modules).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `// …` including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` including doc variants; nesting is handled.
+    BlockComment,
+    /// `"…"`, `b"…"`, `c"…"` (escapes understood).
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with any number of `#`s.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`.
+    CharLit,
+    /// `'a`, `'static` — no closing quote.
+    Lifetime,
+    /// Identifiers and keywords, including raw identifiers.
+    Ident,
+    /// Numeric literals (integer or float, any base, with suffixes).
+    Number,
+    /// Any other single character (`{`, `}`, `#`, `.`, `::` is two).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column (in bytes) of `start`.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// closed at end of input rather than reported — the rules only need a
+/// best-effort stream, and `rustc` itself rejects such files long
+/// before CI runs `atclint`.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let col = (self.pos - self.line_start + 1) as u32;
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string();
+                    self.emit(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.emit(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokenKind::Number, start, line, col);
+                }
+                _ if is_ident_start(c) => {
+                    let kind = self.ident_or_prefixed_literal();
+                    self.emit(kind, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes `/* … */` honoring nesting, starting at the `/*`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes `"…"` with escapes, starting at the opening quote.
+    fn string(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r##"…"##` starting at the first `#` or `"`
+    /// (the `r`/`br` prefix is already consumed).
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), b'"');
+        self.bump();
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the opening quote
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume to the closing quote.
+            while self.pos < self.bytes.len() {
+                match self.peek(0) {
+                    b'\\' => self.bump_n(2),
+                    b'\'' => {
+                        self.bump();
+                        break;
+                    }
+                    _ => self.bump(),
+                }
+            }
+            return TokenKind::CharLit;
+        }
+        if is_ident_start(self.peek(0)) {
+            // Could be 'a' (char) or 'abc (lifetime): a lifetime is an
+            // identifier run NOT followed by a closing quote.
+            let mut n = 1;
+            while is_ident_continue(self.peek(n)) {
+                n += 1;
+            }
+            if self.peek(n) == b'\'' {
+                self.bump_n(n + 1);
+                return TokenKind::CharLit;
+            }
+            self.bump_n(n);
+            return TokenKind::Lifetime;
+        }
+        // Non-identifier char literal like '(' or '0'.
+        while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        self.bump();
+        TokenKind::CharLit
+    }
+
+    /// Consumes a numeric literal (loose: any base, suffixes, floats).
+    fn number(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric()
+                || c == b'_'
+                || (c == b'.' && self.peek(1).is_ascii_digit())
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes an identifier, or dispatches to the raw/byte string
+    /// literal lexers when the "identifier" is actually an `r`/`b`/`br`
+    /// prefix glued to a quote.
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let c = self.peek(0);
+        // r"…" | r#"…"# | r#ident
+        if c == b'r' {
+            if self.peek(1) == b'"' {
+                self.bump();
+                self.raw_string();
+                return TokenKind::RawStr;
+            }
+            if self.peek(1) == b'#' {
+                // Count hashes, then decide: quote → raw string,
+                // ident-start → raw identifier.
+                let mut n = 1;
+                while self.peek(n) == b'#' {
+                    n += 1;
+                }
+                if self.peek(n) == b'"' {
+                    self.bump();
+                    self.raw_string();
+                    return TokenKind::RawStr;
+                }
+                if n == 2 && is_ident_start(self.peek(2)) {
+                    // r#ident — consume prefix then fall through.
+                    self.bump_n(2);
+                }
+            }
+        }
+        // b"…" | b'…' | br"…" | c"…"
+        if c == b'b' || c == b'c' {
+            if self.peek(1) == b'"' {
+                self.bump();
+                self.string();
+                return TokenKind::Str;
+            }
+            if c == b'b' && self.peek(1) == b'\'' {
+                self.bump();
+                return self.char_or_lifetime();
+            }
+            if c == b'b' && self.peek(1) == b'r' && (self.peek(2) == b'"' || (self.peek(2) == b'#'))
+            {
+                // Distinguish br#"…"# from an identifier starting with
+                // "br#"-ish text: after the hashes there must be a quote.
+                let mut n = 2;
+                while self.peek(n) == b'#' {
+                    n += 1;
+                }
+                if self.peek(n) == b'"' {
+                    self.bump_n(2);
+                    self.raw_string();
+                    return TokenKind::RawStr;
+                }
+            }
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` item bodies, plus any
+/// trailing unclosed region (a test module spanning to end of file).
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Is byte offset `pos` inside a test-gated region?
+    pub fn contains(&self, pos: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// The raw ranges (fixture tests inspect these).
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+/// Walks the token stream and records the brace bodies of items marked
+/// `#[cfg(test)]` (but not `#[cfg(not(test))]`) or `#[test]`.
+///
+/// The attribute "arms" the next `{` at the same nesting level; an
+/// intervening `;` or `}` disarms it (e.g. `#[cfg(test)] use x;`).
+pub fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut armed = false;
+    // Stack entry: byte offset of a `{` that opened a test region (or
+    // usize::MAX for ordinary braces).
+    let mut stack: Vec<usize> = Vec::new();
+    let mut in_test_depth: Option<usize> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        match (t.kind, t.text(src)) {
+            (TokenKind::Punct, "#") => {
+                // Attribute: `#[ … ]` (or inner `#![ … ]`). Scan its
+                // tokens for a test marker.
+                let mut j = i + 1;
+                if j < tokens.len() && tokens[j].text(src) == "!" {
+                    j += 1;
+                }
+                if j < tokens.len() && tokens[j].text(src) == "[" {
+                    let mut depth = 0usize;
+                    let mut idents: Vec<&str> = Vec::new();
+                    while j < tokens.len() {
+                        let tj = &tokens[j];
+                        match tj.text(src) {
+                            "[" | "(" => depth += 1,
+                            "]" | ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if tj.kind == TokenKind::Ident {
+                                    idents.push(tj.text(src));
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    if is_test_attr(&idents) {
+                        armed = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                stack.push(t.start);
+                if armed && in_test_depth.is_none() {
+                    in_test_depth = Some(stack.len());
+                }
+                armed = false;
+            }
+            (TokenKind::Punct, "}") => {
+                if let Some(open) = stack.pop() {
+                    if in_test_depth == Some(stack.len() + 1) {
+                        regions.ranges.push((open, t.end));
+                        in_test_depth = None;
+                    }
+                }
+                armed = false;
+            }
+            (TokenKind::Punct, ";") => armed = false,
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(depth) = in_test_depth {
+        // Unclosed test region (truncated file): extend to the end.
+        if let Some(&open) = stack.get(depth - 1) {
+            regions.ranges.push((open, src.len()));
+        }
+    }
+    regions
+}
+
+/// Does an attribute's identifier list mark a test-only item?
+fn is_test_attr(idents: &[&str]) -> bool {
+    match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Lower-cased comment text per 1-based line, for annotation adjacency
+/// checks (`// SAFETY:`, `// ordering:`…). Block comments contribute
+/// each of their lines separately.
+pub fn comment_lines(src: &str, tokens: &[Token]) -> std::collections::HashMap<u32, String> {
+    let mut map: std::collections::HashMap<u32, String> = std::collections::HashMap::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        for (off, piece) in t.text(src).split('\n').enumerate() {
+            let entry = map.entry(t.line + off as u32).or_default();
+            entry.push_str(&piece.to_ascii_lowercase());
+            entry.push(' ');
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(chars, vec!["'x'"]);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "/* outer /* inner */ still outer */ fn x() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "/* outer /* inner */ still outer */");
+        assert_eq!(toks[1].1, "fn");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let s = r#"contains "quotes" and \ no escapes"#; f();"####;
+        let toks = kinds(src);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].1.starts_with("r#\""));
+        assert!(toks.iter().any(|(_, s)| s == "f"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let r#match = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && s == "br#\"raw\"#"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "r#match"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\n'; let b = '\u{1F600}'; let c = '\'';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\u{1F600}'", r"'\''"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n  c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        let lib2_pos = src.find("lib2").unwrap();
+        let t_pos = src.find("fn t").unwrap();
+        assert!(regions.contains(t_pos));
+        assert!(!regions.contains(lib2_pos));
+        assert!(!regions.contains(0));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real {\n    fn r() {}\n}";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert!(regions.ranges().is_empty());
+    }
+
+    #[test]
+    fn attribute_then_semicolon_disarms() {
+        let src = "#[cfg(test)]\nuse std::vec::Vec;\nfn lib() { body(); }";
+        let toks = lex(src);
+        let regions = test_regions(src, &toks);
+        assert!(regions.ranges().is_empty());
+    }
+}

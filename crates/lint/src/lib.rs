@@ -1,0 +1,190 @@
+//! `atc-lint` — the workspace invariant checker behind the `atclint`
+//! binary.
+//!
+//! Nine PRs of growth accumulated a set of load-bearing invariants
+//! (engine-only threading, SAFETY-commented unsafe, justified atomic
+//! orderings, notify-under-lock, length-checked wire allocations) that
+//! were enforced only by reviewer memory. This crate turns that review
+//! checklist into a machine-checked static-analysis pass: a hand-rolled
+//! Rust [`lexer`] (the container has no registry, so no `syn`) feeding
+//! a [`rules`] registry, with per-rule `--explain`, JSON and human
+//! output, and mandatory-reason inline suppressions
+//! (`// atclint: allow(rule) -- reason`).
+//!
+//! The rule catalog lives in `docs/LINTS.md`; CI runs
+//! `atclint --deny-all crates src examples` plus a meta-test asserting
+//! the live workspace is finding-free.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{check_file, FileContext, Finding};
+
+/// Directories never scanned, wherever they appear in a path: vendored
+/// stand-ins aren't ours to annotate, and build output isn't source.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
+
+/// Aggregate result of scanning a set of paths.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All unsuppressed findings, in path order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Recursively collects `.rs` files under each root (a root may itself
+/// be a file), skipping `vendor`, `target`, `.git`, and `.github`, sorted for deterministic output.
+pub fn collect_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for root in roots {
+        walk(root, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let meta = fs::metadata(path)?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if SKIP_DIRS.contains(&name) {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(path)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        walk(&entry.path(), out)?;
+    }
+    Ok(())
+}
+
+/// Scans the given roots with every rule (or the `only` subset).
+pub fn scan(roots: &[PathBuf], only: Option<&[String]>) -> io::Result<ScanReport> {
+    let files = collect_files(roots)?;
+    let mut report = ScanReport::default();
+    for file in &files {
+        let src = fs::read_to_string(file)?;
+        let display = file.to_string_lossy().into_owned();
+        let ctx = FileContext::new(&display, &src);
+        report.findings.extend(check_file(&ctx, only));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Scans in-memory sources (`(path, src)` pairs) — the seeded-fixture
+/// self-tests use this to avoid writing violation files to disk (which
+/// the workspace scan would then flag).
+pub fn scan_sources(sources: &[(&str, &str)], only: Option<&[String]>) -> ScanReport {
+    let mut report = ScanReport::default();
+    for (path, src) in sources {
+        let ctx = FileContext::new(path, src);
+        report.findings.extend(check_file(&ctx, only));
+        report.files_scanned += 1;
+    }
+    report
+}
+
+/// Renders findings in `path:line:col: rule: message` form with the
+/// offending line underneath, plus a summary line.
+pub fn render_human(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    out.push_str(&format!(
+        "atclint: {} finding{} across {} file{}\n",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Renders the report as a single JSON object (hand-rolled — the
+/// vendor set has no serde): `{"files_scanned": N, "findings": […]}`.
+pub fn render_json(report: &ScanReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.message),
+            json_str(&f.snippet),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_round_trips_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn scan_sources_counts_files_and_findings() {
+        let report = scan_sources(
+            &[("crates/x/src/lib.rs", "fn f() { unsafe { danger() } }")],
+            None,
+        );
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "undocumented-unsafe");
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\":\"undocumented-unsafe\""));
+        let human = render_human(&report);
+        assert!(human.contains("crates/x/src/lib.rs:1:"));
+        assert!(human.contains("atclint: 1 finding across 1 file"));
+    }
+}

@@ -1,0 +1,115 @@
+//! `atclint` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! atclint [--deny-all] [--json] [--rules a,b] PATH...
+//! atclint --list
+//! atclint --explain RULE
+//! ```
+//!
+//! Scans the given paths (files or directories, recursively; `vendor/`
+//! and `target/` are always skipped) with the rule registry in
+//! `atc_lint::rules`. Without `--deny-all` the exit code is always 0
+//! (report-only); with it, any finding exits 1 — that is the CI mode.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use atc_lint::rules::{find_rule, registry};
+use atc_lint::{render_human, render_json, scan};
+
+fn usage() -> &'static str {
+    "usage: atclint [--deny-all] [--json] [--rules ID[,ID...]] PATH...\n\
+     \n\
+     modes:\n\
+       --list           list registered rules\n\
+       --explain RULE   print a rule's invariant, rationale, and annotation form\n\
+     \n\
+     flags:\n\
+       --deny-all       exit 1 if any finding is reported (CI mode)\n\
+       --json           machine-readable output\n\
+       --rules a,b      run only the named rules (meta-suppression always runs)\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_all = false;
+    let mut json = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--list" => {
+                for rule in registry() {
+                    println!("{:24} {}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                i += 1;
+                let Some(id) = args.get(i) else {
+                    eprintln!("--explain needs a rule id; try --list");
+                    return ExitCode::FAILURE;
+                };
+                match find_rule(id) {
+                    Some(rule) => {
+                        println!("{} — {}\n\n{}", rule.id, rule.summary, rule.explain);
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown rule `{id}`; try --list");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--rules" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--rules needs a comma-separated id list");
+                    return ExitCode::FAILURE;
+                };
+                let ids: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+                for id in &ids {
+                    if find_rule(id).is_none() {
+                        eprintln!("unknown rule `{id}`; try --list");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                only = Some(ids);
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let report = match scan(&paths, only.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("atclint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if deny_all && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

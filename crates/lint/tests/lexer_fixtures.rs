@@ -1,0 +1,135 @@
+//! Lexer-boundary fixtures: rule patterns hidden inside comments,
+//! strings, raw strings, and char literals must never fire, and
+//! `#[cfg(test)]` region edges must be exact.
+
+use atc_lint::scan_sources;
+
+fn rules_fired(path: &str, src: &str) -> Vec<String> {
+    scan_sources(&[(path, src)], None)
+        .findings
+        .iter()
+        .map(|f| f.rule.to_string())
+        .collect()
+}
+
+#[test]
+fn patterns_in_comments_do_not_fire() {
+    let src = r#"
+// std::thread::spawn(|| {}); v.unwrap(); c.notify_one();
+/* Ordering::SeqCst and unsafe { } in a block comment
+   /* nested: vec![0u8; n] */
+   still one comment */
+pub fn f() {}
+"#;
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn patterns_in_strings_do_not_fire() {
+    let src = r##"
+pub fn f() -> Vec<String> {
+    vec![
+        "std::thread::spawn(|| {})".to_string(),
+        r#"x.unwrap() and Ordering::SeqCst"#.to_string(),
+        String::from_utf8_lossy(b"unsafe { *p }").into_owned(),
+    ]
+}
+"##;
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn raw_string_hashes_terminate_correctly() {
+    // A `"#` inside an `r##"…"##` string must not end it early — if the
+    // lexer dropped out at the inner quote, the unwrap would go unseen
+    // AND the trailing garbage would break later tokens.
+    let src = r###"
+pub fn f(v: Option<u8>) -> u8 {
+    let _s = r##"ends with "# but not here"##;
+    v.unwrap()
+}
+"###;
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["library-unwrap"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    // If `'a` were lexed as an unterminated char literal, everything
+    // after it (including the unwrap) would be swallowed as string data.
+    let src = r#"
+pub struct Holder<'a> {
+    inner: &'a str,
+}
+pub fn f<'a>(h: &Holder<'a>, v: Option<u8>) -> u8 {
+    let _c = 'x';
+    let _esc = '\n';
+    let _ = h.inner;
+    v.unwrap()
+}
+"#;
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["library-unwrap"]);
+}
+
+#[test]
+fn byte_and_char_literal_quotes_do_not_open_strings() {
+    let src = r#"
+pub fn f(v: Option<u8>) -> u8 {
+    let _b = b'"';
+    let _c = '"';
+    v.unwrap()
+}
+"#;
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["library-unwrap"]);
+}
+
+#[test]
+fn cfg_test_region_ends_at_its_closing_brace() {
+    // The unwrap after the test module's closing brace is back in
+    // library land; thread::spawn inside the module is exempt.
+    let src = r#"
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        std::thread::spawn(|| {});
+        Some(1u8).unwrap();
+    }
+}
+
+pub fn after(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+"#;
+    let got = rules_fired("crates/x/src/lib.rs", src);
+    assert_eq!(got, ["library-unwrap"], "only the post-module unwrap");
+}
+
+#[test]
+fn cfg_not_test_is_not_a_test_region() {
+    let src = r#"
+#[cfg(not(test))]
+pub fn f(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+"#;
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["library-unwrap"]);
+}
+
+#[test]
+fn braces_in_strings_do_not_shift_test_regions() {
+    // A `}` inside a string inside the test module must not end the
+    // region early and expose the test's unwrap.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _s = "}}}}";
+        Some(1u8).unwrap();
+    }
+}
+"#;
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}

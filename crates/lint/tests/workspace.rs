@@ -1,0 +1,40 @@
+//! Meta-test: the live workspace must be atclint-clean.
+//!
+//! This is the same gate CI's `lint-invariants` job applies via
+//! `atclint --deny-all crates src examples`, kept here too so a plain
+//! `cargo test` catches a new violation before CI does.
+
+use std::path::{Path, PathBuf};
+
+use atc_lint::{render_human, scan};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let root = workspace_root();
+    let roots: Vec<PathBuf> = ["crates", "src", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|p| p.exists())
+        .collect();
+    assert!(!roots.is_empty(), "no scan roots under {}", root.display());
+    let report = scan(&roots, None).expect("scan workspace sources");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace has atclint findings:\n{}",
+        render_human(&report)
+    );
+}

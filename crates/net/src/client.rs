@@ -192,6 +192,10 @@ impl AtcClient {
     /// Drains one `Data*`/`Done` stream. `expect` is a sanity bound on
     /// the value count when the caller knows it (`u64::MAX` otherwise).
     fn collect_stream(&mut self, expect: u64) -> Result<Vec<u64>> {
+        // bounded: the reservation is clamped to 16Mi values (128 MiB)
+        // even when the caller passes u64::MAX; beyond the clamp the Vec
+        // grows only as frames actually arrive, and the `expect` check
+        // below rejects streams that overrun the declared count.
         let mut out = Vec::with_capacity(expect.min(1 << 24) as usize);
         loop {
             match self.receive()? {

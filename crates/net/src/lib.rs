@@ -45,6 +45,9 @@
 //! let server = NetServer::bind(&root, "127.0.0.1:0", ServeOptions::default())?;
 //! let addr = server.local_addr()?;
 //! let handle = server.handle();
+//! // The accept loop blocks, so the *application* gives it a thread —
+//! // the library itself never spawns: connections run on the shared
+//! // engine (see the `rogue-thread-spawn` invariant in docs/LINTS.md).
 //! let join = std::thread::spawn(move || server.run());
 //!
 //! let mut client = AtcClient::connect(addr)?;

@@ -98,6 +98,9 @@ struct Shared {
 impl Shared {
     fn stats(&self) -> ServerStats {
         ServerStats {
+            // ordering: Relaxed — monotonic observability counters; a
+            // snapshot needs no cross-counter consistency. (Applies to
+            // the four loads below.)
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             proto_errors: self.proto_errors.load(Ordering::Relaxed),
@@ -107,6 +110,9 @@ impl Shared {
     }
 
     fn stopping(&self) -> bool {
+        // ordering: Acquire — pairs with shutdown's Release store so
+        // whatever the stopping thread wrote before requesting shutdown
+        // is visible to loops that observe the flag and wind down.
         self.stop.load(Ordering::Acquire)
     }
 }
@@ -123,6 +129,8 @@ impl ServerHandle {
     /// close at their next stop poll (~25 ms), and [`NetServer::run`]
     /// returns once every connection has finished.
     pub fn shutdown(&self) {
+        // ordering: Release — pairs with the Acquire in stopping();
+        // publishes any state the requester wrote before the flag.
         self.shared.stop.store(true, Ordering::Release);
     }
 
@@ -218,7 +226,13 @@ impl NetServer {
         while !self.shared.stopping() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // ordering: Relaxed — observability counter only.
                     self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    // ordering: AcqRel — `active` gates shutdown: the
+                    // increment must be visible before the connection
+                    // does work, and the matching decrement (below, in
+                    // Leave::drop) must publish the connection's effects
+                    // to the Acquire drain loop at the end of run().
                     self.shared.active.fetch_add(1, Ordering::AcqRel);
                     let shared = Arc::clone(&self.shared);
                     self.engine.submit_any(move || {
@@ -227,6 +241,9 @@ impl NetServer {
                         struct Leave<'a>(&'a Shared);
                         impl Drop for Leave<'_> {
                             fn drop(&mut self) {
+                                // ordering: AcqRel — the Release half
+                                // publishes this connection's counter
+                                // updates to run()'s Acquire drain loop.
                                 self.0.active.fetch_sub(1, Ordering::AcqRel);
                             }
                         }
@@ -239,6 +256,8 @@ impl NetServer {
                 Err(e) => return Err(e.into()),
             }
         }
+        // ordering: Acquire — pairs with Leave::drop's AcqRel decrement
+        // so the final stats snapshot sees every connection's counters.
         while self.shared.active.load(Ordering::Acquire) > 0 {
             std::thread::sleep(ACCEPT_POLL);
         }
@@ -296,9 +315,12 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     match exit {
         ConnExit::Clean => {}
         ConnExit::Protocol => {
+            // ordering: Relaxed — observability counter; published to
+            // the final snapshot by Leave::drop's AcqRel decrement.
             shared.proto_errors.fetch_add(1, Ordering::Relaxed);
         }
         ConnExit::Io => {
+            // ordering: Relaxed — ditto.
             shared.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -362,6 +384,8 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared) -> Result<ConnExit> 
             Some(Err(exit)) => return Ok(exit),
             Some(Ok(body)) => body,
         };
+        // ordering: Relaxed — observability counter; published to the
+        // final snapshot by Leave::drop's AcqRel decrement.
         shared.requests.fetch_add(1, Ordering::Relaxed);
         let request = match NetRequest::decode(&body) {
             Ok(request) => request,
@@ -576,6 +600,7 @@ fn read_request_frame(
         value
     };
     net_check_frame_len(len)?;
+    // bounded: len was checked against NET_MAX_FRAME just above.
     let mut body = vec![0u8; len as usize];
     read_full(stream, &mut body, deadline)?;
     Ok(Some(body))

@@ -343,6 +343,8 @@ impl StoreReader {
                 )));
             }
         }
+        // atclint: allow(library-unwrap) -- infallible: the refill loop
+        // above either errored out or left the shard's buffer non-empty.
         let v = self.bufs[shard].pop().expect("refilled above");
         self.produced += 1;
         if self.mode == MergeMode::Track {

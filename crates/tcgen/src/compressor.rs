@@ -132,9 +132,13 @@ impl Tcgen {
         let codes_packed = self.codec.compress(&codes);
         let lits_packed = self.codec.compress(&lits);
         let mut out = Vec::with_capacity(codes_packed.len() + lits_packed.len() + 24);
+        // atclint: allow(library-unwrap) -- infallible: io::Write on a
+        // Vec<u8> never errors (all three varint writes below).
         varint::write_u64(&mut out, values.len() as u64).expect("vec write");
+        // atclint: allow(library-unwrap) -- infallible: vec write.
         varint::write_u64(&mut out, codes_packed.len() as u64).expect("vec write");
         out.extend_from_slice(&codes_packed);
+        // atclint: allow(library-unwrap) -- infallible: vec write.
         varint::write_u64(&mut out, lits_packed.len() as u64).expect("vec write");
         out.extend_from_slice(&lits_packed);
         out
@@ -180,6 +184,8 @@ impl Tcgen {
                 if lit_pos + 8 > lits.len() {
                     return Err(TcgenError::Format("literal stream underrun".into()));
                 }
+                // atclint: allow(library-unwrap) -- infallible: the bounds
+                // check above guarantees 8 bytes remain.
                 let v = u64::from_le_bytes(lits[lit_pos..lit_pos + 8].try_into().expect("8 bytes"));
                 lit_pos += 8;
                 v

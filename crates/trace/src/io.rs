@@ -48,6 +48,8 @@ pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Vec<u64>> {
     }
     Ok(bytes
         .chunks_exact(8)
+        // atclint: allow(library-unwrap) -- infallible: chunks_exact(8)
+        // yields only 8-byte slices.
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect())
 }

@@ -44,6 +44,9 @@ fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    // SAFETY: `signal` installs an `extern "C" fn(i32)` handler, which
+    // matches libc's expected prototype; the handler itself only touches
+    // a static AtomicBool, which is async-signal-safe.
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);
